@@ -1,0 +1,104 @@
+// Ablation A1 — the HMM design choices behind SSTD's accuracy:
+//   * HMM decode vs raw sign(ACS) thresholding (is temporal smoothing real?)
+//   * frozen-emission EM (default) vs full unsupervised EM vs no EM
+//   * discrete quantized emissions vs Gaussian emissions
+//   * per-claim models/scales vs pooled
+//   * quantizer bin-count sweep
+//   * ACS sliding-window width sweep
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/acs.h"
+
+using namespace sstd;
+
+namespace {
+
+ConfusionMatrix score(const Dataset& data, const SstdConfig& config) {
+  SstdBatch sstd(config);
+  EvalOptions eval;
+  eval.window_ms =
+      config.window_ms > 0 ? config.window_ms : data.interval_ms();
+  return evaluate(data, sstd.run(data), eval);
+}
+
+ConfusionMatrix score_sign_threshold(const Dataset& data) {
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+  EstimateMatrix estimates(data.num_claims());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const auto acs =
+        build_acs_series(data.reports_of_claim(ClaimId{u}), data.intervals(),
+                         data.interval_ms(), data.interval_ms());
+    estimates[u].resize(data.intervals());
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      estimates[u][k] = acs[k] > 0.0 ? 1 : 0;
+    }
+  }
+  return evaluate(data, estimates, eval);
+}
+
+}  // namespace
+
+int main() {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 150'000, 80));
+  const Dataset data = generator.generate();
+  std::printf("trace: %zu reports, %u claims\n\n", data.num_reports(),
+              data.num_claims());
+
+  TextTable table("Ablation A1: HMM design choices (Boston-like trace)");
+  table.set_columns({"Variant", "Accuracy", "F1"});
+  CsvWriter csv(bench::results_path("ablation_hmm.csv"));
+  csv.header({"variant", "accuracy", "f1"});
+
+  auto add = [&](const std::string& name, const ConfusionMatrix& cm) {
+    table.add_row({name, TextTable::num(cm.accuracy()),
+                   TextTable::num(cm.f1())});
+    csv.row({name, CsvWriter::cell(cm.accuracy(), 4),
+             CsvWriter::cell(cm.f1(), 4)});
+  };
+
+  add("SSTD (default)", score(data, SstdConfig{}));
+  add("sign(ACS), no HMM", score_sign_threshold(data));
+
+  {
+    SstdConfig config;  // default freezes emissions
+    config.train.max_iterations = 0;
+    add("HMM prior only (no EM)", score(data, config));
+  }
+  {
+    SstdConfig config;
+    config.train.update_emissions = true;  // full unsupervised EM
+    add("full EM (free emissions)", score(data, config));
+  }
+  {
+    SstdConfig config;
+    config.use_gaussian = true;
+    add("Gaussian emissions", score(data, config));
+  }
+  {
+    SstdConfig config;
+    config.per_claim_models = false;
+    add("pooled model (all claims)", score(data, config));
+  }
+  {
+    SstdConfig config;
+    config.per_claim_scale = false;
+    add("global quantizer scale", score(data, config));
+  }
+  for (int bins : {3, 5, 9, 15}) {
+    SstdConfig config;
+    config.num_bins = bins;
+    add("bins=" + std::to_string(bins), score(data, config));
+  }
+  for (int window_intervals : {2, 4, 8}) {
+    SstdConfig config;
+    config.window_ms = data.interval_ms() * window_intervals;
+    add("ACS window=" + std::to_string(window_intervals) + " intervals",
+        score(data, config));
+  }
+
+  table.print();
+  return 0;
+}

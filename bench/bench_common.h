@@ -1,0 +1,82 @@
+// Shared helpers for the table/figure reproduction benches. Every bench
+// prints an aligned console table in the paper's shape and mirrors the
+// series to CSV under bench_results/ for plotting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/metrics.h"
+#include "sstd/batch.h"
+#include "trace/generator.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace sstd::bench {
+
+inline std::string results_path(const std::string& file) {
+  return "bench_results/" + file;
+}
+
+// Scheme lineup of the accuracy tables: SSTD first, then the paper's six
+// baselines in its order.
+inline std::vector<std::unique_ptr<BatchTruthDiscovery>> accuracy_lineup(
+    TimestampMs window_ms = 0) {
+  std::vector<std::unique_ptr<BatchTruthDiscovery>> schemes;
+  schemes.push_back(std::make_unique<SstdBatch>());
+  for (auto& baseline : make_paper_baselines(window_ms)) {
+    schemes.push_back(std::move(baseline));
+  }
+  return schemes;
+}
+
+struct SchemeScore {
+  std::string name;
+  ConfusionMatrix cm;
+  double seconds = 0.0;
+};
+
+// Runs every scheme on `data`, scoring active intervals (one-interval ACS
+// window mask).
+inline std::vector<SchemeScore> score_all(const Dataset& data) {
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+  std::vector<SchemeScore> scores;
+  for (auto& scheme : accuracy_lineup()) {
+    Stopwatch watch;
+    const EstimateMatrix estimates = scheme->run(data);
+    SchemeScore score;
+    score.seconds = watch.elapsed_seconds();
+    score.name = scheme->name();
+    score.cm = evaluate(data, estimates, eval);
+    scores.push_back(std::move(score));
+  }
+  return scores;
+}
+
+// Emits one accuracy table (paper Tables III-V) to stdout + CSV.
+inline void emit_accuracy_table(const std::string& title,
+                                const std::string& csv_name,
+                                const std::vector<SchemeScore>& scores) {
+  TextTable table(title);
+  table.set_columns({"Method", "Accuracy", "Precision", "Recall", "F1-Score"});
+  CsvWriter csv(results_path(csv_name));
+  csv.header({"method", "accuracy", "precision", "recall", "f1", "seconds"});
+  for (const auto& score : scores) {
+    table.add_row({score.name, TextTable::num(score.cm.accuracy()),
+                   TextTable::num(score.cm.precision()),
+                   TextTable::num(score.cm.recall()),
+                   TextTable::num(score.cm.f1())});
+    csv.row({score.name, CsvWriter::cell(score.cm.accuracy(), 4),
+             CsvWriter::cell(score.cm.precision(), 4),
+             CsvWriter::cell(score.cm.recall(), 4),
+             CsvWriter::cell(score.cm.f1(), 4),
+             CsvWriter::cell(score.seconds, 3)});
+  }
+  table.print();
+}
+
+}  // namespace sstd::bench

@@ -1,0 +1,82 @@
+// Reproduces Figure 4 — execution time of all compared schemes vs data
+// size, one panel per trace. SSTD runs on the threaded Work Queue with 4
+// workers (the paper's §V-B setup); baselines run single-threaded, as in
+// the paper ("they are not designed as distributed schemes").
+//
+// Note: this reproduction host has one CPU core, so the threaded worker
+// pool adds concurrency but not parallel speedup — SSTD's advantage here
+// comes from its per-claim decomposition and cheap incremental math, which
+// is also true of the measured numbers (cluster-scale parallel speedup is
+// reproduced separately in Figure 7's simulation).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sstd/distributed.h"
+
+using namespace sstd;
+
+int main() {
+  const std::vector<double> fractions{0.125, 0.25, 0.5, 1.0};
+
+  for (const auto& base : {trace::boston_bombing(), trace::paris_shooting(),
+                           trace::college_football()}) {
+    TextTable table("Figure 4 (" + base.name +
+                    "): execution time [s] vs data size");
+    std::vector<std::string> columns{"Reports"};
+    CsvWriter csv(bench::results_path(
+        "fig4_exectime_" + std::to_string(base.seed) + ".csv"));
+
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> names;
+    bool first_size = true;
+
+    for (double fraction : fractions) {
+      const auto config = base.scaled_to(
+          static_cast<std::uint64_t>(base.total_reports * fraction));
+      trace::TraceGenerator generator(config);
+      const Dataset data = generator.generate();
+
+      std::vector<std::string> row{std::to_string(data.num_reports())};
+      std::vector<std::string> csv_row{
+          CsvWriter::cell(static_cast<long long>(data.num_reports()))};
+
+      // SSTD on the threaded Work Queue (4 workers).
+      {
+        DistributedConfig dist_config;
+        dist_config.workers = 4;
+        DistributedSstd sstd(dist_config);
+        Stopwatch watch;
+        (void)sstd.run(data);
+        const double seconds = watch.elapsed_seconds();
+        if (first_size) names.push_back("SSTD");
+        row.push_back(TextTable::num(seconds, 2));
+        csv_row.push_back(CsvWriter::cell(seconds, 4));
+      }
+
+      for (auto& baseline : make_paper_baselines()) {
+        Stopwatch watch;
+        (void)baseline->run(data);
+        const double seconds = watch.elapsed_seconds();
+        if (first_size) names.push_back(baseline->name());
+        row.push_back(TextTable::num(seconds, 2));
+        csv_row.push_back(CsvWriter::cell(seconds, 4));
+      }
+
+      rows.push_back(row);
+      if (first_size) {
+        for (const auto& name : names) columns.push_back(name);
+        std::vector<std::string> header{"reports"};
+        for (const auto& name : names) header.push_back(name);
+        csv.header(header);
+      }
+      csv.row(csv_row);
+      first_size = false;
+    }
+
+    table.set_columns(columns);
+    for (auto& row : rows) table.add_row(std::move(row));
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

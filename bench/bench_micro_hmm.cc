@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) of the hot kernels: Baum-Welch
+// training, batch and online Viterbi, ACS construction and quantization.
+// These bound SSTD's per-claim costs and justify the per-claim task sizing
+// in the distributed runtime.
+#include <benchmark/benchmark.h>
+
+#include "core/acs.h"
+#include "hmm/discrete_hmm.h"
+#include "hmm/gaussian_hmm.h"
+#include "hmm/online_viterbi.h"
+#include "hmm/quantizer.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+std::vector<int> random_symbols(std::size_t length, int num_symbols,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> symbols(length);
+  for (auto& symbol : symbols) {
+    symbol = static_cast<int>(rng.below(num_symbols));
+  }
+  return symbols;
+}
+
+void BM_BaumWelchFit(benchmark::State& state) {
+  const auto T = static_cast<std::size_t>(state.range(0));
+  const auto symbols = random_symbols(T, 7, 1);
+  BaumWelchOptions options;
+  options.update_emissions = false;
+  options.max_iterations = 30;
+  for (auto _ : state) {
+    DiscreteHmm hmm = make_truth_hmm(7);
+    benchmark::DoNotOptimize(hmm.fit({symbols}, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(T));
+}
+BENCHMARK(BM_BaumWelchFit)->Arg(100)->Arg(1000);
+
+void BM_BaumWelchFullEm(benchmark::State& state) {
+  const auto T = static_cast<std::size_t>(state.range(0));
+  const auto symbols = random_symbols(T, 7, 2);
+  BaumWelchOptions options;
+  options.restarts = 4;
+  for (auto _ : state) {
+    DiscreteHmm hmm = make_truth_hmm(7);
+    benchmark::DoNotOptimize(hmm.fit({symbols}, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(T));
+}
+BENCHMARK(BM_BaumWelchFullEm)->Arg(100);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const auto T = static_cast<std::size_t>(state.range(0));
+  const auto symbols = random_symbols(T, 7, 3);
+  const DiscreteHmm hmm = make_truth_hmm(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.decode(symbols));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(T));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_OnlineViterbiStep(benchmark::State& state) {
+  const DiscreteHmm hmm = make_truth_hmm(7);
+  OnlineViterbi online(hmm.core(), /*max_lag=*/8);
+  Rng rng(4);
+  std::vector<double> log_emit(2);
+  for (auto _ : state) {
+    const int symbol = static_cast<int>(rng.below(7));
+    log_emit[0] = hmm.log_b(0, symbol);
+    log_emit[1] = hmm.log_b(1, symbol);
+    online.step(log_emit);
+    benchmark::DoNotOptimize(online.current_state());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineViterbiStep);
+
+void BM_GaussianFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> series(static_cast<std::size_t>(state.range(0)));
+  for (auto& value : series) value = rng.normal();
+  BaumWelchOptions options;
+  options.update_emissions = false;
+  options.max_iterations = 30;
+  for (auto _ : state) {
+    GaussianHmm hmm = make_truth_gaussian_hmm(1.0);
+    benchmark::DoNotOptimize(hmm.fit({series}, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianFit)->Arg(100);
+
+void BM_AcsSeriesBuild(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<Report> reports(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    reports[i].source = SourceId{static_cast<std::uint32_t>(i % 1000)};
+    reports[i].claim = ClaimId{0};
+    reports[i].time_ms = static_cast<TimestampMs>(i * 100'000 / count);
+    reports[i].attitude = rng.bernoulli(0.7) ? 1 : -1;
+    reports[i].uncertainty = rng.uniform();
+    reports[i].independence = rng.uniform(0.5, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_acs_series(reports, 100, 1000, 1000));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+}
+BENCHMARK(BM_AcsSeriesBuild)->Arg(1000)->Arg(100000);
+
+void BM_QuantizeSeries(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> series(10'000);
+  for (auto& value : series) value = rng.normal(0.0, 3.0);
+  const AcsQuantizer quantizer(7, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantizer.quantize_series(series));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.size()));
+}
+BENCHMARK(BM_QuantizeSeries);
+
+}  // namespace
+}  // namespace sstd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// System microbenchmarks (google-benchmark): end-to-end ingest throughput
+// of the streaming engine and the full SstdSystem, plus baseline solver
+// throughput — the numbers that size a deployment ("how many tweets/sec
+// does one node absorb?").
+#include <benchmark/benchmark.h>
+
+#include "baselines/truthfinder.h"
+#include "sstd/streaming.h"
+#include "sstd/system.h"
+#include "trace/generator.h"
+
+namespace sstd {
+namespace {
+
+const Dataset& bench_dataset() {
+  static const Dataset data = [] {
+    trace::TraceGenerator generator(
+        trace::tiny(trace::boston_bombing(), 60'000, 40));
+    return generator.generate();
+  }();
+  return data;
+}
+
+void BM_StreamingEngineIngest(benchmark::State& state) {
+  const Dataset& data = bench_dataset();
+  for (auto _ : state) {
+    SstdConfig config;
+    config.refit_every = 20;
+    SstdStreaming engine(config, data.interval_ms());
+    const auto estimates = replay_streaming(engine, data);
+    benchmark::DoNotOptimize(estimates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_reports()));
+}
+BENCHMARK(BM_StreamingEngineIngest)->Unit(benchmark::kMillisecond);
+
+void BM_SstdSystemEndToEnd(benchmark::State& state) {
+  const Dataset& data = bench_dataset();
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SstdSystem::Config config;
+    config.workers = workers;
+    config.num_jobs = 8;
+    config.interval_deadline_s = 10.0;
+    SstdSystem system(config, data.interval_ms());
+    const auto& reports = data.reports();
+    std::size_t next = 0;
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      const TimestampMs end =
+          static_cast<TimestampMs>(k + 1) * data.interval_ms();
+      while (next < reports.size() && reports[next].time_ms < end) {
+        system.ingest(reports[next]);
+        ++next;
+      }
+      system.end_interval(k);
+    }
+    benchmark::DoNotOptimize(system.metrics().tasks_completed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_reports()));
+}
+BENCHMARK(BM_SstdSystemEndToEnd)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const Dataset& data = bench_dataset();
+  for (auto _ : state) {
+    const Snapshot snapshot{std::span<const Report>(data.reports())};
+    benchmark::DoNotOptimize(snapshot.num_claims());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_reports()));
+}
+BENCHMARK(BM_SnapshotBuild)->Unit(benchmark::kMillisecond);
+
+void BM_TruthFinderSolve(benchmark::State& state) {
+  const Dataset& data = bench_dataset();
+  const Snapshot snapshot{std::span<const Report>(data.reports())};
+  TruthFinder solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(snapshot));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(snapshot.assertions().size()));
+}
+BENCHMARK(BM_TruthFinderSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sstd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Full newsroom pipeline: raw tweets in, truth timelines out.
+//
+// Exercises every front-end stage the paper describes (§V-A data
+// pre-processing): token-level tweets are clustered into claims online
+// (Jaccard-variant K-means), scored for attitude / uncertainty (Naive
+// Bayes hedge classifier) / independence (retweet & near-duplicate
+// detection), and the resulting reports feed the HMM truth discovery.
+//
+//   $ ./newsroom_pipeline
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "sstd/batch.h"
+#include "text/pipeline.h"
+#include "text/vocab.h"
+#include "trace/generator.h"
+
+using namespace sstd;
+
+int main() {
+  auto config = trace::tiny(trace::paris_shooting(), 20'000, 8);
+  trace::TraceGenerator generator(config);
+  const auto tweets = generator.generate_tweets(20'000);
+  std::printf("generated %zu raw tweets\n", tweets.size());
+
+  // Front end: tweets -> scored reports with *discovered* claim ids.
+  text::TextPipeline pipeline;
+  std::vector<Report> reports;
+  reports.reserve(tweets.size());
+  std::uint32_t max_source = 0;
+  for (const auto& tweet : tweets) {
+    reports.push_back(pipeline.process(tweet));
+    max_source = std::max(max_source, tweet.source.value);
+  }
+  std::printf("claim extraction discovered %zu clusters\n",
+              pipeline.num_discovered_claims());
+
+  // How pure is the clustering vs the latent topics?
+  const auto cluster_topic = pipeline.cluster_to_topic();
+  std::unordered_map<std::uint32_t, std::uint64_t> correct_per_cluster;
+  std::uint64_t aligned = 0;
+  for (std::size_t i = 0; i < tweets.size(); ++i) {
+    const std::uint32_t cluster = reports[i].claim.value;
+    const auto it = cluster_topic.find(cluster);
+    if (it != cluster_topic.end() &&
+        it->second == tweets[i].latent_claim.value) {
+      ++aligned;
+    }
+  }
+  std::printf("cluster->topic majority alignment: %.1f%% of tweets\n\n",
+              100.0 * static_cast<double>(aligned) / tweets.size());
+
+  // Attitude / hedge extraction quality against the latent labels.
+  std::uint64_t attitude_ok = 0;
+  std::uint64_t hedge_ok = 0;
+  for (std::size_t i = 0; i < tweets.size(); ++i) {
+    attitude_ok += reports[i].attitude == tweets[i].latent_stance;
+    hedge_ok += (reports[i].uncertainty > 0.5) == tweets[i].latent_hedged;
+  }
+  std::printf("attitude extraction accuracy: %.1f%%\n",
+              100.0 * static_cast<double>(attitude_ok) / tweets.size());
+  std::printf("hedge detection accuracy:     %.1f%%\n\n",
+              100.0 * static_cast<double>(hedge_ok) / tweets.size());
+
+  // Back end: remap each report to its cluster's majority latent topic so
+  // the generator's ground truth applies, then run SSTD.
+  const auto topics = static_cast<std::uint32_t>(
+      text::bombing_topics().size());  // generator maps claims mod topics
+  trace::TraceGenerator labeled_gen(config);
+  const Dataset labeled = labeled_gen.generate();
+
+  Dataset remapped("newsroom", max_source + 1, labeled.num_claims(),
+                   labeled.intervals(), labeled.interval_ms());
+  for (std::uint32_t u = 0; u < labeled.num_claims(); ++u) {
+    remapped.set_ground_truth(ClaimId{u}, labeled.ground_truth(ClaimId{u}));
+  }
+  std::uint64_t mapped = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto it = cluster_topic.find(reports[i].claim.value);
+    if (it == cluster_topic.end()) continue;
+    Report r = reports[i];
+    // latent_claim of the tweet stream is the original claim id space.
+    r.claim = tweets[i].latent_claim;
+    if (r.claim.value >= remapped.num_claims()) continue;
+    remapped.add_report(r);
+    ++mapped;
+  }
+  remapped.finalize();
+  std::printf("feeding %llu pipeline-scored reports into SSTD (%u topics)\n",
+              static_cast<unsigned long long>(mapped), topics);
+
+  SstdBatch sstd;
+  EvalOptions eval;
+  eval.window_ms = remapped.interval_ms();
+  const ConfusionMatrix cm = evaluate(remapped, sstd.run(remapped), eval);
+  std::printf("end-to-end truth discovery from raw text: %s\n",
+              cm.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,215 @@
+// trace_tool: command-line utility for working with social-sensing traces.
+//
+//   trace_tool generate <boston|paris|football> <out.sstd> [reports] [claims]
+//   trace_tool scaffold <boston|paris|football> <out.scenario>
+//   trace_tool generate-from <in.scenario> <out.sstd>
+//   trace_tool stats    <trace.sstd>
+//   trace_tool export   <trace.sstd> <out.csv>
+//   trace_tool eval     <trace.sstd>
+//   trace_tool audit    <trace.sstd> [k]
+//
+// `generate` writes a synthetic trace in the binary dataset format;
+// `stats` prints Table-II-style statistics; `export` converts to CSV
+// (+ .truth.csv sidecar); `eval` runs SSTD and every baseline on the
+// trace and prints the accuracy table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "baselines/baselines.h"
+#include "core/metrics.h"
+#include "core/serialize.h"
+#include "sstd/analytics.h"
+#include "sstd/batch.h"
+#include "trace/generator.h"
+#include "trace/scenario_file.h"
+#include "util/table.h"
+
+using namespace sstd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool generate <boston|paris|football> <out.sstd> "
+               "[reports] [claims]\n"
+               "  trace_tool scaffold <boston|paris|football> "
+               "<out.scenario>\n"
+               "  trace_tool generate-from <in.scenario> <out.sstd>\n"
+               "  trace_tool stats  <trace.sstd>\n"
+               "  trace_tool export <trace.sstd> <out.csv>\n"
+               "  trace_tool eval   <trace.sstd>\n"
+               "  trace_tool audit  <trace.sstd> [k]\n");
+  return 2;
+}
+
+trace::ScenarioConfig scenario_by_name(const char* name) {
+  if (std::strcmp(name, "boston") == 0) return trace::boston_bombing();
+  if (std::strcmp(name, "paris") == 0) return trace::paris_shooting();
+  if (std::strcmp(name, "football") == 0) return trace::college_football();
+  throw std::invalid_argument(std::string("unknown scenario: ") + name);
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto config = scenario_by_name(argv[2]);
+  if (argc > 4) {
+    config = config.scaled_to(std::strtoull(argv[4], nullptr, 10));
+  }
+  if (argc > 5) {
+    config.num_claims =
+        static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 10));
+  }
+  trace::TraceGenerator generator(config);
+  const Dataset data = generator.generate();
+  save_dataset(data, argv[3]);
+  std::printf("wrote %zu reports (%u claims, %u distinct sources) to %s\n",
+              data.num_reports(), data.num_claims(),
+              data.distinct_reporting_sources(), argv[3]);
+  return 0;
+}
+
+int cmd_scaffold(int argc, char** argv) {
+  if (argc < 4) return usage();
+  trace::save_scenario_file(scenario_by_name(argv[2]), argv[3]);
+  std::printf("wrote scenario template to %s (edit, then "
+              "`trace_tool generate-from %s <out.sstd>`)\n",
+              argv[3], argv[3]);
+  return 0;
+}
+
+int cmd_generate_from(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto config = trace::load_scenario_file(argv[2]);
+  trace::TraceGenerator generator(config);
+  const Dataset data = generator.generate();
+  save_dataset(data, argv[3]);
+  std::printf("wrote %zu reports (%u claims, %u distinct sources) to %s\n",
+              data.num_reports(), data.num_claims(),
+              data.distinct_reporting_sources(), argv[3]);
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Dataset data = load_dataset(argv[2]);
+  std::printf("name:      %s\n", data.name().c_str());
+  std::printf("reports:   %zu\n", data.num_reports());
+  std::printf("claims:    %u\n", data.num_claims());
+  std::printf("sources:   %u distinct (id space %u)\n",
+              data.distinct_reporting_sources(), data.num_sources());
+  std::printf("intervals: %d x %lld ms\n", data.intervals(),
+              static_cast<long long>(data.interval_ms()));
+  std::printf("labeled:   %s\n", data.has_ground_truth() ? "yes" : "no");
+  const auto profile = data.traffic_profile();
+  std::uint64_t peak = 0;
+  std::uint64_t total = 0;
+  for (auto count : profile) {
+    peak = std::max<std::uint64_t>(peak, count);
+    total += count;
+  }
+  if (!profile.empty() && total > 0) {
+    std::printf("traffic:   peak/mean = %.1fx\n",
+                static_cast<double>(peak) * profile.size() /
+                    static_cast<double>(total));
+  }
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const Dataset data = load_dataset(argv[2]);
+  export_dataset_csv(data, argv[3]);
+  std::printf("exported %zu reports to %s (+ .truth.csv)\n",
+              data.num_reports(), argv[3]);
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Dataset data = load_dataset(argv[2]);
+  if (!data.has_ground_truth()) {
+    std::fprintf(stderr, "eval: trace has no ground-truth labels\n");
+    return 1;
+  }
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+
+  TextTable table("Truth discovery on " + data.name());
+  table.set_columns({"Method", "Accuracy", "Precision", "Recall", "F1"});
+  auto add = [&](BatchTruthDiscovery& scheme) {
+    const auto cm = evaluate_scheme(scheme, data, eval);
+    table.add_row({scheme.name(), TextTable::num(cm.accuracy()),
+                   TextTable::num(cm.precision()),
+                   TextTable::num(cm.recall()), TextTable::num(cm.f1())});
+  };
+  SstdBatch sstd;
+  add(sstd);
+  for (auto& baseline : make_paper_baselines()) add(*baseline);
+  table.print();
+  return 0;
+}
+
+int cmd_audit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Dataset data = load_dataset(argv[2]);
+  const std::size_t k =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+
+  SstdBatch sstd;
+  const EstimateMatrix estimates = sstd.run(data);
+  const auto worst = least_reliable_sources(data, estimates, k, 4);
+
+  TextTable table("Least reliable sources (vs SSTD estimates)");
+  table.set_columns({"Source", "Reports", "Agreement", "Mean independence",
+                     "Claims"});
+  for (const auto& audit : worst) {
+    table.add_row({std::to_string(audit.source.value),
+                   std::to_string(audit.reports),
+                   TextTable::num(audit.agreement_rate),
+                   TextTable::num(audit.mean_independence),
+                   std::to_string(audit.claims_touched)});
+  }
+  table.print();
+
+  // Most controversial claims.
+  auto controversy = claim_controversy(data, estimates);
+  std::sort(controversy.begin(), controversy.end(),
+            [](const ClaimControversy& a, const ClaimControversy& b) {
+              return a.controversy > b.controversy;
+            });
+  TextTable claims("Most contested claims");
+  claims.set_columns({"Claim", "Reports", "Controversy", "Est. flip rate"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(k, controversy.size());
+       ++i) {
+    const auto& entry = controversy[i];
+    claims.add_row({std::to_string(entry.claim.value),
+                    std::to_string(entry.reports),
+                    TextTable::num(entry.controversy),
+                    TextTable::num(entry.estimate_flip_rate)});
+  }
+  claims.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "scaffold") == 0) return cmd_scaffold(argc, argv);
+    if (std::strcmp(argv[1], "generate-from") == 0) {
+      return cmd_generate_from(argc, argv);
+    }
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+    if (std::strcmp(argv[1], "export") == 0) return cmd_export(argc, argv);
+    if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(argc, argv);
+    if (std::strcmp(argv[1], "audit") == 0) return cmd_audit(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,26 @@
+#include "baselines/baselines.h"
+
+namespace sstd {
+
+std::unique_ptr<BatchTruthDiscovery> make_windowed(
+    std::unique_ptr<StaticSolver> solver, TimestampMs window_ms) {
+  return std::make_unique<WindowedAdapter>(std::move(solver), window_ms);
+}
+
+std::vector<std::unique_ptr<BatchTruthDiscovery>> make_paper_baselines(
+    TimestampMs window_ms) {
+  std::vector<std::unique_ptr<BatchTruthDiscovery>> baselines;
+  baselines.push_back(std::make_unique<DynaTdBatch>());
+  baselines.push_back(
+      make_windowed(std::make_unique<TruthFinder>(), window_ms));
+  RtdOptions rtd;
+  rtd.window_ms = window_ms;
+  baselines.push_back(std::make_unique<Rtd>(rtd));
+  baselines.push_back(make_windowed(std::make_unique<Catd>(), window_ms));
+  baselines.push_back(make_windowed(std::make_unique<Invest>(), window_ms));
+  baselines.push_back(
+      make_windowed(std::make_unique<ThreeEstimates>(), window_ms));
+  return baselines;
+}
+
+}  // namespace sstd

@@ -1,0 +1,31 @@
+// Factory assembling the paper's full baseline lineup (§V-A) behind the
+// BatchTruthDiscovery interface, ready for the evaluation harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/catd.h"
+#include "baselines/dynatd.h"
+#include "baselines/invest.h"
+#include "baselines/majority_vote.h"
+#include "baselines/rtd.h"
+#include "baselines/snapshot.h"
+#include "baselines/three_estimates.h"
+#include "baselines/truthfinder.h"
+#include "baselines/windowed_adapter.h"
+#include "core/truth_discovery.h"
+
+namespace sstd {
+
+// Wraps one static solver in the sliding-window dynamic adapter.
+std::unique_ptr<BatchTruthDiscovery> make_windowed(
+    std::unique_ptr<StaticSolver> solver, TimestampMs window_ms = 0);
+
+// The six baselines compared in Tables III-V, in the paper's order:
+// DynaTD, TruthFinder, RTD, CATD, Invest, 3-Estimates. `window_ms` controls
+// the re-evaluation window for the static schemes (0 = one interval).
+std::vector<std::unique_ptr<BatchTruthDiscovery>> make_paper_baselines(
+    TimestampMs window_ms = 0);
+
+}  // namespace sstd

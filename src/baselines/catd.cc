@@ -1,0 +1,107 @@
+#include "baselines/catd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sstd {
+namespace {
+
+// Inverse standard normal CDF (Acklam's rational approximation, |eps| <
+// 1.15e-9); input q in (0, 1).
+double normal_quantile(double q) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+
+  if (q < p_low) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+            c[5]) /
+           ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  if (q > 1.0 - p_low) {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+             c[5]) /
+           ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  const double u = q - 0.5;
+  const double r = u * u;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         u /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double chi_square_quantile(double q, double degrees_of_freedom) {
+  const double k = std::max(degrees_of_freedom, 1e-9);
+  const double z = normal_quantile(q);
+  // Wilson-Hilferty: chi2_q(k) ~ k * (1 - 2/(9k) + z*sqrt(2/(9k)))^3.
+  // The cube goes (slightly) negative for very small k at low quantiles
+  // where the true quantile is a tiny positive number; floor it.
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return std::max(k * term * term * term, 1e-6);
+}
+
+SnapshotVerdicts Catd::solve(const Snapshot& snapshot) {
+  const std::size_t S = snapshot.num_sources();
+  const std::size_t C = snapshot.num_claims();
+
+  // Bootstrap truth with unweighted voting.
+  std::vector<double> truth(C, 0.0);
+  for (std::size_t c = 0; c < C; ++c) {
+    int tally = 0;
+    for (std::uint32_t idx : snapshot.by_claim()[c]) {
+      tally += snapshot.assertions()[idx].value;
+    }
+    truth[c] = tally > 0 ? 1.0 : -1.0;
+  }
+
+  std::vector<double> weight(S, 1.0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Confidence-aware source weights.
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& asserted = snapshot.by_source()[s];
+      if (asserted.empty()) continue;
+      double loss = options_.smoothing;  // pseudo-error keeps weights finite
+      for (std::uint32_t idx : asserted) {
+        const Assertion& a = snapshot.assertions()[idx];
+        if (a.value * truth[a.claim_index] < 0.0) loss += 1.0;
+      }
+      const double n = static_cast<double>(asserted.size());
+      weight[s] = chi_square_quantile(options_.alpha / 2.0, n) / loss;
+    }
+
+    // Weighted-vote truth update.
+    bool changed = false;
+    for (std::size_t c = 0; c < C; ++c) {
+      double tally = 0.0;
+      for (std::uint32_t idx : snapshot.by_claim()[c]) {
+        const Assertion& a = snapshot.assertions()[idx];
+        tally += weight[a.source_index] * a.value;
+      }
+      const double updated = tally > 0.0 ? 1.0 : -1.0;
+      if (updated != truth[c]) changed = true;
+      truth[c] = updated;
+    }
+    if (!changed) break;
+  }
+
+  SnapshotVerdicts verdicts(C, 0);
+  for (std::size_t c = 0; c < C; ++c) verdicts[c] = truth[c] > 0.0 ? 1 : 0;
+  return verdicts;
+}
+
+}  // namespace sstd

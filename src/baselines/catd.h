@@ -1,0 +1,40 @@
+// CATD (Li et al., VLDB 2014, "A Confidence-Aware Approach for Truth
+// Discovery on Long-Tail Data"; paper §V-A baseline 3). Most sources
+// contribute only a handful of claims, so point estimates of their
+// reliability are unstable; CATD weights each source by the upper bound of
+// a confidence interval on its error instead:
+//
+//   w_s = chi2_{alpha/2}(n_s) / sum_{f in F_s} d(v_{s,f}, x*_f)
+//
+// where n_s = |F_s| and d is the 0/1 loss against the current truth
+// estimate. Truth is then re-estimated by weighted voting, and the two
+// steps alternate. The chi-square quantile is evaluated with the
+// Wilson-Hilferty approximation (no external math library needed).
+#pragma once
+
+#include "baselines/snapshot.h"
+
+namespace sstd {
+
+struct CatdOptions {
+  double alpha = 0.05;      // confidence level of the interval
+  int max_iterations = 15;
+  double smoothing = 0.5;   // pseudo-error added to every source's loss
+};
+
+class Catd final : public StaticSolver {
+ public:
+  explicit Catd(CatdOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "CATD"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+
+ private:
+  CatdOptions options_;
+};
+
+// Lower-tail chi-square quantile chi2_q(k): value x with P(X <= x) = q for
+// X ~ ChiSquare(k). Wilson-Hilferty cube approximation; exposed for tests.
+double chi_square_quantile(double q, double degrees_of_freedom);
+
+}  // namespace sstd

@@ -1,0 +1,58 @@
+#include "baselines/dynatd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sstd {
+
+void DynaTd::offer(const Report& report) {
+  if (report.attitude == 0) return;
+  pending_[report.claim.value].push_back(
+      {report.source.value, report.attitude > 0 ? std::int8_t{1}
+                                                : std::int8_t{-1}});
+}
+
+double DynaTd::source_weight(SourceId source) const {
+  const auto it = error_rate_.find(source.value);
+  const double e = it != error_rate_.end() ? it->second
+                                           : options_.initial_error;
+  return std::log((1.0 - e) / e);
+}
+
+void DynaTd::end_interval(IntervalIndex) {
+  // (1) Decay all existing evidence.
+  for (auto& [claim, score] : score_) score *= options_.evidence_decay;
+
+  // (2) Fold in this interval's weighted votes.
+  for (const auto& [claim, votes] : pending_) {
+    double delta = 0.0;
+    for (const PendingVote& vote : votes) {
+      delta += source_weight(SourceId{vote.source}) * vote.value;
+    }
+    score_[claim] += delta;
+  }
+
+  // (3) Update source error rates against the post-update estimates.
+  for (const auto& [claim, votes] : pending_) {
+    const double truth_sign = score_[claim] > 0.0 ? 1.0 : -1.0;
+    for (const PendingVote& vote : votes) {
+      const double err = vote.value * truth_sign > 0.0 ? 0.0 : 1.0;
+      auto [it, inserted] =
+          error_rate_.try_emplace(vote.source, options_.initial_error);
+      it->second = (1.0 - options_.error_forgetting) * it->second +
+                   options_.error_forgetting * err;
+      it->second =
+          std::clamp(it->second, options_.min_error, options_.max_error);
+    }
+  }
+
+  pending_.clear();
+}
+
+std::int8_t DynaTd::current_estimate(ClaimId claim) const {
+  const auto it = score_.find(claim.value);
+  if (it == score_.end()) return kNoEstimate;
+  return it->second > 0.0 ? 1 : 0;
+}
+
+}  // namespace sstd

@@ -1,0 +1,73 @@
+#include "baselines/invest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sstd {
+
+SnapshotVerdicts Invest::solve(const Snapshot& snapshot) {
+  const std::size_t S = snapshot.num_sources();
+  const std::size_t C = snapshot.num_claims();
+
+  std::vector<double> trust(S, 1.0);
+  std::vector<double> belief_true(C, 0.0);
+  std::vector<double> belief_false(C, 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Invested stake per fact: sum of T(s)/|F_s| over believers.
+    std::vector<double> stake_true(C, 0.0);
+    std::vector<double> stake_false(C, 0.0);
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& asserted = snapshot.by_source()[s];
+      if (asserted.empty()) continue;
+      const double share = trust[s] / static_cast<double>(asserted.size());
+      for (std::uint32_t idx : asserted) {
+        const Assertion& a = snapshot.assertions()[idx];
+        (a.value > 0 ? stake_true : stake_false)[a.claim_index] += share;
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      belief_true[c] = std::pow(stake_true[c], options_.gain);
+      belief_false[c] = std::pow(stake_false[c], options_.gain);
+    }
+
+    // Pay trust back proportional to each source's share of the stake.
+    std::vector<double> updated(S, 0.0);
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& asserted = snapshot.by_source()[s];
+      if (asserted.empty()) continue;
+      const double share = trust[s] / static_cast<double>(asserted.size());
+      for (std::uint32_t idx : asserted) {
+        const Assertion& a = snapshot.assertions()[idx];
+        const double stake = a.value > 0 ? stake_true[a.claim_index]
+                                         : stake_false[a.claim_index];
+        const double belief = a.value > 0 ? belief_true[a.claim_index]
+                                          : belief_false[a.claim_index];
+        if (stake > 0.0) updated[s] += belief * share / stake;
+      }
+    }
+
+    // Normalize so the trust mass stays bounded (the raw recurrence is
+    // scale-free: multiplying all trust by a constant does not change the
+    // verdicts, but it overflows doubles after a few iterations).
+    double peak = 0.0;
+    for (double t : updated) peak = std::max(peak, t);
+    if (peak <= 0.0) break;
+    double max_delta = 0.0;
+    for (std::size_t s = 0; s < S; ++s) {
+      updated[s] /= peak;
+      max_delta = std::max(max_delta, std::fabs(updated[s] - trust[s]));
+    }
+    trust.swap(updated);
+    if (max_delta < options_.tolerance) break;
+  }
+
+  SnapshotVerdicts verdicts(C, 0);
+  for (std::size_t c = 0; c < C; ++c) {
+    verdicts[c] = belief_true[c] > belief_false[c] ? 1 : 0;
+  }
+  return verdicts;
+}
+
+}  // namespace sstd

@@ -1,0 +1,35 @@
+// Invest (Pasternack & Roth, COLING 2010; paper §V-A baseline 4). Sources
+// "invest" their trust uniformly across the facts they assert; fact
+// credibility grows with invested trust through a non-linear gain
+// G(x) = x^g, and sources earn trust back proportional to their share of
+// each fact's credibility:
+//
+//   invest:   B(f) = G( sum_{s in S_f} T(s) / |F_s| )
+//   payback:  T(s) = sum_{f in F_s} B(f) * (T(s)/|F_s|)
+//                                       / (sum_{s' in S_f} T(s')/|F_s'|)
+//
+// Binary adaptation: the two truth values of a claim are competing facts.
+#pragma once
+
+#include "baselines/snapshot.h"
+
+namespace sstd {
+
+struct InvestOptions {
+  double gain = 1.2;         // g in G(x) = x^g
+  int max_iterations = 20;
+  double tolerance = 1e-6;
+};
+
+class Invest final : public StaticSolver {
+ public:
+  explicit Invest(InvestOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Invest"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+
+ private:
+  InvestOptions options_;
+};
+
+}  // namespace sstd

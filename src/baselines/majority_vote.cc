@@ -1,0 +1,30 @@
+#include "baselines/majority_vote.h"
+
+namespace sstd {
+
+SnapshotVerdicts MajorityVote::solve(const Snapshot& snapshot) {
+  SnapshotVerdicts verdicts(snapshot.num_claims(), 0);
+  for (std::uint32_t c = 0; c < snapshot.num_claims(); ++c) {
+    int tally = 0;
+    for (std::uint32_t idx : snapshot.by_claim()[c]) {
+      tally += snapshot.assertions()[idx].value;
+    }
+    verdicts[c] = tally > 0 ? 1 : 0;
+  }
+  return verdicts;
+}
+
+SnapshotVerdicts WeightedVote::solve(const Snapshot& snapshot) {
+  SnapshotVerdicts verdicts(snapshot.num_claims(), 0);
+  for (std::uint32_t c = 0; c < snapshot.num_claims(); ++c) {
+    double tally = 0.0;
+    for (std::uint32_t idx : snapshot.by_claim()[c]) {
+      const Assertion& a = snapshot.assertions()[idx];
+      tally += a.weight * a.value;
+    }
+    verdicts[c] = tally > 0.0 ? 1 : 0;
+  }
+  return verdicts;
+}
+
+}  // namespace sstd

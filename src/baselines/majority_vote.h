@@ -1,0 +1,25 @@
+// Majority voting: the simple heuristic reference the paper contrasts with
+// model-based truth discovery (§II: "simple heuristic algorithms such as
+// Majority Voting and Median are very fast but the truth discovery accuracy
+// is quite low").
+#pragma once
+
+#include "baselines/snapshot.h"
+
+namespace sstd {
+
+class MajorityVote final : public StaticSolver {
+ public:
+  std::string name() const override { return "MajorityVote"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+};
+
+// Weighted variant: votes carry their contribution-score mass instead of
+// counting heads; used by the contribution-score ablation (bench A3).
+class WeightedVote final : public StaticSolver {
+ public:
+  std::string name() const override { return "WeightedVote"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+};
+
+}  // namespace sstd

@@ -1,0 +1,112 @@
+#include "baselines/rtd.h"
+
+#include <deque>
+
+namespace sstd {
+
+EstimateMatrix Rtd::run(const Dataset& data) {
+  const TimestampMs window =
+      options_.window_ms > 0 ? options_.window_ms : data.interval_ms();
+
+  EstimateMatrix estimates(
+      data.num_claims(),
+      std::vector<std::int8_t>(data.intervals(), kNoEstimate));
+
+  // Historical reliability pseudo-counts, persistent across windows.
+  std::vector<double> hits(data.num_sources(), 0.0);
+  std::vector<double> misses(data.num_sources(), 0.0);
+  auto reliability = [&](std::uint32_t source) {
+    return (options_.prior_hits + hits[source]) /
+           (options_.prior_hits + options_.prior_misses + hits[source] +
+            misses[source]);
+  };
+
+  const auto& reports = data.reports();
+  std::deque<Report> window_reports;
+  std::size_t next = 0;
+  std::vector<std::int8_t> last(data.num_claims(), kNoEstimate);
+
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    const TimestampMs end =
+        static_cast<TimestampMs>(k + 1) * data.interval_ms();
+    while (next < reports.size() && reports[next].time_ms < end) {
+      window_reports.push_back(reports[next]);
+      ++next;
+    }
+    const TimestampMs cutoff = end - 1 - window;
+    while (!window_reports.empty() &&
+           window_reports.front().time_ms <= cutoff) {
+      window_reports.pop_front();
+    }
+
+    std::vector<Report> scratch(window_reports.begin(), window_reports.end());
+    const Snapshot snapshot{std::span<const Report>(scratch)};
+
+    if (snapshot.num_claims() > 0) {
+      // Alternate independence-discounted weighted voting with reliability
+      // refinement inside the window.
+      std::vector<double> truth(snapshot.num_claims(), 0.0);
+      std::vector<double> local_weight(snapshot.num_sources());
+      for (std::uint32_t s = 0; s < snapshot.num_sources(); ++s) {
+        local_weight[s] = reliability(snapshot.source_at(s).value);
+      }
+      for (int iter = 0; iter < options_.inner_iterations; ++iter) {
+        for (std::uint32_t c = 0; c < snapshot.num_claims(); ++c) {
+          double tally = 0.0;
+          for (std::uint32_t idx : snapshot.by_claim()[c]) {
+            const Assertion& a = snapshot.assertions()[idx];
+            // a.weight = |sum CS| carries (1-kappa)*eta: hedged or copied
+            // assertions count less (robustness to misinformation bursts).
+            tally += local_weight[a.source_index] * a.weight * a.value;
+          }
+          truth[c] = tally;
+        }
+        // Local reliability refinement against the window's own verdicts.
+        for (std::uint32_t s = 0; s < snapshot.num_sources(); ++s) {
+          double agree = 0.0;
+          double total = 0.0;
+          for (std::uint32_t idx : snapshot.by_source()[s]) {
+            const Assertion& a = snapshot.assertions()[idx];
+            if (truth[a.claim_index] == 0.0) continue;
+            total += 1.0;
+            if (a.value * truth[a.claim_index] > 0.0) agree += 1.0;
+          }
+          const double historical = reliability(snapshot.source_at(s).value);
+          // Blend window evidence with the historical Beta posterior; the
+          // posterior dominates for sparse sources.
+          local_weight[s] = total > 0.0
+                                ? (agree + historical * 4.0) / (total + 4.0)
+                                : historical;
+        }
+      }
+
+      // Commit verdicts and update historical pseudo-counts.
+      for (std::uint32_t c = 0; c < snapshot.num_claims(); ++c) {
+        last[snapshot.claim_at(c).value] = truth[c] > 0.0 ? 1 : 0;
+      }
+      for (const Assertion& a : snapshot.assertions()) {
+        if (truth[a.claim_index] == 0.0) continue;
+        const std::uint32_t raw = snapshot.source_at(a.source_index).value;
+        if (a.value * truth[a.claim_index] > 0.0) {
+          hits[raw] += a.weight;
+        } else {
+          misses[raw] += a.weight;
+        }
+      }
+    }
+
+    if (options_.carry_forward) {
+      for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+        estimates[u][k] = last[u];
+      }
+    } else {
+      for (std::uint32_t c = 0; c < snapshot.num_claims(); ++c) {
+        const std::uint32_t u = snapshot.claim_at(c).value;
+        estimates[u][k] = last[u];
+      }
+    }
+  }
+  return estimates;
+}
+
+}  // namespace sstd

@@ -1,0 +1,47 @@
+// RTD (Zhang, Han, Wang, IEEE BigData 2016, "On Robust Truth Discovery in
+// Sparse Social Media Sensing"; paper §V-A baseline 2). Two ideas:
+//
+//  1. Sparsity: most sources contribute very few claims, so reliability is
+//     a Beta-posterior estimate with a prior, accumulated over the source's
+//     *historical* claims across all windows seen so far — not just the
+//     current one.
+//  2. Robustness to misinformation: widely-copied content should not count
+//     as independent confirmations, so each vote is discounted by the
+//     report's independence score (the Snapshot assertion weight carries
+//     (1 - kappa) * eta mass).
+//
+// Per window: truth = sign of sum_s w_s * weight_{s,u} * v_{s,u}, with
+// w_s = (a0 + hits_s) / (a0 + b0 + hits_s + misses_s); the hit/miss
+// pseudo-counts update against the window's estimates and persist across
+// windows (this is what makes RTD "use the historical claims of each
+// source", §V-A). Re-implementation from the published description; see
+// DESIGN.md §2.
+#pragma once
+
+#include <vector>
+
+#include "baselines/snapshot.h"
+#include "core/truth_discovery.h"
+
+namespace sstd {
+
+struct RtdOptions {
+  double prior_hits = 4.0;    // a0: optimistic Beta prior (most sources try
+  double prior_misses = 1.0;  // b0: to tell the truth)
+  int inner_iterations = 5;   // truth/reliability alternations per window
+  TimestampMs window_ms = 0;  // 0 => one dataset interval
+  bool carry_forward = true;
+};
+
+class Rtd final : public BatchTruthDiscovery {
+ public:
+  explicit Rtd(RtdOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "RTD"; }
+  EstimateMatrix run(const Dataset& data) override;
+
+ private:
+  RtdOptions options_;
+};
+
+}  // namespace sstd

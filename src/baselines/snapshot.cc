@@ -1,0 +1,51 @@
+#include "baselines/snapshot.h"
+
+#include <cmath>
+
+namespace sstd {
+
+Snapshot::Snapshot(std::span<const Report> reports) {
+  // Aggregate contribution mass per (source, claim) pair.
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint32_t, std::uint32_t>& p)
+        const noexcept {
+      return (static_cast<std::size_t>(p.first) << 32) ^ p.second;
+    }
+  };
+  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, double, PairHash>
+      mass;
+  mass.reserve(reports.size());
+  for (const auto& r : reports) {
+    if (r.attitude == 0) continue;
+    mass[{r.source.value, r.claim.value}] += contribution_score(r);
+  }
+
+  std::unordered_map<std::uint32_t, std::uint32_t> source_index;
+  std::unordered_map<std::uint32_t, std::uint32_t> claim_index;
+  assertions_.reserve(mass.size());
+  for (const auto& [key, total] : mass) {
+    if (total == 0.0) continue;  // affirmations and denials cancelled out
+    auto [src_it, src_new] =
+        source_index.try_emplace(key.first, sources_.size());
+    if (src_new) sources_.push_back(SourceId{key.first});
+    auto [clm_it, clm_new] =
+        claim_index.try_emplace(key.second, claims_.size());
+    if (clm_new) claims_.push_back(ClaimId{key.second});
+
+    Assertion a;
+    a.source_index = src_it->second;
+    a.claim_index = clm_it->second;
+    a.value = total > 0.0 ? 1 : -1;
+    a.weight = std::fabs(total);
+    assertions_.push_back(a);
+  }
+
+  by_claim_.resize(claims_.size());
+  by_source_.resize(sources_.size());
+  for (std::uint32_t i = 0; i < assertions_.size(); ++i) {
+    by_claim_[assertions_[i].claim_index].push_back(i);
+    by_source_[assertions_[i].source_index].push_back(i);
+  }
+}
+
+}  // namespace sstd

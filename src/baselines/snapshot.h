@@ -1,0 +1,79 @@
+// Snapshot: the source-claim assertion matrix a *static* truth-discovery
+// algorithm consumes. The dynamic-evaluation adapter (windowed_adapter.h)
+// builds one snapshot per interval from the reports inside a sliding
+// window, mirroring how the paper feeds batch baselines "5 seconds of data
+// each time periodically" (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.h"
+#include "core/types.h"
+
+namespace sstd {
+
+// One deduplicated source->claim assertion: value is +1 ("claim true") or
+// -1 ("claim false"). `weight` carries the report's certainty*independence
+// mass for algorithms that can use it (RTD); plain voters ignore it.
+struct Assertion {
+  std::uint32_t source_index;  // dense index into Snapshot::sources()
+  std::uint32_t claim_index;   // dense index into Snapshot::claims()
+  std::int8_t value;
+  double weight;
+};
+
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  // Builds a snapshot from reports (any order). Multiple reports by the
+  // same source about the same claim collapse into one assertion whose
+  // value is the sign of the summed contribution scores (a source that
+  // both affirmed and denied nets out; exact zero drops the assertion).
+  explicit Snapshot(std::span<const Report> reports);
+
+  const std::vector<Assertion>& assertions() const { return assertions_; }
+  std::size_t num_sources() const { return sources_.size(); }
+  std::size_t num_claims() const { return claims_.size(); }
+
+  SourceId source_at(std::uint32_t dense_index) const {
+    return sources_[dense_index];
+  }
+  ClaimId claim_at(std::uint32_t dense_index) const {
+    return claims_[dense_index];
+  }
+
+  // Assertions grouped by claim / by source (indices into assertions()).
+  const std::vector<std::vector<std::uint32_t>>& by_claim() const {
+    return by_claim_;
+  }
+  const std::vector<std::vector<std::uint32_t>>& by_source() const {
+    return by_source_;
+  }
+
+ private:
+  std::vector<Assertion> assertions_;
+  std::vector<SourceId> sources_;
+  std::vector<ClaimId> claims_;
+  std::vector<std::vector<std::uint32_t>> by_claim_;
+  std::vector<std::vector<std::uint32_t>> by_source_;
+};
+
+// Per-claim verdicts of a static solver, keyed by dense claim index;
+// values in {0, 1}.
+using SnapshotVerdicts = std::vector<std::int8_t>;
+
+// Interface implemented by the stateless static baselines (TruthFinder,
+// Invest, 3-Estimates, CATD, MajorityVote).
+class StaticSolver {
+ public:
+  virtual ~StaticSolver() = default;
+  virtual std::string name() const = 0;
+  virtual SnapshotVerdicts solve(const Snapshot& snapshot) = 0;
+};
+
+}  // namespace sstd

@@ -1,0 +1,86 @@
+#include "baselines/three_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sstd {
+
+SnapshotVerdicts ThreeEstimates::solve(const Snapshot& snapshot) {
+  const std::size_t S = snapshot.num_sources();
+  const std::size_t C = snapshot.num_claims();
+
+  std::vector<double> source_error(S, options_.initial_error);
+  std::vector<double> hardness(C, options_.initial_hardness);
+  std::vector<double> truth(C, 0.0);  // soft truth in [-1, 1]
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // (1) Truth estimate given error rates and hardness.
+    double max_delta = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      double numerator = 0.0;
+      double denominator = 0.0;
+      for (std::uint32_t idx : snapshot.by_claim()[c]) {
+        const Assertion& a = snapshot.assertions()[idx];
+        // Probability the vote is correct: 1 - eps_s * theta_f.
+        const double confidence = std::clamp(
+            1.0 - source_error[a.source_index] * hardness[c], 0.0, 1.0);
+        numerator += a.value * (2.0 * confidence - 1.0);
+        denominator += 1.0;
+      }
+      const double updated =
+          denominator > 0.0 ? numerator / denominator : 0.0;
+      max_delta = std::max(max_delta, std::fabs(updated - truth[c]));
+      truth[c] = updated;
+    }
+
+    // (2) Fact hardness: mean (soft) disagreement on the fact.
+    for (std::size_t c = 0; c < C; ++c) {
+      const auto& voters = snapshot.by_claim()[c];
+      if (voters.empty()) continue;
+      double err = 0.0;
+      for (std::uint32_t idx : voters) {
+        const Assertion& a = snapshot.assertions()[idx];
+        err += 0.5 * (1.0 - a.value * truth[c]);
+      }
+      hardness[c] = err / static_cast<double>(voters.size());
+    }
+    // Max-normalize hardness into (0, 1] as in the original paper's
+    // normalization step; keeps eps*theta identifiable.
+    double hardness_peak = 0.0;
+    for (double h : hardness) hardness_peak = std::max(hardness_peak, h);
+    if (hardness_peak > 0.0) {
+      for (double& h : hardness) h /= hardness_peak;
+    }
+
+    // (3) Source error rates: mean disagreement discounted by hardness
+    // (being wrong on a hard fact is weak evidence of unreliability).
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& asserted = snapshot.by_source()[s];
+      if (asserted.empty()) continue;
+      double err = 0.0;
+      double weight = 0.0;
+      for (std::uint32_t idx : asserted) {
+        const Assertion& a = snapshot.assertions()[idx];
+        const double disagreement = 0.5 * (1.0 - a.value * truth[a.claim_index]);
+        const double easiness = 1.0 - hardness[a.claim_index] + 1e-6;
+        err += disagreement * easiness;
+        weight += easiness;
+      }
+      source_error[s] = weight > 0.0 ? err / weight : options_.initial_error;
+    }
+    double error_peak = 0.0;
+    for (double e : source_error) error_peak = std::max(error_peak, e);
+    if (error_peak > 1.0) {
+      for (double& e : source_error) e /= error_peak;
+    }
+
+    if (max_delta < options_.tolerance) break;
+  }
+
+  SnapshotVerdicts verdicts(C, 0);
+  for (std::size_t c = 0; c < C; ++c) verdicts[c] = truth[c] > 0.0 ? 1 : 0;
+  return verdicts;
+}
+
+}  // namespace sstd

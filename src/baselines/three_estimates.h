@@ -1,0 +1,40 @@
+// 3-Estimates (Galland, Abiteboul, Marian, Senellart, WSDM 2010; paper
+// §V-A baseline 6). Jointly estimates three quantities: the truth of each
+// fact, the error rate of each source, and the "hardness" (difficulty) of
+// each fact. A source being wrong on a hard fact is penalized less than
+// being wrong on an easy one:
+//
+//   truth_f  = sum_s v_{s,f} * (1 - eps_s * theta_f)  (normalized to [-1,1])
+//   err(s,f) = soft disagreement between v_{s,f} and sign(truth_f)
+//   theta_f  = normalized mean error on f     (fact hardness)
+//   eps_s    = normalized mean error of s     (source error rate)
+//
+// with the original paper's max-normalization steps keeping both estimates
+// inside [0, 1]. Re-implementation follows the published structure; see
+// DESIGN.md §2.
+#pragma once
+
+#include "baselines/snapshot.h"
+
+namespace sstd {
+
+struct ThreeEstimatesOptions {
+  double initial_error = 0.1;
+  double initial_hardness = 0.4;
+  int max_iterations = 20;
+  double tolerance = 1e-4;
+};
+
+class ThreeEstimates final : public StaticSolver {
+ public:
+  explicit ThreeEstimates(ThreeEstimatesOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "3-Estimates"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+
+ private:
+  ThreeEstimatesOptions options_;
+};
+
+}  // namespace sstd

@@ -1,0 +1,68 @@
+#include "baselines/truthfinder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sstd {
+
+SnapshotVerdicts TruthFinder::solve(const Snapshot& snapshot) {
+  const std::size_t S = snapshot.num_sources();
+  const std::size_t C = snapshot.num_claims();
+  // Trust is capped below 1 so tau = -ln(1 - t) stays finite.
+  constexpr double kMaxTrust = 1.0 - 1e-6;
+
+  std::vector<double> trust(S, options_.initial_trust);
+  // Fact scores for the two facts of each claim: [c][0] = "false" fact,
+  // [c][1] = "true" fact.
+  std::vector<double> confidence_true(C, 0.5);
+  std::vector<double> confidence_false(C, 0.5);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Fact scores from source trust.
+    for (std::size_t c = 0; c < C; ++c) {
+      double sigma_true = 0.0;
+      double sigma_false = 0.0;
+      for (std::uint32_t idx : snapshot.by_claim()[c]) {
+        const Assertion& a = snapshot.assertions()[idx];
+        const double t = std::min(trust[a.source_index], kMaxTrust);
+        const double tau = -std::log(1.0 - t);
+        (a.value > 0 ? sigma_true : sigma_false) += tau;
+      }
+      // Mutual exclusion: belief in one fact is evidence against the other.
+      const double adj_true =
+          sigma_true - options_.implication * sigma_false;
+      const double adj_false =
+          sigma_false - options_.implication * sigma_true;
+      confidence_true[c] =
+          1.0 / (1.0 + std::exp(-options_.dampening * adj_true));
+      confidence_false[c] =
+          1.0 / (1.0 + std::exp(-options_.dampening * adj_false));
+    }
+
+    // Source trust from fact confidence.
+    double max_delta = 0.0;
+    for (std::size_t s = 0; s < S; ++s) {
+      const auto& asserted = snapshot.by_source()[s];
+      if (asserted.empty()) continue;
+      double total = 0.0;
+      for (std::uint32_t idx : asserted) {
+        const Assertion& a = snapshot.assertions()[idx];
+        total += a.value > 0 ? confidence_true[a.claim_index]
+                             : confidence_false[a.claim_index];
+      }
+      const double updated = total / static_cast<double>(asserted.size());
+      max_delta = std::max(max_delta, std::fabs(updated - trust[s]));
+      trust[s] = updated;
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+
+  SnapshotVerdicts verdicts(C, 0);
+  for (std::size_t c = 0; c < C; ++c) {
+    verdicts[c] = confidence_true[c] > confidence_false[c] ? 1 : 0;
+  }
+  return verdicts;
+}
+
+}  // namespace sstd

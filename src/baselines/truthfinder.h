@@ -1,0 +1,38 @@
+// TruthFinder (Yin, Han, Yu, TKDE 2008): the first formal truth-discovery
+// algorithm (paper §V-A baseline 1). Iteratively propagates between source
+// trustworthiness and fact confidence using a pseudo-probabilistic model:
+//
+//   tau(s)   = -ln(1 - t(s))                       (trust score)
+//   sigma(f) = sum_{s asserts f} tau(s)            (fact score)
+//   sigma*(f)= sigma(f) + rho * sum_{f' != f} sigma(f') * imp(f' -> f)
+//   s(f)     = 1 / (1 + exp(-gamma * sigma*(f)))   (fact confidence)
+//   t(s)     = mean of s(f) over facts s asserts
+//
+// Binary adaptation: each claim contributes two mutually exclusive facts
+// ("true" / "false") with implication imp = -1 between them.
+#pragma once
+
+#include "baselines/snapshot.h"
+
+namespace sstd {
+
+struct TruthFinderOptions {
+  double initial_trust = 0.9;
+  double dampening = 0.3;    // gamma: compensates correlated sources
+  double implication = 0.5;  // rho: weight of mutual-exclusion evidence
+  int max_iterations = 20;
+  double tolerance = 1e-4;   // stop when max trust delta drops below
+};
+
+class TruthFinder final : public StaticSolver {
+ public:
+  explicit TruthFinder(TruthFinderOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "TruthFinder"; }
+  SnapshotVerdicts solve(const Snapshot& snapshot) override;
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace sstd

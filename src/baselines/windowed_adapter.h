@@ -1,0 +1,33 @@
+// Adapts a static (single-snapshot) truth-discovery solver to the dynamic
+// evaluation protocol: at every interval boundary it re-runs the solver on
+// the reports inside a sliding window and records per-claim estimates.
+// This is the standard way static baselines are applied to evolving-truth
+// streams (paper §V-B: batch schemes periodically reprocess recent data).
+#pragma once
+
+#include <memory>
+
+#include "baselines/snapshot.h"
+#include "core/truth_discovery.h"
+
+namespace sstd {
+
+class WindowedAdapter final : public BatchTruthDiscovery {
+ public:
+  // `window_ms` == 0 means "use one interval" of the dataset at run time.
+  // When `carry_forward` is set, a claim with no assertions in the current
+  // window keeps its previous verdict (a batch system's last output stands
+  // until replaced); otherwise such cells stay kNoEstimate.
+  WindowedAdapter(std::unique_ptr<StaticSolver> solver, TimestampMs window_ms,
+                  bool carry_forward = true);
+
+  std::string name() const override;
+  EstimateMatrix run(const Dataset& data) override;
+
+ private:
+  std::unique_ptr<StaticSolver> solver_;
+  TimestampMs window_ms_;
+  bool carry_forward_;
+};
+
+}  // namespace sstd

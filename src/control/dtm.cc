@@ -1,0 +1,98 @@
+#include "control/dtm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sstd::control {
+
+DynamicTaskManager::DynamicTaskManager(DtmConfig config)
+    : config_(config), wcet_(config.wcet) {}
+
+void DynamicTaskManager::register_job(dist::JobId job, double deadline_s) {
+  JobState state;
+  state.deadline_s = deadline_s;
+  state.pid = PidController(config_.gains);
+  jobs_.insert_or_assign(job, std::move(state));
+}
+
+void DynamicTaskManager::complete_job(dist::JobId job) { jobs_.erase(job); }
+
+double DynamicTaskManager::priority(dist::JobId job) const {
+  const auto it = jobs_.find(job);
+  return it != jobs_.end() ? it->second.weight : 1.0;
+}
+
+DtmDecision DynamicTaskManager::sample(
+    double now,
+    const std::unordered_map<dist::JobId, double>& remaining_data,
+    std::size_t workers) {
+  DtmDecision decision;
+  decision.worker_target = workers;
+  if (jobs_.empty()) return decision;
+
+  double total_weight = 0.0;
+  for (const auto& [_, state] : jobs_) total_weight += state.weight;
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  double positive_signal = 0.0;
+  double total_signal = 0.0;
+  double min_relative_slack = std::numeric_limits<double>::infinity();
+  for (auto& [job, state] : jobs_) {
+    const auto it = remaining_data.find(job);
+    const double remaining = it != remaining_data.end() ? it->second : 0.0;
+
+    // Projected completion via Eq. 12, with this job's current share of
+    // the priority mass standing in for P_u.
+    const double share = state.weight / total_weight;
+    const double projected_finish =
+        now + wcet_.wcet_simplified_s(remaining, share, workers);
+    const double error = projected_finish - state.deadline_s;
+    const double signal = state.pid.step(error, config_.sample_period_s);
+    total_signal += signal;
+    if (signal > 0.0) positive_signal += signal;
+
+    const double horizon = std::max(state.deadline_s - now, 1e-6);
+    min_relative_slack =
+        std::min(min_relative_slack, -error / horizon);
+
+    // LCK: multiplicative weight update, bounded so one runaway job cannot
+    // starve the rest forever. tanh softens large PID excursions.
+    state.weight *= std::exp(config_.theta3 * std::tanh(signal / 10.0));
+    state.weight = std::clamp(state.weight, 1e-3, 1e3);
+
+    decision.priorities.emplace_back(job, state.weight);
+  }
+
+  // GCK — asymmetric on purpose. Missing a deadline is expensive while an
+  // idle worker is cheap, so the pool grows proportionally to the summed
+  // lateness pressure but shrinks by at most one worker per sample, and
+  // only when every job is projected to finish with >50% of its remaining
+  // deadline budget to spare.
+  decision.total_lateness_signal = total_signal;
+  long long target = static_cast<long long>(workers);
+  if (positive_signal > 0.0) {
+    comfortable_samples_ = 0;
+    const double normalized =
+        positive_signal /
+        static_cast<double>(std::max<std::size_t>(1, jobs_.size()));
+    target += std::max<long long>(
+        1, static_cast<long long>(std::llround(
+               config_.theta4 * std::tanh(normalized / 10.0) *
+               static_cast<double>(workers))));
+  } else if (min_relative_slack > 0.5) {
+    if (++comfortable_samples_ >= config_.scale_down_patience) {
+      target -= 1;
+      comfortable_samples_ = 0;
+    }
+  } else {
+    comfortable_samples_ = 0;
+  }
+  target = std::clamp<long long>(
+      target, static_cast<long long>(config_.min_workers),
+      static_cast<long long>(config_.max_workers));
+  decision.worker_target = static_cast<std::size_t>(target);
+  return decision;
+}
+
+}  // namespace sstd::control

@@ -1,0 +1,85 @@
+// Dynamic Task Manager (paper §IV-B/C, Fig. 2 & 3): the Work Queue master
+// component that watches every TD job's progress against its soft deadline
+// and steers two knobs —
+//
+//   LCK (Local Control Knob):  per-job priority / task share
+//   GCK (Global Control Knob): worker-pool size
+//
+// One PID controller per job turns the deadline error into a control
+// signal (Eq. 9); the DTM converts signals into multiplicative priority
+// updates (theta3) and pool resizing (theta4). theta3=2.0 and theta4=1.5
+// follow the paper's heuristic tuning (§V-A3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "control/pid.h"
+#include "control/wcet.h"
+#include "dist/task.h"
+
+namespace sstd::control {
+
+struct DtmConfig {
+  PidGains gains;                 // paper defaults Kp=1.2 Ki=0.3 Kd=0.2
+  double sample_period_s = 1.0;   // §IV-C3: sampling rate of 1 second
+  double theta3 = 2.0;            // LCK update gain
+  double theta4 = 1.5;            // GCK update gain
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 128;
+
+  // Scale-down hysteresis: the pool shrinks (by one) only after this many
+  // consecutive samples in which every job had >50% of its deadline budget
+  // to spare. Scale-up is immediate — a missed deadline costs more than an
+  // idle worker.
+  int scale_down_patience = 3;
+
+  WcetParams wcet;
+};
+
+// The DTM's verdict for one sampling step; the runtime driver applies it
+// to the cluster (simulated or threaded).
+struct DtmDecision {
+  std::vector<std::pair<dist::JobId, double>> priorities;  // LCK
+  std::size_t worker_target = 1;                           // GCK
+  double total_lateness_signal = 0.0;                      // diagnostics
+};
+
+class DynamicTaskManager {
+ public:
+  explicit DynamicTaskManager(DtmConfig config = {});
+
+  // Registers a TD job with its soft deadline (absolute sim time).
+  void register_job(dist::JobId job, double deadline_s);
+  void complete_job(dist::JobId job);
+  bool has_job(dist::JobId job) const { return jobs_.contains(job); }
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  // Current priority weight of a job (what new tasks are submitted with).
+  double priority(dist::JobId job) const;
+
+  // One control sample at time `now`. `remaining_data[job]` is the data
+  // volume still queued/unprocessed for the job; `workers` the current
+  // pool size. Updates the internal PIDs and returns the knob settings.
+  DtmDecision sample(
+      double now,
+      const std::unordered_map<dist::JobId, double>& remaining_data,
+      std::size_t workers);
+
+  const WcetModel& wcet() const { return wcet_; }
+
+ private:
+  struct JobState {
+    double deadline_s = 0.0;
+    double weight = 1.0;  // LCK priority weight
+    PidController pid;
+  };
+
+  DtmConfig config_;
+  WcetModel wcet_;
+  std::unordered_map<dist::JobId, JobState> jobs_;
+  int comfortable_samples_ = 0;
+};
+
+}  // namespace sstd::control

@@ -1,0 +1,31 @@
+#include "control/pid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sstd::control {
+
+double PidController::step(double error, double dt) {
+  if (dt <= 0.0) dt = 1e-6;
+
+  integral_ += error * dt;
+  if (gains_.ki > 0.0) {
+    const double cap = gains_.integral_limit / gains_.ki;
+    integral_ = std::clamp(integral_, -cap, cap);
+  }
+
+  const double derivative =
+      has_previous_ ? (error - previous_error_) / dt : 0.0;
+  previous_error_ = error;
+  has_previous_ = true;
+
+  return gains_.kp * error + gains_.ki * integral_ + gains_.kd * derivative;
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  previous_error_ = 0.0;
+  has_previous_ = false;
+}
+
+}  // namespace sstd::control

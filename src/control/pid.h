@@ -1,0 +1,42 @@
+// PID feedback controller (paper §IV-C3, Eq. 9):
+//
+//   y(k) = Kp e(k) + Ki sum_0^k e(k) dt + Kd (e(k) - e(k-1)) / dt
+//
+// The SSTD scheme uses one controller per TD job with the job's deadline
+// as the setpoint and its (projected) completion time as the measured
+// process variable. The paper's tuned coefficients are Kp=1.2, Ki=0.3,
+// Kd=0.2 (§V-A3), which are this struct's defaults.
+#pragma once
+
+namespace sstd::control {
+
+struct PidGains {
+  double kp = 1.2;
+  double ki = 0.3;
+  double kd = 0.2;
+
+  // Anti-windup clamp on the integral term's contribution (|Ki * I|).
+  double integral_limit = 50.0;
+};
+
+class PidController {
+ public:
+  explicit PidController(PidGains gains = {}) : gains_(gains) {}
+
+  // One control step with error e = measured - setpoint over `dt` seconds.
+  // Positive error (projected finish past the deadline) yields a positive
+  // signal — "speed this job up".
+  double step(double error, double dt);
+
+  void reset();
+
+  double integral() const { return integral_; }
+
+ private:
+  PidGains gains_;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  bool has_previous_ = false;
+};
+
+}  // namespace sstd::control

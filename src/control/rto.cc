@@ -1,0 +1,97 @@
+#include "control/rto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sstd::control {
+
+RtoResult RtoAllocator::allocate(const std::vector<RtoJob>& jobs,
+                                 double now) const {
+  RtoResult result;
+  result.workers = options_.min_workers;
+  if (jobs.empty()) return result;
+
+  // Required capacity w_u = D_u * theta2 / slack_u for every job with a
+  // live deadline. A non-positive slack means the deadline is already
+  // blown: the job is infeasible but still deserves capacity, so it gets
+  // the capacity it would need to finish within one more WCET-quantum
+  // (heuristic: slack floor of 5% of a second).
+  constexpr double kSlackFloor = 0.05;
+  std::vector<double> required(jobs.size());
+  double total_required = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double slack = jobs[i].deadline_s - now;
+    const double effective = std::max(slack, kSlackFloor);
+    const double work =
+        wcet_.task_init_s + jobs[i].data_size * wcet_.theta2;
+    required[i] = work / effective;
+    // A job cannot use more workers than it has tasks: past that point
+    // extra capacity is wasted on it, so the demand is capped (this is
+    // what keeps the pool from ballooning on already-hopeless jobs).
+    if (options_.max_parallelism_per_job > 0.0) {
+      required[i] = std::min(required[i], options_.max_parallelism_per_job);
+    }
+    total_required += required[i];
+  }
+
+  // Minimal integer pool meeting every constraint (Eq. 12 rearranged).
+  const double continuous =
+      std::max(total_required, static_cast<double>(options_.min_workers));
+  std::size_t workers = static_cast<std::size_t>(std::ceil(continuous - 1e-9));
+  workers = std::clamp(workers, options_.min_workers, options_.max_workers);
+  result.workers = workers;
+
+  // Optimal shares are the normalized requirements.
+  const double norm = total_required > 0.0 ? total_required
+                                           : static_cast<double>(jobs.size());
+  result.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    RtoAllocation& alloc = result.jobs[i];
+    alloc.job = jobs[i].job;
+    alloc.share = total_required > 0.0
+                      ? required[i] / norm
+                      : 1.0 / static_cast<double>(jobs.size());
+    // Feasibility at the chosen (possibly clamped) pool size, including
+    // the indivisibility bound when per-job parallelism is capped.
+    const double slack = jobs[i].deadline_s - now;
+    const double capacity = std::min(
+        static_cast<double>(workers) * std::max(alloc.share, 1e-12),
+        options_.max_parallelism_per_job > 0.0
+            ? options_.max_parallelism_per_job
+            : static_cast<double>(workers));
+    const double wcet =
+        (wcet_.task_init_s + jobs[i].data_size * wcet_.theta2) / capacity;
+    alloc.feasible = slack > 0.0 && wcet <= slack + 1e-9;
+    result.all_feasible = result.all_feasible && alloc.feasible;
+  }
+
+  // Largest-remainder apportionment of the task budget (every job gets at
+  // least one task).
+  const int budget =
+      std::max(options_.task_budget, static_cast<int>(jobs.size()));
+  std::vector<double> quota(jobs.size());
+  std::vector<int> assigned(jobs.size());
+  int used = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    quota[i] = result.jobs[i].share * budget;
+    assigned[i] = std::max(1, static_cast<int>(std::floor(quota[i])));
+    used += assigned[i];
+  }
+  // Distribute leftovers to the largest fractional remainders.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return quota[a] - std::floor(quota[a]) > quota[b] - std::floor(quota[b]);
+  });
+  for (std::size_t rank = 0; used < budget && rank < order.size(); ++rank) {
+    ++assigned[order[rank]];
+    ++used;
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    result.jobs[i].tasks = assigned[i];
+  }
+  return result;
+}
+
+}  // namespace sstd::control

@@ -1,0 +1,76 @@
+// Real-Time Optimization of the control knobs — the paper's stated future
+// work (§VII: "formulate the system optimization as an integer linear
+// programming (ILP) problem that targets at finding the optimal integer
+// values for the number of workers and the number of tasks for each job").
+//
+// Under the paper's own WCET model (Eq. 12), the optimization
+//
+//   minimize  WK
+//   s.t.      D_u * theta2 / (WK * P_u) <= slack_u   for all jobs u
+//             sum_u P_u = 1,  P_u > 0,  WK integer in [1, max]
+//
+// has a closed-form continuous optimum: each job needs capacity
+// w_u = (TI + D_u * theta2) / slack_u (the fixed task-init cost is part of
+// the work), so the minimal pool is
+// WK* = ceil(sum_u w_u) and the optimal shares are P_u = w_u / sum_u w_u
+// (any spare capacity keeps the same proportions, preserving feasibility).
+// Integer task counts T_u (the paper's priority is P_u = T_u / sum T) are
+// produced by largest-remainder apportionment of a task budget. No LP
+// solver is needed — the exact optimum is computable directly, which is
+// precisely why the paper expected RTO to be viable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/wcet.h"
+#include "dist/task.h"
+
+namespace sstd::control {
+
+struct RtoJob {
+  dist::JobId job = 0;
+  double data_size = 0.0;   // remaining volume D_u
+  double deadline_s = 0.0;  // absolute deadline
+};
+
+struct RtoAllocation {
+  dist::JobId job = 0;
+  double share = 0.0;       // optimal priority share P_u
+  int tasks = 1;            // integer task count T_u (apportioned)
+  bool feasible = true;     // false if even max_workers cannot meet it
+};
+
+struct RtoResult {
+  std::size_t workers = 1;           // minimal WK meeting all deadlines
+  bool all_feasible = true;          // every job can meet its deadline
+  std::vector<RtoAllocation> jobs;
+};
+
+class RtoAllocator {
+ public:
+  struct Options {
+    std::size_t min_workers = 1;
+    std::size_t max_workers = 128;
+    int task_budget = 64;  // total tasks apportioned across jobs
+
+    // Upper bound on how many workers one job can use concurrently
+    // (a job split into T_u tasks can use at most T_u). 0 = unbounded.
+    // Deadline-experiment drivers submitting one task per job set 1.
+    double max_parallelism_per_job = 0.0;
+  };
+
+  RtoAllocator(WcetParams wcet, Options options)
+      : wcet_(wcet), options_(options) {}
+
+  // Solves the allocation at time `now`. Jobs whose deadline already
+  // passed (or is unreachable even with max_workers) are marked
+  // infeasible and given best-effort shares.
+  RtoResult allocate(const std::vector<RtoJob>& jobs, double now) const;
+
+ private:
+  WcetParams wcet_;
+  Options options_;
+};
+
+}  // namespace sstd::control

@@ -1,0 +1,29 @@
+#include "control/wcet.h"
+
+#include <algorithm>
+
+namespace sstd::control {
+
+double WcetModel::task_execution_s(double data_size) const {
+  return params_.task_init_s + data_size * params_.theta1;
+}
+
+double WcetModel::wcet_s(double data_size, std::size_t tasks_of_job,
+                         std::size_t total_tasks,
+                         std::size_t workers) const {
+  const double t_u = static_cast<double>(std::max<std::size_t>(1, tasks_of_job));
+  const double total =
+      static_cast<double>(std::max(total_tasks, tasks_of_job));
+  const double wk = static_cast<double>(std::max<std::size_t>(1, workers));
+  return params_.task_init_s * t_u +
+         data_size * params_.theta2 * total / (wk * t_u);
+}
+
+double WcetModel::wcet_simplified_s(double data_size, double priority_share,
+                                    std::size_t workers) const {
+  const double share = std::max(priority_share, 1e-6);
+  const double wk = static_cast<double>(std::max<std::size_t>(1, workers));
+  return data_size * params_.theta2 / (wk * share);
+}
+
+}  // namespace sstd::control

@@ -1,0 +1,43 @@
+// Worst-Case Execution Time model (paper §IV-C4, Eq. 10-12):
+//
+//   ET_u     = TI + D_u * theta1                                  (Eq. 10)
+//   WCET_u   = TI * T_u + D_u * theta2 * (sum_v T_v) / (WK * T_u) (Eq. 11)
+//   WCET_u  ~=  D_u * theta2 / (WK * P_u)                         (Eq. 12)
+//
+// where D_u is the job's data volume, T_u its task count, WK the worker
+// pool size and P_u = T_u / sum_v T_v the job's priority share. The DTM
+// uses Eq. 12 to project each job's finish time from the current knobs.
+#pragma once
+
+#include <cstddef>
+
+namespace sstd::control {
+
+struct WcetParams {
+  double task_init_s = 0.25;  // TI
+  double theta1 = 2.0e-6;     // per-unit compute time (Eq. 10)
+  double theta2 = 2.4e-6;     // per-unit end-to-end time incl. overheads
+};
+
+class WcetModel {
+ public:
+  explicit WcetModel(WcetParams params = {}) : params_(params) {}
+
+  const WcetParams& params() const { return params_; }
+
+  // Eq. 10: execution time of a single task of `data_size` units.
+  double task_execution_s(double data_size) const;
+
+  // Eq. 11: full WCET with explicit task count.
+  double wcet_s(double data_size, std::size_t tasks_of_job,
+                std::size_t total_tasks, std::size_t workers) const;
+
+  // Eq. 12: simplified WCET given the job's priority share P_u in (0, 1].
+  double wcet_simplified_s(double data_size, double priority_share,
+                           std::size_t workers) const;
+
+ private:
+  WcetParams params_;
+};
+
+}  // namespace sstd::control

@@ -1,0 +1,77 @@
+#include "core/acs.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sstd {
+
+SlidingAcs::SlidingAcs(TimestampMs window_ms) : window_ms_(window_ms) {
+  if (window_ms <= 0) {
+    throw std::invalid_argument("SlidingAcs: window must be positive");
+  }
+}
+
+void SlidingAcs::add(const Report& report) {
+  add(report.time_ms, contribution_score(report));
+}
+
+void SlidingAcs::add(TimestampMs t, double cs) {
+  assert(entries_.empty() || t >= entries_.back().first);
+  entries_.emplace_back(t, cs);
+  sum_ += cs;
+}
+
+void SlidingAcs::expire(TimestampMs now) {
+  const TimestampMs cutoff = now - window_ms_;
+  while (!entries_.empty() && entries_.front().first <= cutoff) {
+    sum_ -= entries_.front().second;
+    entries_.pop_front();
+  }
+}
+
+double SlidingAcs::value_at(TimestampMs t) {
+  expire(t);
+  // Recompute from scratch occasionally? The window sums stay small (|CS|
+  // <= 1 per report) so float drift over a trace is negligible relative to
+  // quantizer bin widths; we accept the rolling sum.
+  return sum_;
+}
+
+std::vector<double> build_acs_series(std::span<const Report> reports,
+                                     IntervalIndex intervals,
+                                     TimestampMs interval_ms,
+                                     TimestampMs window_ms) {
+  SlidingAcs acs(window_ms);
+  std::vector<double> series(intervals, 0.0);
+  std::size_t next = 0;
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    const TimestampMs end = static_cast<TimestampMs>(k + 1) * interval_ms;
+    while (next < reports.size() && reports[next].time_ms < end) {
+      acs.add(reports[next]);
+      ++next;
+    }
+    series[k] = acs.value_at(end - 1);
+  }
+  return series;
+}
+
+std::vector<std::uint32_t> build_window_counts(std::span<const Report> reports,
+                                               IntervalIndex intervals,
+                                               TimestampMs interval_ms,
+                                               TimestampMs window_ms) {
+  SlidingAcs acs(window_ms);
+  std::vector<std::uint32_t> counts(intervals, 0);
+  std::size_t next = 0;
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    const TimestampMs end = static_cast<TimestampMs>(k + 1) * interval_ms;
+    while (next < reports.size() && reports[next].time_ms < end) {
+      acs.add(reports[next]);
+      ++next;
+    }
+    acs.value_at(end - 1);
+    counts[k] = static_cast<std::uint32_t>(acs.window_count());
+  }
+  return counts;
+}
+
+}  // namespace sstd

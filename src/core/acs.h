@@ -1,0 +1,58 @@
+// Aggregated Contribution Score (paper §III-B, Definition 5, Eq. 4):
+// ACS_u^t = sum of contribution scores of reports about claim u inside the
+// sliding window (t - sw, t]. The ACS sequence is the HMM observation
+// sequence for that claim.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/report.h"
+#include "core/types.h"
+
+namespace sstd {
+
+// Streaming ACS accumulator for one claim. Feed reports in time order;
+// query the window sum at any non-decreasing timestamp.
+class SlidingAcs {
+ public:
+  // `window_ms` = sw, the span of historical contribution scores included.
+  explicit SlidingAcs(TimestampMs window_ms);
+
+  // Adds one report (its contribution score) at its timestamp. Timestamps
+  // must be non-decreasing across add()/value_at() calls.
+  void add(const Report& report);
+  void add(TimestampMs t, double cs);
+
+  // ACS over (t - window, t]. Expires old entries as a side effect.
+  double value_at(TimestampMs t);
+
+  // Number of reports currently inside the window.
+  std::size_t window_count() const { return entries_.size(); }
+
+ private:
+  void expire(TimestampMs now);
+
+  TimestampMs window_ms_;
+  std::deque<std::pair<TimestampMs, double>> entries_;
+  double sum_ = 0.0;
+};
+
+// Batch helper: the per-interval ACS sequence F(u) = (ACS_u^1 .. ACS_u^T)
+// for one claim, where the ACS of interval k is evaluated at the interval's
+// end time. `reports` must be in time order (as returned by
+// Dataset::reports_of_claim).
+std::vector<double> build_acs_series(std::span<const Report> reports,
+                                     IntervalIndex intervals,
+                                     TimestampMs interval_ms,
+                                     TimestampMs window_ms);
+
+// Per-interval count of reports inside the ACS window at each interval end;
+// used to decide whether a claim is "active" enough to be evaluated.
+std::vector<std::uint32_t> build_window_counts(std::span<const Report> reports,
+                                               IntervalIndex intervals,
+                                               TimestampMs interval_ms,
+                                               TimestampMs window_ms);
+
+}  // namespace sstd

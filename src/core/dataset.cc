@@ -1,0 +1,101 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sstd {
+
+Dataset::Dataset(std::string name, std::uint32_t num_sources,
+                 std::uint32_t num_claims, IntervalIndex intervals,
+                 TimestampMs interval_ms)
+    : name_(std::move(name)),
+      num_sources_(num_sources),
+      num_claims_(num_claims),
+      intervals_(intervals),
+      interval_ms_(interval_ms) {
+  if (intervals <= 0 || interval_ms <= 0) {
+    throw std::invalid_argument("Dataset: intervals and interval_ms must be positive");
+  }
+  truth_.resize(num_claims);
+}
+
+void Dataset::add_report(const Report& report) {
+  assert(!finalized_);
+  assert(report.claim.value < num_claims_);
+  assert(report.source.value < num_sources_);
+  reports_.push_back(report);
+}
+
+void Dataset::set_ground_truth(ClaimId claim, TruthSeries series) {
+  if (claim.value >= num_claims_) {
+    throw std::out_of_range("Dataset::set_ground_truth: bad claim id");
+  }
+  if (series.size() != static_cast<std::size_t>(intervals_)) {
+    throw std::invalid_argument(
+        "Dataset::set_ground_truth: series length != intervals");
+  }
+  truth_[claim.value] = std::move(series);
+}
+
+void Dataset::finalize() {
+  auto by_time = [](const Report& a, const Report& b) {
+    return a.time_ms < b.time_ms;
+  };
+  std::stable_sort(reports_.begin(), reports_.end(), by_time);
+
+  // Counting sort by claim keeps per-claim spans in time order because the
+  // global sort above is stable.
+  std::vector<std::size_t> counts(num_claims_ + 1, 0);
+  for (const auto& r : reports_) ++counts[r.claim.value + 1];
+  for (std::size_t u = 1; u <= num_claims_; ++u) counts[u] += counts[u - 1];
+  claim_offsets_ = counts;
+
+  claim_sorted_.resize(reports_.size());
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (const auto& r : reports_) claim_sorted_[cursor[r.claim.value]++] = r;
+
+  finalized_ = true;
+}
+
+std::span<const Report> Dataset::reports_of_claim(ClaimId claim) const {
+  assert(finalized_);
+  if (claim.value >= num_claims_) return {};
+  const std::size_t begin = claim_offsets_[claim.value];
+  const std::size_t end = claim_offsets_[claim.value + 1];
+  return {claim_sorted_.data() + begin, end - begin};
+}
+
+bool Dataset::has_ground_truth() const {
+  for (const auto& series : truth_) {
+    if (!series.empty()) return true;
+  }
+  return false;
+}
+
+const TruthSeries& Dataset::ground_truth(ClaimId claim) const {
+  static const TruthSeries kEmpty;
+  if (claim.value >= truth_.size()) return kEmpty;
+  return truth_[claim.value];
+}
+
+IntervalIndex Dataset::interval_of(TimestampMs t) const {
+  auto idx = static_cast<IntervalIndex>(t / interval_ms_);
+  return std::clamp<IntervalIndex>(idx, 0, intervals_ - 1);
+}
+
+std::vector<std::uint32_t> Dataset::traffic_profile() const {
+  std::vector<std::uint32_t> profile(intervals_, 0);
+  for (const auto& r : reports_) ++profile[interval_of(r.time_ms)];
+  return profile;
+}
+
+std::uint32_t Dataset::distinct_reporting_sources() const {
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(reports_.size() / 2 + 1);
+  for (const auto& r : reports_) seen.insert(r.source.value);
+  return static_cast<std::uint32_t>(seen.size());
+}
+
+}  // namespace sstd

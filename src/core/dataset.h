@@ -1,0 +1,85 @@
+// In-memory social-sensing trace: time-ordered reports plus (for synthetic
+// traces) the latent ground-truth series the generator simulated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/types.h"
+
+namespace sstd {
+
+// One claim's per-interval binary truth (values in {0,1}).
+using TruthSeries = std::vector<std::int8_t>;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // `interval_ms` is the evaluation discretization; `intervals` the number
+  // of time bins covering [0, intervals * interval_ms).
+  Dataset(std::string name, std::uint32_t num_sources,
+          std::uint32_t num_claims, IntervalIndex intervals,
+          TimestampMs interval_ms);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t num_sources() const { return num_sources_; }
+  std::uint32_t num_claims() const { return num_claims_; }
+  IntervalIndex intervals() const { return intervals_; }
+  TimestampMs interval_ms() const { return interval_ms_; }
+  TimestampMs duration_ms() const { return interval_ms_ * intervals_; }
+
+  // Appends a report. Reports may arrive unsorted; call finalize() once all
+  // reports are added to sort and index them.
+  void add_report(const Report& report);
+
+  // Sets the simulated ground-truth series for one claim (length must equal
+  // intervals()).
+  void set_ground_truth(ClaimId claim, TruthSeries series);
+
+  // Sorts reports by time and builds the per-claim index. Must be called
+  // before any of the query methods below.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  const std::vector<Report>& reports() const { return reports_; }
+  std::size_t num_reports() const { return reports_.size(); }
+
+  // All reports about `claim`, in time order. Valid after finalize().
+  std::span<const Report> reports_of_claim(ClaimId claim) const;
+
+  // Ground truth for `claim`; empty if the trace has no labels.
+  const TruthSeries& ground_truth(ClaimId claim) const;
+  // True if at least one claim carries a label series.
+  bool has_ground_truth() const;
+
+  // Interval of a timestamp, clamped to [0, intervals).
+  IntervalIndex interval_of(TimestampMs t) const;
+
+  // Number of reports whose timestamp falls in each interval (traffic
+  // profile; drives the heterogeneity experiments).
+  std::vector<std::uint32_t> traffic_profile() const;
+
+  // Number of distinct sources that ever reported.
+  std::uint32_t distinct_reporting_sources() const;
+
+ private:
+  std::string name_;
+  std::uint32_t num_sources_ = 0;
+  std::uint32_t num_claims_ = 0;
+  IntervalIndex intervals_ = 0;
+  TimestampMs interval_ms_ = 1;
+
+  std::vector<Report> reports_;
+  // reports grouped by claim after finalize(): claim_offsets_[u] ..
+  // claim_offsets_[u+1] index into claim_sorted_.
+  std::vector<Report> claim_sorted_;
+  std::vector<std::size_t> claim_offsets_;
+  std::vector<TruthSeries> truth_;
+  bool finalized_ = false;
+};
+
+}  // namespace sstd

@@ -1,0 +1,171 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+#include "core/acs.h"
+
+namespace sstd {
+
+ConfusionMatrix evaluate(const Dataset& data, const EstimateMatrix& estimates,
+                         const EvalOptions& options) {
+  if (!data.has_ground_truth()) {
+    throw std::invalid_argument("evaluate: dataset has no ground truth");
+  }
+  if (estimates.size() != data.num_claims()) {
+    throw std::invalid_argument("evaluate: estimate matrix has wrong rows");
+  }
+
+  const TimestampMs window =
+      options.window_ms > 0 ? options.window_ms : data.interval_ms();
+
+  ConfusionMatrix cm;
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const ClaimId claim{u};
+    const TruthSeries& truth = data.ground_truth(claim);
+    if (truth.empty()) continue;  // unlabeled claim
+    const auto& row = estimates[u];
+    if (row.size() != static_cast<std::size_t>(data.intervals())) {
+      throw std::invalid_argument("evaluate: estimate row has wrong length");
+    }
+
+    std::vector<std::uint32_t> active;
+    if (options.min_window_reports > 0) {
+      active = build_window_counts(data.reports_of_claim(claim),
+                                   data.intervals(), data.interval_ms(),
+                                   window);
+    }
+
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      if (options.min_window_reports > 0 &&
+          active[k] < options.min_window_reports) {
+        continue;
+      }
+      const std::int8_t est = row[k];
+      if (est == kNoEstimate && !options.count_missing_as_false) continue;
+      const bool predicted = est == 1;
+      cm.add(truth[k] != 0, predicted);
+    }
+  }
+  return cm;
+}
+
+std::vector<double> accuracy_over_time(const Dataset& data,
+                                       const EstimateMatrix& estimates,
+                                       const EvalOptions& options) {
+  if (!data.has_ground_truth()) {
+    throw std::invalid_argument(
+        "accuracy_over_time: dataset has no ground truth");
+  }
+  if (estimates.size() != data.num_claims()) {
+    throw std::invalid_argument("accuracy_over_time: wrong rows");
+  }
+  const TimestampMs window =
+      options.window_ms > 0 ? options.window_ms : data.interval_ms();
+
+  std::vector<std::uint64_t> correct(data.intervals(), 0);
+  std::vector<std::uint64_t> total(data.intervals(), 0);
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const ClaimId claim{u};
+    const TruthSeries& truth = data.ground_truth(claim);
+    if (truth.empty()) continue;
+    const auto& row = estimates[u];
+    std::vector<std::uint32_t> active;
+    if (options.min_window_reports > 0) {
+      active = build_window_counts(data.reports_of_claim(claim),
+                                   data.intervals(), data.interval_ms(),
+                                   window);
+    }
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      if (options.min_window_reports > 0 &&
+          active[k] < options.min_window_reports) {
+        continue;
+      }
+      const std::int8_t est = row[k];
+      if (est == kNoEstimate && !options.count_missing_as_false) continue;
+      ++total[k];
+      correct[k] += (est == 1) == (truth[k] != 0);
+    }
+  }
+
+  std::vector<double> series(data.intervals(), -1.0);
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    if (total[k] > 0) {
+      series[k] = static_cast<double>(correct[k]) /
+                  static_cast<double>(total[k]);
+    }
+  }
+  return series;
+}
+
+double brier_score(const Dataset& data,
+                   const std::vector<std::vector<double>>& probabilities,
+                   const EvalOptions& options) {
+  if (!data.has_ground_truth()) {
+    throw std::invalid_argument("brier_score: dataset has no ground truth");
+  }
+  if (probabilities.size() != data.num_claims()) {
+    throw std::invalid_argument("brier_score: wrong number of claims");
+  }
+  const TimestampMs window =
+      options.window_ms > 0 ? options.window_ms : data.interval_ms();
+
+  double total = 0.0;
+  std::uint64_t cells = 0;
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const ClaimId claim{u};
+    const TruthSeries& truth = data.ground_truth(claim);
+    if (truth.empty()) continue;
+    const auto& row = probabilities[u];
+    if (row.size() != static_cast<std::size_t>(data.intervals())) {
+      throw std::invalid_argument("brier_score: wrong row length");
+    }
+    std::vector<std::uint32_t> active;
+    if (options.min_window_reports > 0) {
+      active = build_window_counts(data.reports_of_claim(claim),
+                                   data.intervals(), data.interval_ms(),
+                                   window);
+    }
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      if (options.min_window_reports > 0 &&
+          active[k] < options.min_window_reports) {
+        continue;
+      }
+      const double target = truth[k] != 0 ? 1.0 : 0.0;
+      const double error = row[k] - target;
+      total += error * error;
+      ++cells;
+    }
+  }
+  return cells ? total / static_cast<double>(cells) : 0.0;
+}
+
+ConfusionMatrix evaluate_scheme(BatchTruthDiscovery& scheme,
+                                const Dataset& data,
+                                const EvalOptions& options) {
+  const EstimateMatrix estimates = scheme.run(data);
+  return evaluate(data, estimates, options);
+}
+
+EstimateMatrix replay_streaming(StreamingTruthDiscovery& scheme,
+                                const Dataset& data) {
+  EstimateMatrix estimates(
+      data.num_claims(),
+      std::vector<std::int8_t>(data.intervals(), kNoEstimate));
+
+  const auto& reports = data.reports();
+  std::size_t next = 0;
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    const TimestampMs end = static_cast<TimestampMs>(k + 1) * data.interval_ms();
+    while (next < reports.size() && reports[next].time_ms < end) {
+      scheme.offer(reports[next]);
+      ++next;
+    }
+    scheme.end_interval(k);
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      estimates[u][k] = scheme.current_estimate(ClaimId{u});
+    }
+  }
+  return estimates;
+}
+
+}  // namespace sstd

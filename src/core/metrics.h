@@ -1,0 +1,53 @@
+// Evaluation protocol for the accuracy tables (paper Tables III-V):
+// per-(claim, interval) binary comparison of estimates against the
+// generator's latent truth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/truth_discovery.h"
+#include "util/stats.h"
+
+namespace sstd {
+
+struct EvalOptions {
+  // Only score intervals where the claim has at least this many reports in
+  // the ACS window — mirroring the paper, which can only label claims that
+  // are actually being discussed. 0 scores every interval.
+  std::uint32_t min_window_reports = 1;
+
+  // Window used for the activity mask (should match the scheme's sw).
+  TimestampMs window_ms = 0;  // 0 => one interval
+
+  // How to score a kNoEstimate cell on an active interval: if true it
+  // counts as a (wrong) "false" prediction; if false the cell is skipped.
+  bool count_missing_as_false = true;
+};
+
+// Scores `estimates` against data.ground_truth(). Requires labels.
+ConfusionMatrix evaluate(const Dataset& data, const EstimateMatrix& estimates,
+                         const EvalOptions& options = {});
+
+// Runs the scheme and scores it in one step.
+ConfusionMatrix evaluate_scheme(BatchTruthDiscovery& scheme,
+                                const Dataset& data,
+                                const EvalOptions& options = {});
+
+// Per-interval accuracy series over the same active-cell mask: how
+// estimate quality evolves across the event (warm-up, misinformation
+// bursts, truth flips all leave visible dents). Intervals with no active
+// claims yield NaN-free 0-count entries reported as -1.
+std::vector<double> accuracy_over_time(const Dataset& data,
+                                       const EstimateMatrix& estimates,
+                                       const EvalOptions& options = {});
+
+// Calibration of probabilistic (soft) outputs: the Brier score, mean
+// squared error between predicted P(true) and the 0/1 ground truth over
+// the same active-interval mask `evaluate` uses. 0 is perfect; an
+// uninformed constant 0.5 scores 0.25.
+double brier_score(const Dataset& data,
+                   const std::vector<std::vector<double>>& probabilities,
+                   const EvalOptions& options = {});
+
+}  // namespace sstd

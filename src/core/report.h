@@ -1,0 +1,39 @@
+// Reports and contribution scores (paper §II, Definitions 1-3 and Eq. 1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sstd {
+
+// One report R_{i,u}^t: source i's statement about claim u at time t,
+// annotated with the three semantic scores extracted from its text.
+struct Report {
+  SourceId source;
+  ClaimId claim;
+  TimestampMs time_ms = 0;
+
+  // Attitude score rho (Definition 1): +1 the source asserts the claim is
+  // true, -1 it asserts it is false, 0 it provides no stance.
+  std::int8_t attitude = 0;
+
+  // Uncertainty score kappa (Definition 2) in [0, 1): how hedged the report
+  // is ("possibly", "unconfirmed", ...). Higher = less certain.
+  double uncertainty = 0.0;
+
+  // Independence score eta (Definition 3) in (0, 1]: 1 for an original
+  // observation, lower for retweets / near-duplicates.
+  double independence = 1.0;
+};
+
+// Contribution score CS = rho * (1 - kappa) * eta (Eq. 1). The per-report
+// evidence weight that the HMM observation sequence aggregates.
+inline double contribution_score(const Report& r) {
+  const double kappa = std::clamp(r.uncertainty, 0.0, 1.0);
+  const double eta = std::clamp(r.independence, 0.0, 1.0);
+  return static_cast<double>(r.attitude) * (1.0 - kappa) * eta;
+}
+
+}  // namespace sstd

@@ -1,0 +1,238 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sstd {
+namespace {
+
+constexpr char kMagic[5] = "SSTD";
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_dataset: truncated input");
+  return value;
+}
+
+void write_string(std::ofstream& out, const std::string& text) {
+  write_pod(out, static_cast<std::uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  const auto length = read_pod<std::uint32_t>(in);
+  std::string text(length, '\0');
+  in.read(text.data(), length);
+  if (!in) throw std::runtime_error("load_dataset: truncated string");
+  return text;
+}
+
+// On-disk report layout (fixed width, independent of struct padding).
+struct PackedReport {
+  std::uint32_t source;
+  std::uint32_t claim;
+  std::int64_t time_ms;
+  std::int8_t attitude;
+  double uncertainty;
+  double independence;
+};
+
+}  // namespace
+
+void save_dataset(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_string(out, data.name());
+  write_pod(out, data.num_sources());
+  write_pod(out, data.num_claims());
+  write_pod(out, data.intervals());
+  write_pod(out, data.interval_ms());
+
+  write_pod(out, static_cast<std::uint64_t>(data.num_reports()));
+  for (const Report& r : data.reports()) {
+    PackedReport packed{r.source.value, r.claim.value, r.time_ms,
+                        r.attitude,     r.uncertainty, r.independence};
+    write_pod(out, packed);
+  }
+
+  // Ground truth: per claim a presence byte then the series.
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const TruthSeries& series = data.ground_truth(ClaimId{u});
+    write_pod(out, static_cast<std::uint8_t>(series.empty() ? 0 : 1));
+    if (!series.empty()) {
+      out.write(reinterpret_cast<const char*>(series.data()),
+                static_cast<std::streamsize>(series.size()));
+    }
+  }
+  if (!out) throw std::runtime_error("save_dataset: write failed");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_dataset: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_dataset: unsupported version " +
+                             std::to_string(version));
+  }
+
+  const std::string name = read_string(in);
+  const auto num_sources = read_pod<std::uint32_t>(in);
+  const auto num_claims = read_pod<std::uint32_t>(in);
+  const auto intervals = read_pod<IntervalIndex>(in);
+  const auto interval_ms = read_pod<TimestampMs>(in);
+
+  Dataset data(name, num_sources, num_claims, intervals, interval_ms);
+
+  const auto report_count = read_pod<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < report_count; ++i) {
+    const auto packed = read_pod<PackedReport>(in);
+    Report r;
+    r.source = SourceId{packed.source};
+    r.claim = ClaimId{packed.claim};
+    r.time_ms = packed.time_ms;
+    r.attitude = packed.attitude;
+    r.uncertainty = packed.uncertainty;
+    r.independence = packed.independence;
+    data.add_report(r);
+  }
+
+  for (std::uint32_t u = 0; u < num_claims; ++u) {
+    const auto present = read_pod<std::uint8_t>(in);
+    if (!present) continue;
+    TruthSeries series(intervals);
+    in.read(reinterpret_cast<char*>(series.data()), intervals);
+    if (!in) throw std::runtime_error("load_dataset: truncated truth");
+    data.set_ground_truth(ClaimId{u}, std::move(series));
+  }
+
+  data.finalize();
+  return data;
+}
+
+void export_dataset_csv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export_dataset_csv: cannot open " + path);
+  }
+  out << "source,claim,time_ms,attitude,uncertainty,independence\n";
+  for (const Report& r : data.reports()) {
+    out << r.source.value << ',' << r.claim.value << ',' << r.time_ms << ','
+        << static_cast<int>(r.attitude) << ',' << r.uncertainty << ','
+        << r.independence << '\n';
+  }
+
+  if (data.has_ground_truth()) {
+    std::ofstream truth_out(path + ".truth.csv", std::ios::trunc);
+    if (!truth_out) {
+      throw std::runtime_error("export_dataset_csv: cannot open truth file");
+    }
+    truth_out << "claim,interval,truth\n";
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      const TruthSeries& series = data.ground_truth(ClaimId{u});
+      for (std::size_t k = 0; k < series.size(); ++k) {
+        truth_out << u << ',' << k << ',' << static_cast<int>(series[k])
+                  << '\n';
+      }
+    }
+  }
+}
+
+Dataset import_dataset_csv(const std::string& path, const std::string& name,
+                           IntervalIndex intervals, TimestampMs interval_ms) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("import_dataset_csv: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("import_dataset_csv: empty file");
+  }
+
+  std::vector<Report> reports;
+  std::uint32_t max_source = 0;
+  std::uint32_t max_claim = 0;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    Report r;
+    try {
+      std::getline(row, cell, ',');
+      r.source = SourceId{static_cast<std::uint32_t>(std::stoul(cell))};
+      std::getline(row, cell, ',');
+      r.claim = ClaimId{static_cast<std::uint32_t>(std::stoul(cell))};
+      std::getline(row, cell, ',');
+      r.time_ms = std::stoll(cell);
+      std::getline(row, cell, ',');
+      r.attitude = static_cast<std::int8_t>(std::stoi(cell));
+      std::getline(row, cell, ',');
+      r.uncertainty = std::stod(cell);
+      std::getline(row, cell, ',');
+      r.independence = std::stod(cell);
+    } catch (const std::exception&) {
+      throw std::runtime_error("import_dataset_csv: bad row at line " +
+                               std::to_string(line_number));
+    }
+    max_source = std::max(max_source, r.source.value);
+    max_claim = std::max(max_claim, r.claim.value);
+    reports.push_back(r);
+  }
+
+  Dataset data(name, max_source + 1, max_claim + 1, intervals, interval_ms);
+  for (const Report& r : reports) data.add_report(r);
+
+  // Optional truth sidecar.
+  std::ifstream truth_in(path + ".truth.csv");
+  if (truth_in) {
+    std::getline(truth_in, line);  // header
+    std::vector<TruthSeries> truth(max_claim + 1);
+    while (std::getline(truth_in, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      std::string cell;
+      std::getline(row, cell, ',');
+      const auto claim = static_cast<std::uint32_t>(std::stoul(cell));
+      std::getline(row, cell, ',');
+      const auto interval = static_cast<std::size_t>(std::stoul(cell));
+      std::getline(row, cell, ',');
+      const auto value = static_cast<std::int8_t>(std::stoi(cell));
+      if (claim >= truth.size() ||
+          interval >= static_cast<std::size_t>(intervals)) {
+        continue;
+      }
+      if (truth[claim].empty()) truth[claim].assign(intervals, 0);
+      truth[claim][interval] = value;
+    }
+    for (std::uint32_t u = 0; u < truth.size(); ++u) {
+      if (!truth[u].empty()) data.set_ground_truth(ClaimId{u}, truth[u]);
+    }
+  }
+
+  data.finalize();
+  return data;
+}
+
+}  // namespace sstd

@@ -1,0 +1,34 @@
+// Dataset persistence. Two formats:
+//
+//  * a compact binary format ("SSTD1") for fast save/load of generated
+//    traces — lets benches and examples reuse a trace without regenerating;
+//  * a human-readable CSV export (one report per row) compatible with
+//    spreadsheet tooling, plus a CSV importer so users can feed their own
+//    scored report logs into the library.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.h"
+
+namespace sstd {
+
+// Binary round-trip. save_dataset throws std::runtime_error on I/O errors;
+// load_dataset additionally throws on magic/version mismatch or truncated
+// input. Ground-truth series are included when present.
+void save_dataset(const Dataset& data, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+// CSV export: header
+//   source,claim,time_ms,attitude,uncertainty,independence
+// Ground truth (if any) goes to `path` + ".truth.csv" as
+//   claim,interval,truth
+void export_dataset_csv(const Dataset& data, const std::string& path);
+
+// CSV import. `name`/`intervals`/`interval_ms` describe the dataset frame;
+// source/claim id spaces are sized from the data. A missing truth sidecar
+// file yields an unlabeled dataset.
+Dataset import_dataset_csv(const std::string& path, const std::string& name,
+                           IntervalIndex intervals, TimestampMs interval_ms);
+
+}  // namespace sstd

@@ -1,0 +1,57 @@
+// Algorithm-facing interfaces. Every truth-discovery scheme in this repo —
+// SSTD and all six baselines — implements BatchTruthDiscovery; streaming
+// schemes (SSTD, DynaTD) additionally implement StreamingTruthDiscovery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/report.h"
+#include "core/types.h"
+
+namespace sstd {
+
+// Per-claim, per-interval estimates. estimates[u][k] is 0 (false), 1 (true)
+// or kNoEstimate (-1) when the scheme has no evidence for claim u at
+// interval k.
+using EstimateMatrix = std::vector<std::vector<std::int8_t>>;
+
+class BatchTruthDiscovery {
+ public:
+  virtual ~BatchTruthDiscovery() = default;
+
+  virtual std::string name() const = 0;
+
+  // Produces estimates for every claim at every interval of `data`.
+  // The matrix must have data.num_claims() rows of data.intervals() cells.
+  virtual EstimateMatrix run(const Dataset& data) = 0;
+};
+
+// Streaming schemes consume reports in arrival order and emit an estimate
+// for each active claim at every interval boundary.
+class StreamingTruthDiscovery {
+ public:
+  virtual ~StreamingTruthDiscovery() = default;
+
+  virtual std::string name() const = 0;
+
+  // Offers one report (non-decreasing timestamps).
+  virtual void offer(const Report& report) = 0;
+
+  // Signals that interval `k` ended; the scheme updates its estimates.
+  virtual void end_interval(IntervalIndex k) = 0;
+
+  // Current estimate for a claim (0/1/kNoEstimate).
+  virtual std::int8_t current_estimate(ClaimId claim) const = 0;
+};
+
+// Replays a dataset through a streaming scheme and collects the
+// per-interval estimate matrix, so streaming schemes can be evaluated with
+// the same protocol as batch ones.
+EstimateMatrix replay_streaming(StreamingTruthDiscovery& scheme,
+                                const Dataset& data);
+
+}  // namespace sstd

@@ -1,0 +1,53 @@
+// Fundamental identifiers and time units of the social-sensing data model
+// (paper §II): sources S_i make reports R_{i,u}^t about claims C_u whose
+// binary truth evolves over time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sstd {
+
+// Milliseconds since the start of the observed event.
+using TimestampMs = std::int64_t;
+
+// Index of a discretized time interval (the paper divides each trace into
+// equal intervals; §V-B uses 100).
+using IntervalIndex = std::int32_t;
+
+// Strongly-typed ids prevent accidentally swapping source/claim indices.
+struct SourceId {
+  std::uint32_t value = 0;
+  friend bool operator==(SourceId, SourceId) = default;
+  friend auto operator<=>(SourceId, SourceId) = default;
+};
+
+struct ClaimId {
+  std::uint32_t value = 0;
+  friend bool operator==(ClaimId, ClaimId) = default;
+  friend auto operator<=>(ClaimId, ClaimId) = default;
+};
+
+// Truth label of a claim at some interval: the paper models binary claims.
+enum class Truth : std::int8_t { kFalse = 0, kTrue = 1 };
+
+// A per-interval estimate can also be "no evidence yet".
+constexpr std::int8_t kNoEstimate = -1;
+
+inline Truth truth_of(bool b) { return b ? Truth::kTrue : Truth::kFalse; }
+
+}  // namespace sstd
+
+template <>
+struct std::hash<sstd::SourceId> {
+  std::size_t operator()(sstd::SourceId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<sstd::ClaimId> {
+  std::size_t operator()(sstd::ClaimId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

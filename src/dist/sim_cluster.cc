@@ -1,0 +1,324 @@
+#include "dist/sim_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sstd::dist {
+
+SimCluster::SimCluster(std::vector<SimWorker> workers, SimConfig config)
+    : config_(config) {
+  if (workers.empty()) {
+    throw std::invalid_argument("SimCluster: need at least one worker");
+  }
+  workers_.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    WorkerState state;
+    state.spec = workers[i];
+    // Sequential recruitment: the master brings workers online one at a
+    // time; the first worker is free immediately.
+    state.free_at = static_cast<double>(i) * config_.worker_stagger_s;
+    workers_.push_back(state);
+  }
+}
+
+SimCluster SimCluster::homogeneous(std::size_t n, SimConfig config) {
+  std::vector<SimWorker> workers(n);
+  return SimCluster(std::move(workers), config);
+}
+
+double SimCluster::job_priority(JobId job) const {
+  const auto it = priorities_.find(job);
+  return it != priorities_.end() ? it->second : 0.0;
+}
+
+bool SimCluster::submit(const Task& task) {
+  const bool feasible = std::any_of(
+      workers_.begin(), workers_.end(), [&](const WorkerState& w) {
+        return w.spec.capacity.cores >= task.required.cores &&
+               w.spec.capacity.memory_mb >= task.required.memory_mb &&
+               w.spec.capacity.disk_mb >= task.required.disk_mb;
+      });
+  if (!feasible) return false;
+  queued_.push_back(QueuedTask{task, now_s_});
+  return true;
+}
+
+void SimCluster::set_job_priority(JobId job, double priority) {
+  priorities_[job] = priority;
+}
+
+std::size_t SimCluster::worker_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(workers_.begin(), workers_.end(),
+                    [](const WorkerState& w) { return w.active; }));
+}
+
+std::size_t SimCluster::running() const { return running_.size(); }
+
+double SimCluster::queued_data_of_job(JobId job) const {
+  double total = 0.0;
+  for (const auto& queued : queued_) {
+    if (queued.task.job == job) total += queued.task.data_size;
+  }
+  return total;
+}
+
+double SimCluster::outstanding_data_of_job(JobId job) const {
+  double total = queued_data_of_job(job);
+  for (const auto& run : running_) {
+    if (run.task.job == job) total += run.task.data_size;
+  }
+  return total;
+}
+
+void SimCluster::set_worker_count(std::size_t target) {
+  if (target == 0) target = 1;
+  std::size_t active = worker_count();
+
+  if (target > active) {
+    std::size_t to_add = target - active;
+    // Reactivate retired slots first, then mint new unit-speed workers.
+    for (auto& worker : workers_) {
+      if (to_add == 0) break;
+      if (!worker.active) {
+        worker.active = true;
+        worker.retiring = false;
+        worker.free_at = now_s_ + config_.worker_startup_s;
+        --to_add;
+      } else if (worker.retiring) {
+        worker.retiring = false;
+        --to_add;
+      }
+    }
+    for (; to_add > 0; --to_add) {
+      WorkerState state;
+      state.free_at = now_s_ + config_.worker_startup_s;
+      workers_.push_back(state);
+    }
+    return;
+  }
+
+  // Scale down: prefer idle workers (leave immediately), then mark busy
+  // ones as retiring.
+  std::size_t to_remove = active - target;
+  for (auto& worker : workers_) {
+    if (to_remove == 0) return;
+    if (worker.active && !worker.retiring && worker.free_at <= now_s_) {
+      worker.active = false;
+      --to_remove;
+    }
+  }
+  for (auto& worker : workers_) {
+    if (to_remove == 0) return;
+    if (worker.active && !worker.retiring) {
+      worker.retiring = true;
+      --to_remove;
+    }
+  }
+}
+
+void SimCluster::schedule_worker_failure(std::uint32_t index, double at,
+                                         double recover_after_s) {
+  if (index >= workers_.size()) {
+    throw std::out_of_range("SimCluster: bad worker index");
+  }
+  failures_.push_back(FailureEvent{index, std::max(at, now_s_),
+                                   recover_after_s});
+}
+
+std::size_t SimCluster::next_due_failure(double until) const {
+  std::size_t next = failures_.size();
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    if (failures_[i].at > until) continue;
+    if (next == failures_.size() || failures_[i].at < failures_[next].at) {
+      next = i;
+    }
+  }
+  return next;
+}
+
+void SimCluster::apply_one_failure(std::size_t index) {
+  const FailureEvent event = failures_[index];
+  failures_.erase(failures_.begin() + static_cast<std::ptrdiff_t>(index));
+  now_s_ = std::max(now_s_, event.at);
+
+  WorkerState& worker = workers_[event.worker];
+  // Evict the task the worker was executing at crash time, if any. The
+  // evicted task restarts from scratch (no checkpointing), so it rejoins
+  // the queue with its original submission time for wait accounting.
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].worker == event.worker &&
+        running_[i].finish_at > event.at) {
+      queued_.push_back(QueuedTask{running_[i].task,
+                                   running_[i].submitted_s});
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++evictions_;
+      break;  // a worker runs at most one task at a time
+    }
+  }
+  if (event.recover_after_s >= 0.0) {
+    // Worker rejoins after repair: stays in the pool but unavailable.
+    worker.active = true;
+    worker.retiring = false;
+    worker.free_at =
+        event.at + event.recover_after_s + config_.worker_startup_s;
+  } else {
+    worker.active = false;
+    worker.retiring = false;
+  }
+}
+
+std::optional<std::size_t> SimCluster::pick_task(
+    const WorkerState& worker) const {
+  std::optional<std::size_t> best;
+  double best_priority = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < queued_.size(); ++i) {
+    const Task& task = queued_[i].task;
+    if (worker.spec.capacity.cores < task.required.cores ||
+        worker.spec.capacity.memory_mb < task.required.memory_mb ||
+        worker.spec.capacity.disk_mb < task.required.disk_mb) {
+      continue;
+    }
+    const double priority = job_priority(task.job);
+    if (!best || priority > best_priority) {
+      best = i;
+      best_priority = priority;
+    }
+    // FIFO within equal priority: the scan is front-to-back and uses `>`.
+  }
+  return best;
+}
+
+void SimCluster::dispatch(double until) {
+  // Greedily assign queued tasks to workers that are free now (free_at <=
+  // current frontier). Called whenever time advances or tasks complete.
+  bool progress = true;
+  while (progress && !queued_.empty()) {
+    progress = false;
+    for (std::uint32_t w = 0; w < workers_.size(); ++w) {
+      WorkerState& worker = workers_[w];
+      if (!worker.active || worker.retiring) continue;
+      if (worker.free_at > until) continue;
+      const auto pick = pick_task(worker);
+      if (!pick) continue;
+
+      const QueuedTask queued = queued_[*pick];
+      queued_.erase(queued_.begin() + static_cast<std::ptrdiff_t>(*pick));
+
+      RunningTask run;
+      run.task = queued.task;
+      run.submitted_s = queued.submitted_s;
+      // A dispatch occupies the (serial) master for a slot; with many
+      // workers this is the Amdahl term that caps speedup.
+      const double dispatch_at =
+          std::max({worker.free_at, now_s_, master_free_at_});
+      master_free_at_ = dispatch_at + config_.master_dispatch_s;
+      run.started_s = dispatch_at + config_.master_dispatch_s;
+      const double compute =
+          (config_.task_init_s + queued.task.data_size * config_.theta1) /
+          worker.spec.speed;
+      const double transfer =
+          queued.task.data_size * config_.comm_per_unit_s;
+      run.finish_at = run.started_s + transfer + compute;
+      run.worker = w;
+      worker.free_at = run.finish_at;
+      running_.push_back(run);
+      progress = true;
+      if (queued_.empty()) break;
+    }
+  }
+}
+
+std::vector<TaskReport> SimCluster::advance_to(double t) {
+  assert(t >= now_s_);
+  std::vector<TaskReport> completions;
+
+  dispatch(now_s_);
+  while (true) {
+    // Next completion within the horizon.
+    std::size_t next = running_.size();
+    double next_finish = t;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].finish_at <= next_finish + 1e-12) {
+        next_finish = running_[i].finish_at;
+        next = i;
+      }
+    }
+
+    // Interleave worker crashes causally: if a failure is due before the
+    // next completion (or before the horizon when nothing completes),
+    // apply it first — it may evict the very task we were about to finish.
+    const std::size_t failure = next_due_failure(t);
+    if (failure != failures_.size() &&
+        (next == running_.size() ||
+         failures_[failure].at <= next_finish)) {
+      apply_one_failure(failure);
+      dispatch(now_s_);
+      continue;
+    }
+
+    if (next == running_.size()) break;
+
+    const RunningTask done = running_[next];
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(next));
+    now_s_ = std::max(now_s_, done.finish_at);
+
+    TaskReport report;
+    report.task = done.task.id;
+    report.job = done.task.job;
+    report.submitted_s = done.submitted_s;
+    report.started_s = done.started_s;
+    report.finished_s = done.finish_at;
+    report.worker = done.worker;
+    completions.push_back(report);
+
+    WorkerState& worker = workers_[done.worker];
+    if (worker.retiring) {
+      worker.active = false;
+      worker.retiring = false;
+    }
+    dispatch(now_s_);
+  }
+
+  now_s_ = std::max(now_s_, t);
+  dispatch(now_s_);
+  return completions;
+}
+
+double SimCluster::run_to_completion() {
+  double makespan = now_s_;
+  std::size_t stall_rounds = 0;
+  while (!queued_.empty() || !running_.empty()) {
+    const std::size_t queued_before = queued_.size();
+    // Jump to the earliest moment anything can change.
+    double horizon = std::numeric_limits<double>::infinity();
+    for (const auto& run : running_) {
+      horizon = std::min(horizon, run.finish_at);
+    }
+    if (!queued_.empty()) {
+      for (const auto& worker : workers_) {
+        if (worker.active && !worker.retiring) {
+          horizon = std::min(horizon, std::max(worker.free_at, now_s_));
+        }
+      }
+    }
+    if (!std::isfinite(horizon)) break;  // nothing can progress
+    const auto completions = advance_to(std::max(horizon, now_s_) + 1e-9);
+    for (const auto& report : completions) {
+      makespan = std::max(makespan, report.finished_s);
+    }
+    // Starvation guard: tasks whose only capable worker was deactivated
+    // can never run; bail out rather than spin. Progress means either a
+    // completion happened or a queued task was dispatched.
+    stall_rounds = (queued_.size() == queued_before && completions.empty())
+                       ? stall_rounds + 1
+                       : 0;
+    if (stall_rounds > 8) break;
+  }
+  return makespan;
+}
+
+}  // namespace sstd::dist

@@ -1,0 +1,151 @@
+// Discrete-event cluster simulator.
+//
+// The paper evaluates on a 1,900-machine HTCondor pool; this reproduction
+// host has one core, so wall-clock speedup beyond 1x is physically
+// unobservable (DESIGN.md §2). The simulator implements the paper's own
+// cost model instead:
+//
+//   task execution time  ET = TI + D * theta1          (Eq. 10)
+//   plus data-transfer overhead proportional to D, and a startup delay for
+//   newly recruited workers — the overheads the paper cites as the reason
+//   ideal speedup is unattainable (§V-B "communication and I/O overhead").
+//
+// Workers are heterogeneous (per-worker speed factor and resource caps),
+// matching the paper's critique that Hadoop "assumes homogeneity of the
+// underlying computing nodes". Dispatch order follows current job
+// priorities (LCK) and can be re-tuned while tasks are queued, which is
+// what the PID-driven Dynamic Task Manager does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/task.h"
+
+namespace sstd::dist {
+
+struct SimWorker {
+  double speed = 1.0;      // >1 = faster node
+  ResourceSpec capacity;   // per-worker resource constraints RC_k
+};
+
+struct SimConfig {
+  double task_init_s = 0.25;      // TI (Eq. 10)
+  double theta1 = 2.0e-6;         // compute seconds per data unit
+  double comm_per_unit_s = 4e-7;  // transfer overhead per data unit
+  double worker_startup_s = 1.0;  // recruiting a new worker is not free
+
+  // Serial master-side costs — the reason measured speedup stays below
+  // ideal (§V-B: "overhead cost in distributed systems (e.g.,
+  // communication and I/O overhead)"). Initial workers are recruited one
+  // after another (stagger), and every task start occupies the master for
+  // a short dispatch slot.
+  double worker_stagger_s = 0.3;
+  double master_dispatch_s = 0.01;
+};
+
+class SimCluster {
+ public:
+  SimCluster(std::vector<SimWorker> workers, SimConfig config);
+
+  // Convenience: n identical unit-speed workers.
+  static SimCluster homogeneous(std::size_t n, SimConfig config = {});
+
+  double now() const { return now_s_; }
+
+  // Submits a task at the current simulation time. Tasks whose resource
+  // requirements no worker can satisfy are rejected (returns false).
+  bool submit(const Task& task);
+
+  // LCK: job priority used when choosing the next queued task.
+  void set_job_priority(JobId job, double priority);
+
+  // GCK: grow/shrink the worker pool. New workers become available after
+  // config.worker_startup_s; shrinking removes idle workers first and
+  // otherwise lets busy workers finish then retire.
+  void set_worker_count(std::size_t target);
+  std::size_t worker_count() const;
+
+  // Fault injection: schedules worker `index` to crash at simulated time
+  // `at` (>= now). A crashing worker loses its running task — the task is
+  // re-queued (HTCondor eviction semantics) — and leaves the pool. If
+  // `recover_after_s` >= 0 the worker rejoins that long after the crash.
+  void schedule_worker_failure(std::uint32_t index, double at,
+                               double recover_after_s = -1.0);
+
+  // Total tasks that were evicted by worker crashes so far.
+  std::uint64_t evictions() const { return evictions_; }
+
+  // Advances simulated time to `t`, dispatching and completing tasks.
+  // Returns the completions that occurred, in time order.
+  std::vector<TaskReport> advance_to(double t);
+
+  // Runs until every queued/running task has completed; returns the time
+  // the last task finished (makespan from time 0).
+  double run_to_completion();
+
+  std::size_t pending() const { return queued_.size(); }
+  std::size_t running() const;
+
+  // Sum of data_size over queued (not yet started) tasks of a job — the
+  // backlog the controller's WCET estimate needs.
+  double queued_data_of_job(JobId job) const;
+
+  // Backlog including tasks currently executing (their full volume; the
+  // model does not track partial progress).
+  double outstanding_data_of_job(JobId job) const;
+
+ private:
+  struct WorkerState {
+    SimWorker spec;
+    double free_at = 0.0;   // time the worker can accept the next task
+    bool retiring = false;  // finishes current task then leaves
+    bool active = true;
+  };
+
+  struct QueuedTask {
+    Task task;
+    double submitted_s;
+  };
+
+  struct RunningTask {
+    Task task;
+    double submitted_s;
+    double started_s;
+    double finish_at;
+    std::uint32_t worker;
+  };
+
+  struct FailureEvent {
+    std::uint32_t worker;
+    double at;
+    double recover_after_s;
+  };
+
+  double job_priority(JobId job) const;
+  // Index of the earliest pending failure due at or before `until`, or
+  // failures_.size() when none.
+  std::size_t next_due_failure(double until) const;
+  // Applies failures_[index]: advances the clock to the crash time, evicts
+  // the victim's running task and deactivates or schedules recovery.
+  void apply_one_failure(std::size_t index);
+  // Index of the best queued task (highest job priority, FIFO tie-break),
+  // or nullopt when none fits a free worker.
+  std::optional<std::size_t> pick_task(const WorkerState& worker) const;
+  void dispatch(double until);
+
+  std::vector<WorkerState> workers_;
+  SimConfig config_;
+  double now_s_ = 0.0;
+  double master_free_at_ = 0.0;
+  std::vector<QueuedTask> queued_;
+  std::vector<RunningTask> running_;
+  std::unordered_map<JobId, double> priorities_;
+  std::vector<FailureEvent> failures_;  // pending, unordered
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sstd::dist

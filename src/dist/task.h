@@ -1,0 +1,60 @@
+// Task/job model of the distributed runtime (paper §II system model and
+// §IV). A Truth Discovery (TD) job processes the data stream of one or
+// more claims; the Dynamic Task Manager splits each job into tasks that
+// run on Work Queue workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sstd::dist {
+
+using TaskId = std::uint64_t;
+using JobId = std::uint32_t;
+
+// Per-node resource constraints RC_k (paper §II). The simulator enforces
+// them; the threaded runtime treats them as informational.
+struct ResourceSpec {
+  int cores = 1;
+  int memory_mb = 512;
+  int disk_mb = 1024;
+};
+
+struct Task {
+  TaskId id = 0;
+  JobId job = 0;
+
+  // Work volume in abstract data units (reports to process); drives the
+  // simulator's execution-time model ET = TI + D * theta1 (Eq. 10).
+  double data_size = 0.0;
+
+  ResourceSpec required;
+
+  // Real payload for the threaded runtime; may be empty in simulation.
+  // A payload that throws is treated as a task failure and retried
+  // (Work Queue semantics: HTCondor nodes are scavenged desktops, so task
+  // attempts are expected to fail and the master resubmits).
+  std::function<void()> work;
+
+  // How many times the runtime may re-attempt a failing task before
+  // reporting it failed.
+  int max_retries = 2;
+};
+
+// Completion record the runtime hands back to the controller.
+struct TaskReport {
+  TaskId task = 0;
+  JobId job = 0;
+  double submitted_s = 0.0;
+  double started_s = 0.0;
+  double finished_s = 0.0;
+  std::uint32_t worker = 0;
+  int attempts = 1;      // 1 = succeeded first try
+  bool failed = false;   // true when retries were exhausted
+
+  double queue_wait_s() const { return started_s - submitted_s; }
+  double execution_s() const { return finished_s - started_s; }
+};
+
+}  // namespace sstd::dist

@@ -1,0 +1,138 @@
+#include "dist/work_queue.h"
+
+#include "util/log.h"
+
+namespace sstd::dist {
+
+WorkQueue::WorkQueue(std::size_t initial_workers) {
+  target_workers_.store(initial_workers);
+  for (std::size_t i = 0; i < initial_workers; ++i) spawn_worker();
+}
+
+WorkQueue::~WorkQueue() { shutdown(); }
+
+void WorkQueue::spawn_worker() {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  const std::uint32_t index = next_worker_index_.fetch_add(1);
+  live_workers_.fetch_add(1);
+  threads_.emplace_back([this, index] { worker_loop(index); });
+}
+
+void WorkQueue::worker_loop(std::uint32_t worker_index) {
+  QueuedTask item;
+  while (true) {
+    // Elastic scale-down: surplus workers retire between tasks.
+    if (live_workers_.load() > target_workers_.load() &&
+        !shutting_down_.load()) {
+      std::size_t live = live_workers_.load();
+      bool retired = false;
+      while (live > target_workers_.load()) {
+        if (live_workers_.compare_exchange_weak(live, live - 1)) {
+          retired = true;
+          break;
+        }
+      }
+      if (retired) {
+        SSTD_LOG_DEBUG("wq", "worker %u retiring (scale-down)", worker_index);
+        return;
+      }
+    }
+    if (!queue_.pop(item)) break;  // queue closed and drained
+
+    TaskReport report;
+    report.task = item.task.id;
+    report.job = item.task.job;
+    report.submitted_s = item.submitted_s;
+    report.started_s = now();
+    report.worker = worker_index;
+    report.attempts = item.attempt + 1;
+
+    bool attempt_failed = false;
+    if (item.task.work) {
+      try {
+        item.task.work();
+      } catch (const std::exception& error) {
+        attempt_failed = true;
+        SSTD_LOG_WARN("wq", "task %llu attempt %d failed: %s",
+                      static_cast<unsigned long long>(item.task.id),
+                      item.attempt + 1, error.what());
+      } catch (...) {
+        attempt_failed = true;
+        SSTD_LOG_WARN("wq", "task %llu attempt %d failed (non-std exception)",
+                      static_cast<unsigned long long>(item.task.id),
+                      item.attempt + 1);
+      }
+    }
+
+    if (attempt_failed && item.attempt < item.task.max_retries &&
+        !shutting_down_.load()) {
+      // Resubmit for another attempt; the original submission time is
+      // kept so queue-wait accounting covers the whole task lifetime.
+      QueuedTask retry = std::move(item);
+      ++retry.attempt;
+      queue_.push(std::move(retry), retry_priority_);
+      continue;
+    }
+
+    report.finished_s = now();
+    report.failed = attempt_failed;
+
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      reports_.push_back(report);
+    }
+    completed_.fetch_add(1);
+    all_done_.notify_all();
+  }
+  live_workers_.fetch_sub(1);
+}
+
+void WorkQueue::submit(Task task, double priority) {
+  submitted_.fetch_add(1);
+  queue_.push(QueuedTask{std::move(task), now()}, priority);
+}
+
+void WorkQueue::set_job_priority(JobId job, double priority) {
+  queue_.reprioritize([job, priority](const QueuedTask& queued,
+                                      double old_priority) {
+    return queued.task.job == job ? priority : old_priority;
+  });
+}
+
+void WorkQueue::scale_workers(std::size_t target) {
+  if (target == 0) target = 1;  // a drained pool would deadlock wait_all
+  const std::size_t previous = target_workers_.exchange(target);
+  if (target > previous) {
+    std::size_t live = live_workers_.load();
+    for (std::size_t i = live; i < target; ++i) spawn_worker();
+  }
+  // Scale-down happens cooperatively in worker_loop.
+}
+
+void WorkQueue::wait_all() {
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  all_done_.wait(lock, [&] {
+    return completed_.load() >= submitted_.load();
+  });
+}
+
+void WorkQueue::shutdown() {
+  if (shutting_down_.exchange(true)) {
+    // Second call: threads may already be joined.
+  }
+  queue_.close();
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+std::vector<TaskReport> WorkQueue::drain_reports() {
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  std::vector<TaskReport> out;
+  out.swap(reports_);
+  return out;
+}
+
+}  // namespace sstd::dist

@@ -1,0 +1,202 @@
+#include "hmm/gaussian_hmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hmm/logspace.h"
+
+namespace sstd {
+namespace {
+
+// Variance floor: keeps a state from collapsing onto a single repeated ACS
+// value, which would give it infinite density there and zero elsewhere.
+constexpr double kMinVariance = 1e-4;
+
+double log_normal_pdf(double x, double mean, double variance) {
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * std::numbers::pi * variance) +
+                 d * d / variance);
+}
+
+}  // namespace
+
+GaussianHmm::GaussianHmm(int num_states, Rng& rng)
+    : core_(random_core(num_states, rng)),
+      means_(num_states),
+      variances_(num_states, 1.0) {
+  for (auto& m : means_) m = rng.normal();
+}
+
+void GaussianHmm::set_state(int state, double mean, double variance) {
+  if (variance < kMinVariance) {
+    throw std::invalid_argument("GaussianHmm: variance below floor");
+  }
+  means_[state] = mean;
+  variances_[state] = variance;
+}
+
+void GaussianHmm::set_a(int from, int to, double prob) {
+  core_.log_a[from * core_.num_states + to] = safe_log(prob);
+}
+
+void GaussianHmm::set_pi(int state, double prob) {
+  core_.log_pi[state] = safe_log(prob);
+}
+
+LogMatrix GaussianHmm::emission_log_probs(
+    const std::vector<double>& obs) const {
+  const int X = core_.num_states;
+  LogMatrix log_emit(obs.size() * X);
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    for (int i = 0; i < X; ++i) {
+      log_emit[t * X + i] = log_normal_pdf(obs[t], means_[i], variances_[i]);
+    }
+  }
+  return log_emit;
+}
+
+double GaussianHmm::sequence_log_likelihood(
+    const std::vector<double>& obs) const {
+  return log_likelihood(core_, emission_log_probs(obs), obs.size());
+}
+
+std::vector<int> GaussianHmm::decode(const std::vector<double>& obs) const {
+  return viterbi(core_, emission_log_probs(obs), obs.size());
+}
+
+TrainStats GaussianHmm::fit_from_current(
+    const std::vector<std::vector<double>>& sequences,
+    const BaumWelchOptions& options) {
+  const int X = core_.num_states;
+  TrainStats stats;
+  double prev_ll = kLogZero;
+  std::size_t total_steps = 0;
+  for (const auto& seq : sequences) total_steps += seq.size();
+  if (total_steps == 0) return stats;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> a_num(static_cast<std::size_t>(X) * X, 0.0);
+    std::vector<double> a_den(X, 0.0);
+    std::vector<double> weight(X, 0.0);
+    std::vector<double> weighted_sum(X, 0.0);
+    std::vector<double> weighted_sq(X, 0.0);
+    std::vector<double> pi_acc(X, 0.0);
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      const std::size_t T = obs.size();
+      if (T == 0) continue;
+      const LogMatrix log_emit = emission_log_probs(obs);
+      const ForwardBackwardResult fb = forward_backward(core_, log_emit, T);
+      if (fb.log_likelihood == kLogZero) continue;
+      total_ll += fb.log_likelihood;
+
+      const LogMatrix log_gamma = posterior_log_gamma(core_, fb, T);
+      const LogMatrix log_xi = expected_log_transitions(core_, log_emit, fb, T);
+
+      for (int i = 0; i < X; ++i) {
+        pi_acc[i] += std::exp(log_gamma[i]);
+        for (int j = 0; j < X; ++j) {
+          a_num[i * X + j] += std::exp(log_xi[i * X + j]);
+        }
+      }
+      for (std::size_t t = 0; t < T; ++t) {
+        for (int i = 0; i < X; ++i) {
+          const double g = std::exp(log_gamma[t * X + i]);
+          if (t + 1 < T) a_den[i] += g;
+          weight[i] += g;
+          weighted_sum[i] += g * obs[t];
+          weighted_sq[i] += g * obs[t] * obs[t];
+        }
+      }
+    }
+
+    const double eps = options.smoothing;
+    for (int i = 0; i < X; ++i) {
+      if (options.update_transitions) {
+        const double row_den = a_den[i] + eps * X;
+        for (int j = 0; j < X; ++j) {
+          core_.log_a[i * X + j] =
+              safe_log((a_num[i * X + j] + eps) / row_den);
+        }
+      }
+      if (options.update_emissions && weight[i] > 1e-12) {
+        const double mean = weighted_sum[i] / weight[i];
+        const double var =
+            std::max(weighted_sq[i] / weight[i] - mean * mean, kMinVariance);
+        means_[i] = mean;
+        variances_[i] = var;
+      }
+    }
+    if (options.update_pi) {
+      double pi_total = 0.0;
+      for (int i = 0; i < X; ++i) pi_total += pi_acc[i] + eps;
+      for (int i = 0; i < X; ++i) {
+        core_.log_pi[i] = safe_log((pi_acc[i] + eps) / pi_total);
+      }
+    }
+
+    stats.iterations = iter + 1;
+    stats.log_likelihood = total_ll;
+    if (prev_ll != kLogZero &&
+        (total_ll - prev_ll) / static_cast<double>(total_steps) <
+            options.tolerance) {
+      stats.converged = true;
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  return stats;
+}
+
+TrainStats GaussianHmm::fit(const std::vector<std::vector<double>>& sequences,
+                            const BaumWelchOptions& options) {
+  Rng rng(options.seed);
+  GaussianHmm best = *this;
+  TrainStats best_stats = best.fit_from_current(sequences, options);
+
+  const int restarts = options.update_emissions ? options.restarts : 0;
+  for (int r = 0; r < restarts; ++r) {
+    Rng child = rng.fork();
+    GaussianHmm candidate(core_.num_states, child);
+    const TrainStats stats = candidate.fit_from_current(sequences, options);
+    if (stats.log_likelihood > best_stats.log_likelihood) {
+      best = candidate;
+      best_stats = stats;
+    }
+  }
+
+  *this = best;
+  return best_stats;
+}
+
+bool GaussianHmm::canonicalize_truth_states() {
+  if (core_.num_states != 2) return false;
+  if (means_[1] >= means_[0]) return false;
+  std::swap(core_.log_pi[0], core_.log_pi[1]);
+  std::swap(core_.log_a[0 * 2 + 0], core_.log_a[1 * 2 + 1]);
+  std::swap(core_.log_a[0 * 2 + 1], core_.log_a[1 * 2 + 0]);
+  std::swap(means_[0], means_[1]);
+  std::swap(variances_[0], variances_[1]);
+  return true;
+}
+
+GaussianHmm make_truth_gaussian_hmm(double scale, double stickiness) {
+  Rng rng(7);
+  GaussianHmm hmm(2, rng);
+  hmm.set_pi(0, 0.5);
+  hmm.set_pi(1, 0.5);
+  hmm.set_a(0, 0, stickiness);
+  hmm.set_a(0, 1, 1.0 - stickiness);
+  hmm.set_a(1, 1, stickiness);
+  hmm.set_a(1, 0, 1.0 - stickiness);
+  const double variance = std::max(scale * scale, 4.0 * kMinVariance);
+  hmm.set_state(0, -scale / 2.0, variance);
+  hmm.set_state(1, scale / 2.0, variance);
+  return hmm;
+}
+
+}  // namespace sstd

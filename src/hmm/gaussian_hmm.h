@@ -1,0 +1,51 @@
+// Gaussian-emission HMM: the ablation alternative to ACS quantization
+// (DESIGN.md §5, bench A1). Each hidden state emits a scalar ACS drawn from
+// N(mean_i, var_i); Baum-Welch re-estimates the per-state moments.
+#pragma once
+
+#include <vector>
+
+#include "hmm/discrete_hmm.h"  // BaumWelchOptions / TrainStats
+#include "hmm/hmm_core.h"
+
+namespace sstd {
+
+class GaussianHmm {
+ public:
+  GaussianHmm() = default;
+  GaussianHmm(int num_states, Rng& rng);
+
+  int num_states() const { return core_.num_states; }
+  const HmmCore& core() const { return core_; }
+
+  double mean(int state) const { return means_[state]; }
+  double variance(int state) const { return variances_[state]; }
+  void set_state(int state, double mean, double variance);
+  void set_a(int from, int to, double prob);
+  void set_pi(int state, double prob);
+
+  LogMatrix emission_log_probs(const std::vector<double>& obs) const;
+  double sequence_log_likelihood(const std::vector<double>& obs) const;
+  std::vector<int> decode(const std::vector<double>& obs) const;
+
+  TrainStats fit(const std::vector<std::vector<double>>& sequences,
+                 const BaumWelchOptions& options = {});
+
+  // Same convention as DiscreteHmm::canonicalize_truth_states: state 1 must
+  // be the higher-mean ("claim true") state.
+  bool canonicalize_truth_states();
+
+ private:
+  TrainStats fit_from_current(const std::vector<std::vector<double>>& sequences,
+                              const BaumWelchOptions& options);
+
+  HmmCore core_;
+  std::vector<double> means_;
+  std::vector<double> variances_;
+};
+
+// Informed 2-state truth model, mirror of make_truth_hmm: state 0 centered
+// on negative ACS, state 1 on positive ACS.
+GaussianHmm make_truth_gaussian_hmm(double scale, double stickiness = 0.9);
+
+}  // namespace sstd

@@ -1,0 +1,28 @@
+// Log-domain arithmetic. All HMM inference in this repo runs in log space:
+// with T=100 intervals and emission probabilities well below 1, linear-space
+// forward variables underflow double precision (DESIGN.md §5).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace sstd {
+
+// Representation of log(0).
+constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+inline double safe_log(double x) { return x > 0.0 ? std::log(x) : kLogZero; }
+
+// log(exp(a) + exp(b)) without overflow/underflow.
+inline double log_add(double a, double b) {
+  if (a == kLogZero) return b;
+  if (b == kLogZero) return a;
+  if (a < b) {
+    const double t = a;
+    a = b;
+    b = t;
+  }
+  return a + std::log1p(std::exp(b - a));
+}
+
+}  // namespace sstd

@@ -1,0 +1,49 @@
+#include "hmm/online_forward.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hmm/logspace.h"
+
+namespace sstd {
+
+OnlineForward::OnlineForward(const HmmCore& core) : core_(core) {
+  if (core_.num_states <= 0) {
+    throw std::invalid_argument("OnlineForward: empty core");
+  }
+  alpha_.assign(core_.num_states,
+                1.0 / static_cast<double>(core_.num_states));
+}
+
+void OnlineForward::step(const std::vector<double>& log_emit) {
+  const int X = core_.num_states;
+  std::vector<double> next(X, 0.0);
+  if (steps_ == 0) {
+    for (int i = 0; i < X; ++i) {
+      next[i] = std::exp(core_.log_pi[i] + log_emit[i]);
+    }
+  } else {
+    for (int j = 0; j < X; ++j) {
+      double predicted = 0.0;
+      for (int i = 0; i < X; ++i) {
+        predicted += alpha_[i] * std::exp(core_.log_a_at(i, j));
+      }
+      next[j] = predicted * std::exp(log_emit[j]);
+    }
+  }
+  // Normalize; a numerically impossible observation falls back to the
+  // predictive distribution rather than dividing by zero.
+  double total = 0.0;
+  for (double value : next) total += value;
+  if (total > 0.0) {
+    for (double& value : next) value /= total;
+    alpha_ = std::move(next);
+  }
+  ++steps_;
+}
+
+double OnlineForward::probability(int state) const {
+  return alpha_.at(static_cast<std::size_t>(state));
+}
+
+}  // namespace sstd

@@ -1,0 +1,39 @@
+// Online forward filter: the probabilistic sibling of OnlineViterbi.
+//
+// Where OnlineViterbi tracks the single most likely state path (max-sum),
+// OnlineForward maintains the normalized filtering distribution
+// P(s_t | o_1..o_t) (sum-product), one O(X^2) update per step. SSTD uses
+// it to expose *soft* truth estimates — the probability a claim is
+// currently true — which downstream consumers need for triage and
+// thresholding (a "0.51 true" and a "0.99 true" are different alerts).
+#pragma once
+
+#include <vector>
+
+#include "hmm/hmm_core.h"
+
+namespace sstd {
+
+class OnlineForward {
+ public:
+  explicit OnlineForward(const HmmCore& core);
+
+  // Advances one step with per-state emission log-probabilities.
+  void step(const std::vector<double>& log_emit);
+
+  std::size_t steps() const { return steps_; }
+
+  // Filtering probability of state `i` given everything seen so far.
+  // Uniform prior before the first observation.
+  double probability(int state) const;
+
+  // Convenience for 2-state truth models: P(state 1) = P(claim true).
+  double probability_true() const { return probability(1); }
+
+ private:
+  HmmCore core_;
+  std::vector<double> alpha_;  // normalized (linear space)
+  std::size_t steps_ = 0;
+};
+
+}  // namespace sstd

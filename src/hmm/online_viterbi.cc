@@ -1,0 +1,95 @@
+#include "hmm/online_viterbi.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "hmm/logspace.h"
+
+namespace sstd {
+
+OnlineViterbi::OnlineViterbi(const HmmCore& core, std::size_t max_lag)
+    : core_(core), max_lag_(max_lag) {
+  if (core_.num_states <= 0) {
+    throw std::invalid_argument("OnlineViterbi: empty core");
+  }
+}
+
+void OnlineViterbi::step(const std::vector<double>& log_emit) {
+  const int X = core_.num_states;
+  assert(log_emit.size() == static_cast<std::size_t>(X));
+
+  std::vector<int> back(X, 0);
+  if (history_.empty()) {
+    delta_.resize(X);
+    for (int i = 0; i < X; ++i) delta_[i] = core_.log_pi[i] + log_emit[i];
+  } else {
+    std::vector<double> next(X, kLogZero);
+    for (int j = 0; j < X; ++j) {
+      double best = kLogZero;
+      int arg = 0;
+      for (int i = 0; i < X; ++i) {
+        const double cand = delta_[i] + core_.log_a_at(i, j);
+        if (cand > best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      next[j] = best + log_emit[j];
+      back[j] = arg;
+    }
+    delta_.swap(next);
+  }
+  history_.push_back(std::move(back));
+
+  // Bound memory when a decode lag was configured: backpointers older than
+  // the lag window can never be read again.
+  if (max_lag_ > 0 && history_.size() > max_lag_ + 1) {
+    history_.erase(history_.begin());
+  }
+
+  // Renormalize the frontier to keep log-values bounded on long streams
+  // (subtracting a constant does not change any argmax).
+  double peak = kLogZero;
+  for (double v : delta_) peak = std::max(peak, v);
+  if (peak != kLogZero) {
+    for (double& v : delta_) v -= peak;
+  }
+}
+
+int OnlineViterbi::current_state() const {
+  if (history_.empty()) {
+    throw std::logic_error("OnlineViterbi: no observations yet");
+  }
+  int arg = 0;
+  for (int i = 1; i < core_.num_states; ++i) {
+    if (delta_[i] > delta_[arg]) arg = i;
+  }
+  return arg;
+}
+
+int OnlineViterbi::lagged_state(std::size_t lag) const {
+  if (lag >= history_.size()) {
+    throw std::out_of_range("OnlineViterbi: lag exceeds history");
+  }
+  int state = current_state();
+  // Walk backpointers from the frontier `lag` steps into the past.
+  for (std::size_t back = 0; back < lag; ++back) {
+    const auto& pointers = history_[history_.size() - 1 - back];
+    state = pointers[state];
+  }
+  return state;
+}
+
+std::vector<int> OnlineViterbi::traceback() const {
+  std::vector<int> path(history_.size());
+  if (history_.empty()) return path;
+  int state = current_state();
+  path.back() = state;
+  for (std::size_t t = history_.size() - 1; t > 0; --t) {
+    state = history_[t][state];
+    path[t - 1] = state;
+  }
+  return path;
+}
+
+}  // namespace sstd

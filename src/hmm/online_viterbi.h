@@ -1,0 +1,51 @@
+// Streaming Viterbi decoder (paper §III-D applied online).
+//
+// SSTD must emit a truth estimate at every interval boundary as data
+// streams in; re-running batch Viterbi over the whole history each interval
+// would be O(T^2) per claim. OnlineViterbi maintains the Viterbi trellis
+// frontier incrementally: each step() is O(X^2), and the current most
+// likely state is available immediately. A fixed decode lag can optionally
+// be used to read smoothed (less jittery) decisions delayed by L steps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hmm/hmm_core.h"
+
+namespace sstd {
+
+class OnlineViterbi {
+ public:
+  // The decoder keeps a reference-free copy of the transition core. The
+  // caller supplies per-step emission log-probs (one double per state), so
+  // it works with both discrete and Gaussian emissions.
+  explicit OnlineViterbi(const HmmCore& core, std::size_t max_lag = 0);
+
+  // Advances one time step. `log_emit` has core.num_states entries.
+  void step(const std::vector<double>& log_emit);
+
+  std::size_t steps() const { return history_.size(); }
+
+  // Most likely current state given everything seen so far (filtered
+  // decision; what the streaming engine reports each interval).
+  int current_state() const;
+
+  // Most likely state at `steps() - 1 - lag` using backtracking through the
+  // stored trellis (smoothed decision). lag must be <= min(max_lag,
+  // steps()-1).
+  int lagged_state(std::size_t lag) const;
+
+  // Full traceback over the retained history window (up to max_lag + 1
+  // most recent steps, or the whole history when max_lag == 0 was given as
+  // "unbounded" == retain everything).
+  std::vector<int> traceback() const;
+
+ private:
+  HmmCore core_;
+  std::size_t max_lag_;  // 0 => retain full history
+  std::vector<double> delta_;             // current frontier, X entries
+  std::vector<std::vector<int>> history_;  // backpointers per step
+};
+
+}  // namespace sstd

@@ -1,0 +1,55 @@
+#include "hmm/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sstd {
+
+AcsQuantizer::AcsQuantizer(int num_bins, double scale)
+    : num_bins_(num_bins), scale_(scale) {
+  if (num_bins < 3 || num_bins % 2 == 0) {
+    throw std::invalid_argument("AcsQuantizer: num_bins must be odd and >= 3");
+  }
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("AcsQuantizer: scale must be positive");
+  }
+}
+
+int AcsQuantizer::quantize(double acs) const {
+  const int half = (num_bins_ - 1) / 2;
+  const double normalized = acs / scale_ * half;
+  const double rounded = std::round(normalized);
+  const int offset =
+      static_cast<int>(std::clamp<double>(rounded, -half, half));
+  return offset + half;
+}
+
+std::vector<int> AcsQuantizer::quantize_series(
+    const std::vector<double>& acs) const {
+  std::vector<int> symbols(acs.size());
+  for (std::size_t i = 0; i < acs.size(); ++i) symbols[i] = quantize(acs[i]);
+  return symbols;
+}
+
+double AcsQuantizer::bin_center(int symbol) const {
+  const int half = (num_bins_ - 1) / 2;
+  return static_cast<double>(symbol - half) / half * scale_;
+}
+
+AcsQuantizer AcsQuantizer::fit(const std::vector<std::vector<double>>& series,
+                               int num_bins, double q) {
+  std::vector<double> magnitudes;
+  for (const auto& s : series) {
+    for (double v : s) {
+      if (v != 0.0) magnitudes.push_back(std::fabs(v));
+    }
+  }
+  const double scale =
+      magnitudes.empty() ? 1.0 : std::max(percentile(magnitudes, q), 1e-9);
+  return AcsQuantizer(num_bins, scale);
+}
+
+}  // namespace sstd

@@ -1,0 +1,43 @@
+// ACS quantization. The paper's HMM consumes discrete observation symbols
+// (§III-A) but the ACS is a real number; we map it onto a symmetric signed
+// bin axis with saturating tails (DESIGN.md §5). Symbol 0 is the most
+// negative bin, symbol (bins-1)/... the most positive; with an odd bin
+// count the middle symbol represents "no net evidence".
+#pragma once
+
+#include <vector>
+
+namespace sstd {
+
+class AcsQuantizer {
+ public:
+  // `num_bins` must be >= 3 and odd (a dedicated zero bin keeps "silence"
+  // from leaking evidence toward either truth value). `scale` is the ACS
+  // magnitude mapped to the outermost bin.
+  AcsQuantizer(int num_bins, double scale);
+
+  int num_bins() const { return num_bins_; }
+  double scale() const { return scale_; }
+
+  // Maps an ACS value to a symbol in [0, num_bins).
+  int quantize(double acs) const;
+
+  std::vector<int> quantize_series(const std::vector<double>& acs) const;
+
+  // Center ACS value represented by a symbol (inverse mapping, for
+  // debugging/plots).
+  double bin_center(int symbol) const;
+
+  // Chooses a scale from training data: the q-th percentile of |ACS| over
+  // all nonzero entries (default 0.9), so outlier spikes saturate instead
+  // of compressing the informative range. Falls back to 1.0 when the data
+  // is all zeros.
+  static AcsQuantizer fit(const std::vector<std::vector<double>>& series,
+                          int num_bins, double q = 0.9);
+
+ private:
+  int num_bins_;
+  double scale_;
+};
+
+}  // namespace sstd

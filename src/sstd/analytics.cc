@@ -1,0 +1,108 @@
+#include "sstd/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sstd {
+
+std::vector<SourceAudit> audit_sources(const Dataset& data,
+                                       const EstimateMatrix& estimates,
+                                       std::uint32_t min_reports) {
+  struct Accumulator {
+    std::uint32_t reports = 0;
+    std::uint32_t agreements = 0;
+    double independence_sum = 0.0;
+    std::unordered_map<std::uint32_t, bool> claims;
+  };
+  std::unordered_map<std::uint32_t, Accumulator> accumulators;
+
+  for (const Report& report : data.reports()) {
+    if (report.attitude == 0) continue;
+    const IntervalIndex k = data.interval_of(report.time_ms);
+    const std::int8_t estimate = estimates[report.claim.value][k];
+    if (estimate == kNoEstimate) continue;
+
+    Accumulator& acc = accumulators[report.source.value];
+    ++acc.reports;
+    acc.independence_sum += report.independence;
+    acc.claims[report.claim.value] = true;
+    const bool asserted_true = report.attitude > 0;
+    acc.agreements += asserted_true == (estimate == 1);
+  }
+
+  std::vector<SourceAudit> audits;
+  audits.reserve(accumulators.size());
+  for (const auto& [source, acc] : accumulators) {
+    if (acc.reports < min_reports) continue;
+    SourceAudit audit;
+    audit.source = SourceId{source};
+    audit.reports = acc.reports;
+    audit.agreements = acc.agreements;
+    audit.agreement_rate =
+        static_cast<double>(acc.agreements) / acc.reports;
+    audit.mean_independence = acc.independence_sum / acc.reports;
+    audit.claims_touched = static_cast<std::uint32_t>(acc.claims.size());
+    audits.push_back(audit);
+  }
+  // Deterministic order: by source id.
+  std::sort(audits.begin(), audits.end(),
+            [](const SourceAudit& a, const SourceAudit& b) {
+              return a.source.value < b.source.value;
+            });
+  return audits;
+}
+
+std::vector<SourceAudit> least_reliable_sources(
+    const Dataset& data, const EstimateMatrix& estimates, std::size_t k,
+    std::uint32_t min_reports) {
+  std::vector<SourceAudit> audits =
+      audit_sources(data, estimates, min_reports);
+  std::sort(audits.begin(), audits.end(),
+            [](const SourceAudit& a, const SourceAudit& b) {
+              if (a.agreement_rate != b.agreement_rate) {
+                return a.agreement_rate < b.agreement_rate;
+              }
+              if (a.reports != b.reports) return a.reports > b.reports;
+              return a.source.value < b.source.value;
+            });
+  if (audits.size() > k) audits.resize(k);
+  return audits;
+}
+
+std::vector<ClaimControversy> claim_controversy(
+    const Dataset& data, const EstimateMatrix& estimates) {
+  std::vector<ClaimControversy> result;
+  result.reserve(data.num_claims());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    ClaimControversy entry;
+    entry.claim = ClaimId{u};
+
+    double mass_true = 0.0;
+    double mass_false = 0.0;
+    for (const Report& report : data.reports_of_claim(ClaimId{u})) {
+      if (report.attitude == 0) continue;
+      ++entry.reports;
+      const double mass = std::fabs(contribution_score(report));
+      (report.attitude > 0 ? mass_true : mass_false) += mass;
+    }
+    const double total = mass_true + mass_false;
+    entry.controversy =
+        total > 0.0 ? std::min(mass_true, mass_false) / total : 0.0;
+
+    const auto& row = estimates[u];
+    std::uint32_t flips = 0;
+    std::uint32_t comparable = 0;
+    for (IntervalIndex k = 1; k < data.intervals(); ++k) {
+      if (row[k] == kNoEstimate || row[k - 1] == kNoEstimate) continue;
+      ++comparable;
+      flips += row[k] != row[k - 1];
+    }
+    entry.estimate_flip_rate =
+        comparable > 0 ? static_cast<double>(flips) / comparable : 0.0;
+    result.push_back(entry);
+  }
+  return result;
+}
+
+}  // namespace sstd

@@ -1,0 +1,55 @@
+// Post-hoc analytics over a trace and its truth estimates: per-source
+// reliability audits and per-claim controversy scores. This is the
+// operator-facing layer on top of truth discovery — once SSTD has decided
+// *what* is true, the obvious next questions are "who kept spreading the
+// false version?" (the paper's §I misinformation motivation, Table I's
+// third tweet) and "which claims were actually contested?".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/truth_discovery.h"
+
+namespace sstd {
+
+struct SourceAudit {
+  SourceId source;
+  std::uint32_t reports = 0;        // stance-bearing reports
+  std::uint32_t agreements = 0;     // matched the estimate at that interval
+  double agreement_rate = 0.0;      // agreements / reports
+  double mean_independence = 0.0;   // low = mostly echoes
+  std::uint32_t claims_touched = 0;
+};
+
+struct ClaimControversy {
+  ClaimId claim;
+  std::uint32_t reports = 0;
+  // Share of stance-bearing report mass on the minority side, in [0, .5]:
+  // 0 = unanimous, 0.5 = perfectly split.
+  double controversy = 0.0;
+  // Fraction of intervals whose estimate differs from the previous one.
+  double estimate_flip_rate = 0.0;
+};
+
+// Scores every reporting source against the per-interval estimates.
+// Sources are compared to the *estimate*, not ground truth — this is what
+// a deployment can actually compute live. min_reports filters one-shot
+// sources whose rates are meaningless.
+std::vector<SourceAudit> audit_sources(const Dataset& data,
+                                       const EstimateMatrix& estimates,
+                                       std::uint32_t min_reports = 3);
+
+// The `k` audited sources with the lowest agreement rate — the likely
+// misinformation spreaders (or contrarians). Requires >= min_reports.
+std::vector<SourceAudit> least_reliable_sources(
+    const Dataset& data, const EstimateMatrix& estimates, std::size_t k,
+    std::uint32_t min_reports = 3);
+
+// Per-claim controversy + estimate stability.
+std::vector<ClaimControversy> claim_controversy(
+    const Dataset& data, const EstimateMatrix& estimates);
+
+}  // namespace sstd

@@ -1,0 +1,42 @@
+// Batch SSTD: the HMM-based dynamic truth discovery scheme of §III run
+// over a complete dataset — per-claim ACS sequences (Eq. 4), Baum-Welch
+// parameter estimation (Eq. 5), Viterbi decoding (Eq. 6-8).
+//
+// This is the algorithmic core that the accuracy tables (III-V) evaluate;
+// the distributed engine (distributed.h) runs exactly this computation
+// partitioned into per-claim TD jobs.
+#pragma once
+
+#include "core/truth_discovery.h"
+#include "sstd/config.h"
+
+namespace sstd {
+
+class SstdBatch final : public BatchTruthDiscovery {
+ public:
+  explicit SstdBatch(SstdConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "SSTD"; }
+  EstimateMatrix run(const Dataset& data) override;
+
+  // Decodes a single claim given its pre-built ACS series; exposed so TD
+  // jobs in the distributed runtime can run claims independently.
+  static TruthSeries decode_claim(const std::vector<double>& acs,
+                                  const class AcsQuantizer& quantizer,
+                                  const SstdConfig& config);
+
+  // Soft outputs: per-claim, per-interval posterior P(claim true | all
+  // observations), from the smoothed forward-backward marginals of the
+  // same per-claim models Viterbi decodes. probabilities[u][k] in [0, 1].
+  std::vector<std::vector<double>> run_probabilities(const Dataset& data);
+
+  // Posterior for a single claim (the soft sibling of decode_claim).
+  static std::vector<double> claim_posterior(const std::vector<double>& acs,
+                                             const class AcsQuantizer& quantizer,
+                                             const SstdConfig& config);
+
+ private:
+  SstdConfig config_;
+};
+
+}  // namespace sstd

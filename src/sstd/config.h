@@ -1,0 +1,67 @@
+// Tunables of the SSTD scheme (paper §III). Defaults follow the paper
+// where it is explicit (2 hidden states, EM training, Viterbi decoding)
+// and DESIGN.md §5 where it is not (ACS quantization into 7 signed bins).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "hmm/discrete_hmm.h"
+
+namespace sstd {
+
+struct SstdConfig {
+  // Sliding window sw for the ACS (Eq. 4); 0 means one dataset interval.
+  TimestampMs window_ms = 0;
+
+  // ACS quantization (DESIGN.md §5): odd bin count, scale fit quantile.
+  int num_bins = 7;
+  double scale_quantile = 0.9;
+
+  // HMM structure/init: informed truth-model initialization.
+  double stickiness = 0.9;
+  double emission_bias = 2.0;
+
+  // Baum-Welch training (Eq. 5). Training is unsupervised (observation
+  // likelihood only), so fitting on the full sequence leaks no labels.
+  // Default: learn transitions + pi per claim but keep the informed
+  // emission ramp frozen — on a single short per-claim sequence, full EM
+  // reshapes emissions to fit noise and loses the state semantics (the
+  // A1 ablation bench quantifies this).
+  BaumWelchOptions train = default_train_options();
+
+  static BaumWelchOptions default_train_options() {
+    BaumWelchOptions options;
+    options.update_emissions = false;
+    options.max_iterations = 30;
+    return options;
+  }
+
+  // Quantizer scale: fit per claim (adapts to each claim's traffic volume)
+  // or globally across the trace. Per-claim is the default — claim
+  // popularity is heavy-tailed, so one global scale squeezes quiet claims
+  // into the zero bin.
+  bool per_claim_scale = true;
+
+  // Train one HMM per claim (the paper's choice). When false, a single
+  // model is fit on all claims' sequences pooled — an ablation that helps
+  // sparse claims but blurs per-claim dynamics.
+  bool per_claim_models = true;
+
+  // Gaussian-emission ablation: skip quantization, model ACS directly.
+  bool use_gaussian = false;
+
+  // Streaming engine: refit models every this many intervals (0 = never
+  // refit after warmup; decode with the informed prior until first fit).
+  IntervalIndex refit_every = 20;
+  IntervalIndex warmup_intervals = 10;
+
+  // Streaming claim garbage collection: a claim pipeline whose last report
+  // is older than this many intervals is evicted (its estimate reverts to
+  // kNoEstimate). Live events churn through claims — OSU-attack topics die
+  // within hours — so an unbounded pipeline map is a memory leak in
+  // production. 0 disables eviction.
+  IntervalIndex evict_after_idle_intervals = 0;
+};
+
+}  // namespace sstd

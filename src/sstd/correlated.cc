@@ -1,0 +1,88 @@
+#include "sstd/correlated.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/acs.h"
+#include "hmm/quantizer.h"
+#include "sstd/batch.h"
+
+namespace sstd {
+
+CorrelatedSstd::CorrelatedSstd(std::vector<ClaimCorrelation> correlations,
+                               SstdConfig config, double blend)
+    : correlations_(std::move(correlations)),
+      config_(config),
+      blend_(blend) {
+  if (blend < 0.0 || blend >= 1.0) {
+    throw std::invalid_argument("CorrelatedSstd: blend must be in [0, 1)");
+  }
+  for (const auto& correlation : correlations_) {
+    if (std::fabs(correlation.weight) > 1.0) {
+      throw std::invalid_argument("CorrelatedSstd: |weight| must be <= 1");
+    }
+  }
+}
+
+EstimateMatrix CorrelatedSstd::run(const Dataset& data) {
+  const TimestampMs window =
+      config_.window_ms > 0 ? config_.window_ms : data.interval_ms();
+
+  // Raw per-claim ACS plus each claim's own magnitude scale.
+  std::vector<std::vector<double>> acs(data.num_claims());
+  std::vector<double> scale(data.num_claims(), 1.0);
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    acs[u] = build_acs_series(data.reports_of_claim(ClaimId{u}),
+                              data.intervals(), data.interval_ms(), window);
+    scale[u] = AcsQuantizer::fit({acs[u]}, config_.num_bins,
+                                 config_.scale_quantile)
+                   .scale();
+  }
+
+  // Symmetric adjacency.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> neighbors(
+      data.num_claims());
+  for (const auto& correlation : correlations_) {
+    if (correlation.a >= data.num_claims() ||
+        correlation.b >= data.num_claims() ||
+        correlation.a == correlation.b) {
+      continue;
+    }
+    neighbors[correlation.a].emplace_back(correlation.b, correlation.weight);
+    neighbors[correlation.b].emplace_back(correlation.a, correlation.weight);
+  }
+
+  // Blend in scale-normalized space, then rescale back to the claim's own
+  // magnitude so the downstream quantizer geometry is unchanged.
+  std::vector<std::vector<double>> blended(data.num_claims());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    blended[u] = acs[u];
+    if (neighbors[u].empty()) continue;
+    double total_weight = 0.0;
+    for (const auto& [_, weight] : neighbors[u]) {
+      total_weight += std::fabs(weight);
+    }
+    if (total_weight <= 0.0) continue;
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      double borrowed = 0.0;
+      for (const auto& [v, weight] : neighbors[u]) {
+        borrowed += weight * acs[v][k] / scale[v];
+      }
+      borrowed /= total_weight;
+      const double own = acs[u][k] / scale[u];
+      blended[u][k] =
+          ((1.0 - blend_) * own + blend_ * borrowed) * scale[u];
+    }
+  }
+
+  EstimateMatrix estimates(data.num_claims());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const AcsQuantizer quantizer = AcsQuantizer::fit(
+        {blended[u]}, config_.num_bins, config_.scale_quantile);
+    estimates[u] = SstdBatch::decode_claim(blended[u], quantizer, config_);
+  }
+  return estimates;
+}
+
+}  // namespace sstd

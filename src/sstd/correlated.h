@@ -1,0 +1,54 @@
+// Claim-dependency extension — the paper's first future-work item (§VII:
+// "explicitly model the correlation between different claims and
+// incorporate such correlation into the HMM based model ... weather
+// conditions at city A may be related to weather conditions at city B").
+//
+// Implementation: evidence sharing at the observation level. Before
+// decoding claim u, its ACS sequence is blended with the (per-claim
+// scale-normalized) ACS of its correlated neighbors:
+//
+//   acs'_u = (1 - blend) * acs_u + blend * sum_v w_uv * sign(w_uv) * acs_v
+//
+// where weights are normalized over u's neighborhood and a negative w_uv
+// expresses anti-correlation ("A true implies B false"). Normalizing each
+// series by its own fitted scale first keeps a popular neighbor from
+// swamping a quiet claim — the main beneficiaries are sparse claims that
+// borrow statistical strength from well-observed correlated ones. The HMM
+// decode itself is unchanged, which keeps the per-claim decomposition (and
+// therefore the distributed design) intact as long as correlated claims
+// are co-located on the same TD job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/truth_discovery.h"
+#include "sstd/config.h"
+
+namespace sstd {
+
+struct ClaimCorrelation {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  // Coupling strength in [-1, 1]; positive = same truth, negative =
+  // opposite truth. Applied symmetrically.
+  double weight = 1.0;
+};
+
+class CorrelatedSstd final : public BatchTruthDiscovery {
+ public:
+  CorrelatedSstd(std::vector<ClaimCorrelation> correlations,
+                 SstdConfig config = {}, double blend = 0.35);
+
+  std::string name() const override { return "SSTD+corr"; }
+  EstimateMatrix run(const Dataset& data) override;
+
+  double blend() const { return blend_; }
+
+ private:
+  std::vector<ClaimCorrelation> correlations_;
+  SstdConfig config_;
+  double blend_;
+};
+
+}  // namespace sstd

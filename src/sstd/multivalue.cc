@@ -1,0 +1,175 @@
+#include "sstd/multivalue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hmm/hmm_core.h"
+#include "hmm/logspace.h"
+#include "util/stats.h"
+
+namespace sstd {
+
+namespace {
+
+// Windowed per-interval, per-value evidence sums. evidence[k * V + v].
+std::vector<double> build_evidence(const std::vector<ValueReport>& reports,
+                                   int num_values, IntervalIndex intervals,
+                                   TimestampMs interval_ms,
+                                   IntervalIndex window_intervals) {
+  std::vector<double> per_interval(
+      static_cast<std::size_t>(intervals) * num_values, 0.0);
+  for (const auto& report : reports) {
+    if (report.value >= num_values) {
+      throw std::out_of_range("multivalue: report value out of range");
+    }
+    auto k = static_cast<IntervalIndex>(report.time_ms / interval_ms);
+    k = std::clamp<IntervalIndex>(k, 0, intervals - 1);
+    per_interval[static_cast<std::size_t>(k) * num_values + report.value] +=
+        report.weight;
+  }
+  if (window_intervals <= 1) return per_interval;
+
+  // Rolling window over the trailing `window_intervals` intervals.
+  std::vector<double> windowed(per_interval.size(), 0.0);
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    for (IntervalIndex back = 0; back < window_intervals && back <= k;
+         ++back) {
+      for (int v = 0; v < num_values; ++v) {
+        windowed[static_cast<std::size_t>(k) * num_values + v] +=
+            per_interval[static_cast<std::size_t>(k - back) * num_values + v];
+      }
+    }
+  }
+  return windowed;
+}
+
+HmmCore sticky_core(int num_values, double stickiness) {
+  HmmCore core;
+  core.num_states = num_values;
+  core.log_a.resize(static_cast<std::size_t>(num_values) * num_values);
+  core.log_pi.assign(num_values,
+                     safe_log(1.0 / static_cast<double>(num_values)));
+  const double off = (1.0 - stickiness) /
+                     static_cast<double>(std::max(1, num_values - 1));
+  for (int i = 0; i < num_values; ++i) {
+    for (int j = 0; j < num_values; ++j) {
+      core.log_a[i * num_values + j] = safe_log(i == j ? stickiness : off);
+    }
+  }
+  return core;
+}
+
+}  // namespace
+
+std::vector<double> MultiValueSstd::build_log_emissions(
+    const std::vector<ValueReport>& reports, int num_values,
+    IntervalIndex intervals, TimestampMs interval_ms) const {
+  if (num_values < 2) {
+    throw std::invalid_argument("multivalue: need at least 2 values");
+  }
+  if (intervals <= 0 || interval_ms <= 0) {
+    throw std::invalid_argument("multivalue: bad discretization");
+  }
+  std::vector<double> evidence = build_evidence(
+      reports, num_values, intervals, interval_ms, config_.window_intervals);
+
+  // Per-claim evidence scale: quantile of nonzero magnitudes, so the
+  // softmax sharpness is comparable across claims of very different
+  // popularity (the same normalization trick the binary quantizer uses).
+  std::vector<double> magnitudes;
+  for (double value : evidence) {
+    if (value != 0.0) magnitudes.push_back(std::fabs(value));
+  }
+  const double scale = magnitudes.empty()
+                           ? 1.0
+                           : std::max(percentile(std::move(magnitudes),
+                                                 config_.scale_quantile),
+                                      1e-9);
+
+  // Softmax evidence emission: log P(obs_k | state v) = beta * e_kv /
+  // scale - logsumexp_w(beta * e_kw / scale). The subtraction keeps rows
+  // normalized so likelihoods are comparable across steps.
+  std::vector<double> log_emit(evidence.size());
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    double denom = kLogZero;
+    for (int v = 0; v < num_values; ++v) {
+      const double score = config_.evidence_weight *
+                           evidence[static_cast<std::size_t>(k) * num_values +
+                                    v] /
+                           scale;
+      denom = log_add(denom, score);
+    }
+    for (int v = 0; v < num_values; ++v) {
+      const double score = config_.evidence_weight *
+                           evidence[static_cast<std::size_t>(k) * num_values +
+                                    v] /
+                           scale;
+      log_emit[static_cast<std::size_t>(k) * num_values + v] = score - denom;
+    }
+  }
+  return log_emit;
+}
+
+ValueSeries MultiValueSstd::decode(const std::vector<ValueReport>& reports,
+                                   int num_values, IntervalIndex intervals,
+                                   TimestampMs interval_ms) const {
+  const auto log_emit =
+      build_log_emissions(reports, num_values, intervals, interval_ms);
+  const HmmCore core = sticky_core(num_values, config_.stickiness);
+  const auto path = viterbi(core, log_emit,
+                            static_cast<std::size_t>(intervals));
+  ValueSeries series(intervals);
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    series[k] = static_cast<std::uint8_t>(path[k]);
+  }
+  return series;
+}
+
+std::vector<std::vector<double>> MultiValueSstd::posterior(
+    const std::vector<ValueReport>& reports, int num_values,
+    IntervalIndex intervals, TimestampMs interval_ms) const {
+  const auto log_emit =
+      build_log_emissions(reports, num_values, intervals, interval_ms);
+  const HmmCore core = sticky_core(num_values, config_.stickiness);
+  const auto fb = forward_backward(core, log_emit,
+                                   static_cast<std::size_t>(intervals));
+  const auto gamma = posterior_log_gamma(core, fb,
+                                         static_cast<std::size_t>(intervals));
+  std::vector<std::vector<double>> result(
+      intervals, std::vector<double>(num_values, 0.0));
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    for (int v = 0; v < num_values; ++v) {
+      result[k][v] =
+          std::exp(gamma[static_cast<std::size_t>(k) * num_values + v]);
+    }
+  }
+  return result;
+}
+
+ValueSeries MultiValueSstd::plurality_vote(
+    const std::vector<ValueReport>& reports, int num_values,
+    IntervalIndex intervals, TimestampMs interval_ms,
+    IntervalIndex window_intervals) {
+  const auto evidence = build_evidence(reports, num_values, intervals,
+                                       interval_ms, window_intervals);
+  ValueSeries series(intervals, 0);
+  std::uint8_t previous = 0;
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    double best = 0.0;
+    int arg = -1;
+    for (int v = 0; v < num_values; ++v) {
+      const double mass =
+          evidence[static_cast<std::size_t>(k) * num_values + v];
+      if (mass > best) {
+        best = mass;
+        arg = v;
+      }
+    }
+    if (arg >= 0) previous = static_cast<std::uint8_t>(arg);
+    series[k] = previous;
+  }
+  return series;
+}
+
+}  // namespace sstd

@@ -1,0 +1,90 @@
+// Multi-valued claims — an extension beyond the paper.
+//
+// The paper restricts itself to binary claims (§II: "we focus on binary
+// claims"), yet its own motivating examples are multi-valued: "the number
+// of casualties", "the escape path of suspects". This module generalizes
+// the SSTD scheme to claims over V discrete candidate values:
+//
+//   * hidden state  = the currently true value (V-state sticky chain,
+//     reusing the generic HMM kernels, which are X-state already);
+//   * observation   = the vector of per-value evidence (one ACS per
+//     candidate value, from report weights = certainty * independence);
+//   * emission      = a softmax evidence model: log P(obs_t | state v) is
+//     proportional to the scale-normalized evidence for value v at t.
+//     This plugs directly into the kernels' per-step emission-log-prob
+//     interface — no retraining machinery needed, and the binary SSTD is
+//     recovered as the V=2 special case.
+//
+// Decoding is exact Viterbi over the V-state chain; posterior marginals
+// come from forward-backward, as in the binary engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sstd {
+
+// One report asserting that claim `claim` currently has value `value`.
+struct ValueReport {
+  SourceId source;
+  ClaimId claim;
+  TimestampMs time_ms = 0;
+  std::uint8_t value = 0;   // index into the claim's candidate-value set
+  double weight = 1.0;      // (1 - uncertainty) * independence
+};
+
+// Per-claim, per-interval decoded value indices.
+using ValueSeries = std::vector<std::uint8_t>;
+
+struct MultiValueConfig {
+  // Sharpness of the softmax evidence emission: higher trusts each
+  // interval's evidence more; lower leans on the sticky prior.
+  double evidence_weight = 2.0;
+
+  // Self-transition probability of the true value.
+  double stickiness = 0.9;
+
+  // Sliding evidence window in intervals (1 = current interval only).
+  IntervalIndex window_intervals = 1;
+
+  // Normalization quantile for the per-claim evidence scale.
+  double scale_quantile = 0.9;
+};
+
+class MultiValueSstd {
+ public:
+  explicit MultiValueSstd(MultiValueConfig config = {}) : config_(config) {}
+
+  // Decodes one claim. `reports` must be time-ordered reports about a
+  // single claim; `num_values` the size of its candidate set (>= 2);
+  // `intervals` / `interval_ms` the evaluation discretization. Returns the
+  // most likely value index per interval.
+  ValueSeries decode(const std::vector<ValueReport>& reports, int num_values,
+                     IntervalIndex intervals, TimestampMs interval_ms) const;
+
+  // Smoothed posterior P(value v | all evidence) per interval; rows are
+  // intervals, columns candidate values.
+  std::vector<std::vector<double>> posterior(
+      const std::vector<ValueReport>& reports, int num_values,
+      IntervalIndex intervals, TimestampMs interval_ms) const;
+
+  // Reference baseline: per-interval plurality vote over the same window
+  // (ties and empty windows carry the previous winner forward).
+  static ValueSeries plurality_vote(const std::vector<ValueReport>& reports,
+                                    int num_values, IntervalIndex intervals,
+                                    TimestampMs interval_ms,
+                                    IntervalIndex window_intervals = 1);
+
+ private:
+  // Per-interval, per-value evidence (windowed weighted sums), normalized
+  // by the claim's evidence scale; also builds the emission log-matrix.
+  std::vector<double> build_log_emissions(
+      const std::vector<ValueReport>& reports, int num_values,
+      IntervalIndex intervals, TimestampMs interval_ms) const;
+
+  MultiValueConfig config_;
+};
+
+}  // namespace sstd

@@ -1,0 +1,139 @@
+#include "sstd/streaming.h"
+
+namespace sstd {
+
+namespace {
+// Before any data-driven fit we need *some* bin scale; a handful of net
+// confident reports per window is a reasonable prior for social traces.
+constexpr double kDefaultScale = 3.0;
+}  // namespace
+
+SstdStreaming::SstdStreaming(SstdConfig config, TimestampMs interval_ms)
+    : config_(config),
+      interval_ms_(interval_ms),
+      window_ms_(config.window_ms > 0 ? config.window_ms : interval_ms),
+      quantizer_(config.num_bins, kDefaultScale) {}
+
+SstdStreaming::ClaimPipeline& SstdStreaming::pipeline_for(
+    std::uint32_t claim) {
+  auto it = pipelines_.find(claim);
+  if (it == pipelines_.end()) {
+    it = pipelines_.emplace(claim, ClaimPipeline(window_ms_)).first;
+    it->second.model = make_truth_hmm(config_.num_bins, config_.stickiness,
+                                      config_.emission_bias);
+    it->second.decoder =
+        std::make_unique<OnlineViterbi>(it->second.model.core());
+    it->second.filter =
+        std::make_unique<OnlineForward>(it->second.model.core());
+  }
+  return it->second;
+}
+
+void SstdStreaming::offer(const Report& report) {
+  latest_time_ = std::max(latest_time_, report.time_ms);
+  ClaimPipeline& pipeline = pipeline_for(report.claim.value);
+  pipeline.acs.add(report);
+  pipeline.last_report_interval =
+      static_cast<IntervalIndex>(report.time_ms / interval_ms_);
+}
+
+void SstdStreaming::refit(ClaimPipeline& pipeline) {
+  const std::vector<int> symbols =
+      quantizer_.quantize_series(pipeline.history);
+  pipeline.model.fit({symbols}, config_.train);
+  pipeline.model.canonicalize_truth_states();
+  ++refits_;
+
+  // Rebuild the online decoder and filter by replaying the (short)
+  // symbol history through the refit model.
+  pipeline.decoder = std::make_unique<OnlineViterbi>(pipeline.model.core());
+  pipeline.filter = std::make_unique<OnlineForward>(pipeline.model.core());
+  const int X = pipeline.model.num_states();
+  std::vector<double> log_emit(X);
+  for (int symbol : symbols) {
+    for (int i = 0; i < X; ++i) {
+      log_emit[i] = pipeline.model.log_b(i, symbol);
+    }
+    pipeline.decoder->step(log_emit);
+    pipeline.filter->step(log_emit);
+  }
+}
+
+void SstdStreaming::end_interval(IntervalIndex k) {
+  const TimestampMs interval_end =
+      static_cast<TimestampMs>(k + 1) * interval_ms_ - 1;
+
+  const bool refit_round =
+      config_.refit_every > 0 &&
+      (k + 1) % config_.refit_every == 0;
+
+  if (refit_round) {
+    // Re-fit the shared quantizer scale from all accumulated histories so
+    // bin geometry tracks the trace's actual ACS magnitudes.
+    std::vector<std::vector<double>> all;
+    all.reserve(pipelines_.size());
+    for (const auto& [_, pipeline] : pipelines_) {
+      all.push_back(pipeline.history);
+    }
+    quantizer_ =
+        AcsQuantizer::fit(all, config_.num_bins, config_.scale_quantile);
+  }
+
+  // Idle-claim GC: drop pipelines whose conversation has died.
+  if (config_.evict_after_idle_intervals > 0) {
+    for (auto it = pipelines_.begin(); it != pipelines_.end();) {
+      if (k - it->second.last_report_interval >
+          config_.evict_after_idle_intervals) {
+        it = pipelines_.erase(it);
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (auto& [_, pipeline] : pipelines_) {
+    const double value = pipeline.acs.value_at(interval_end);
+    pipeline.history.push_back(value);
+    ++pipeline.intervals_seen;
+
+    if (refit_round && pipeline.intervals_seen >= config_.warmup_intervals) {
+      refit(pipeline);
+    } else {
+      const int symbol = quantizer_.quantize(value);
+      const int X = pipeline.model.num_states();
+      std::vector<double> log_emit(X);
+      for (int i = 0; i < X; ++i) {
+        log_emit[i] = pipeline.model.log_b(i, symbol);
+      }
+      pipeline.decoder->step(log_emit);
+      pipeline.filter->step(log_emit);
+    }
+    pipeline.estimate =
+        static_cast<std::int8_t>(pipeline.decoder->current_state());
+  }
+}
+
+std::int8_t SstdStreaming::current_estimate(ClaimId claim) const {
+  const auto it = pipelines_.find(claim.value);
+  if (it == pipelines_.end()) return kNoEstimate;
+  return it->second.estimate;
+}
+
+std::int8_t SstdStreaming::lagged_estimate(ClaimId claim,
+                                           IntervalIndex lag) const {
+  const auto it = pipelines_.find(claim.value);
+  if (it == pipelines_.end()) return kNoEstimate;
+  const auto& decoder = *it->second.decoder;
+  if (decoder.steps() <= static_cast<std::size_t>(lag)) return kNoEstimate;
+  return static_cast<std::int8_t>(
+      decoder.lagged_state(static_cast<std::size_t>(lag)));
+}
+
+double SstdStreaming::current_probability(ClaimId claim) const {
+  const auto it = pipelines_.find(claim.value);
+  if (it == pipelines_.end() || it->second.filter->steps() == 0) return 0.5;
+  return it->second.filter->probability_true();
+}
+
+}  // namespace sstd

@@ -1,0 +1,82 @@
+// Streaming SSTD: the real-time form of the scheme (paper §III-E and Fig.
+// 5's "streaming schemes keep reading new data and process them as they
+// arrive"). Per claim it maintains a sliding ACS accumulator and an online
+// Viterbi decoder; models start from the informed truth prior and are
+// refit periodically on the accumulated observation history.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/acs.h"
+#include "core/truth_discovery.h"
+#include "hmm/discrete_hmm.h"
+#include "hmm/online_forward.h"
+#include "hmm/online_viterbi.h"
+#include "hmm/quantizer.h"
+#include "sstd/config.h"
+
+namespace sstd {
+
+class SstdStreaming final : public StreamingTruthDiscovery {
+ public:
+  // `interval_ms` must match the cadence at which end_interval() is called
+  // (it sizes the default ACS window).
+  SstdStreaming(SstdConfig config, TimestampMs interval_ms);
+
+  std::string name() const override { return "SSTD"; }
+
+  void offer(const Report& report) override;
+  void end_interval(IntervalIndex k) override;
+  std::int8_t current_estimate(ClaimId claim) const override;
+
+  // Soft estimate: filtering probability P(claim true | stream so far)
+  // from an online forward filter running beside the Viterbi decoder.
+  // 0.5 for claims with no evidence yet.
+  double current_probability(ClaimId claim) const;
+
+  // Fixed-lag smoothed estimate: the decoder's belief about the claim's
+  // truth `lag` intervals ago, refined by the evidence that arrived since
+  // (Viterbi backtracking). Trading `lag` intervals of latency buys
+  // stability — early misinformation bursts get revised away before the
+  // estimate is read. kNoEstimate when the claim has fewer than lag+1
+  // decoded intervals.
+  std::int8_t lagged_estimate(ClaimId claim, IntervalIndex lag) const;
+
+  std::size_t active_claims() const { return pipelines_.size(); }
+
+  // Total Baum-Welch refits performed (for tests/instrumentation).
+  std::uint64_t refit_count() const { return refits_; }
+
+  // Claims evicted by the idle GC (config.evict_after_idle_intervals).
+  std::uint64_t evicted_claims() const { return evictions_; }
+
+ private:
+  struct ClaimPipeline {
+    SlidingAcs acs;
+    std::vector<double> history;  // per-interval ACS so far
+    DiscreteHmm model;
+    std::unique_ptr<OnlineViterbi> decoder;
+    std::unique_ptr<OnlineForward> filter;
+    std::int8_t estimate = kNoEstimate;
+    IntervalIndex intervals_seen = 0;
+    IntervalIndex last_report_interval = 0;
+
+    explicit ClaimPipeline(TimestampMs window_ms) : acs(window_ms) {}
+  };
+
+  ClaimPipeline& pipeline_for(std::uint32_t claim);
+  void refit(ClaimPipeline& pipeline);
+
+  SstdConfig config_;
+  TimestampMs interval_ms_;
+  TimestampMs window_ms_;
+  AcsQuantizer quantizer_;
+  std::unordered_map<std::uint32_t, ClaimPipeline> pipelines_;
+  TimestampMs latest_time_ = 0;
+  std::uint64_t refits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sstd

@@ -1,0 +1,122 @@
+#include "sstd/system.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace sstd {
+
+SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
+    : config_(config),
+      queue_(std::max<std::size_t>(1, config.workers)),
+      dtm_(config.dtm) {
+  config_.num_jobs = std::max<std::size_t>(1, config_.num_jobs);
+  shards_.reserve(config_.num_jobs);
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine =
+        std::make_unique<SstdStreaming>(config_.sstd, interval_ms);
+    shards_.push_back(std::move(shard));
+  }
+  // Every shard is a long-lived TD job; its deadline is re-armed per
+  // interval inside end_interval().
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) {
+    dtm_.register_job(static_cast<dist::JobId>(i), config_.interval_deadline_s);
+  }
+}
+
+SstdSystem::~SstdSystem() { queue_.shutdown(); }
+
+void SstdSystem::ingest(const Report& report) {
+  Shard& shard = *shards_[report.claim.value % config_.num_jobs];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.buffer.push_back(report);
+  }
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++metrics_.reports_ingested;
+}
+
+void SstdSystem::end_interval(IntervalIndex k) {
+  const Stopwatch interval_watch;
+
+  // Dispatch one task per shard; shards with no data still need their
+  // engines ticked so ACS windows expire and decoders advance.
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) {
+    Shard* shard = shards_[i].get();
+    const auto job = static_cast<dist::JobId>(i);
+    dist::Task task;
+    task.id = next_task_id_++;
+    task.job = job;
+    task.work = [shard, k] {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      std::sort(shard->buffer.begin(), shard->buffer.end(),
+                [](const Report& a, const Report& b) {
+                  return a.time_ms < b.time_ms;
+                });
+      for (const Report& report : shard->buffer) {
+        shard->engine->offer(report);
+      }
+      shard->buffer.clear();
+      shard->engine->end_interval(k);
+    };
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      task.data_size = static_cast<double>(shard->buffer.size());
+    }
+    queue_.submit(std::move(task), dtm_.priority(job));
+  }
+
+  queue_.wait_all();
+  const double interval_seconds = interval_watch.elapsed_seconds();
+
+  // Account completions and feed the control loop.
+  const auto reports = queue_.drain_reports();
+  std::unordered_map<dist::JobId, double> remaining;  // all drained: zero
+  double exec_total = 0.0;
+  std::uint64_t failures = 0;
+  for (const auto& report : reports) {
+    exec_total += report.execution_s();
+    failures += report.failed ? 1 : 0;
+  }
+
+  // Feed the control loop: each shard job's deadline is the per-interval
+  // budget, and "now" is this interval's measured wall-clock, so the PID
+  // error is (measured - deadline) — the paper's Eq. 9 sample. The work is
+  // already drained, so the WCET backlog term is zero and the signal is
+  // purely timing-driven.
+  const auto decision =
+      dtm_.sample(interval_seconds, remaining, queue_.target_workers());
+  queue_.scale_workers(decision.worker_target);
+
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.tasks_completed += reports.size();
+  metrics_.task_failures += failures;
+  ++metrics_.intervals_processed;
+  if (interval_seconds <= config_.interval_deadline_s) {
+    ++metrics_.deadline_hits;
+  }
+  if (metrics_.tasks_completed > 0) {
+    metrics_.mean_task_exec_s =
+        (metrics_.mean_task_exec_s *
+             static_cast<double>(metrics_.tasks_completed - reports.size()) +
+         exec_total) /
+        static_cast<double>(metrics_.tasks_completed);
+  }
+  metrics_.current_workers = queue_.target_workers();
+}
+
+std::int8_t SstdSystem::estimate(ClaimId claim) const {
+  const Shard& shard = *shards_[claim.value % config_.num_jobs];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.engine->current_estimate(claim);
+}
+
+SstdSystem::Metrics SstdSystem::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  Metrics snapshot = metrics_;
+  snapshot.current_workers = queue_.target_workers();
+  return snapshot;
+}
+
+}  // namespace sstd

@@ -1,0 +1,93 @@
+// SstdSystem — the complete runtime of the paper's Figure 2, as one
+// embeddable object:
+//
+//   data crawler  ->  Dynamic Task Manager (Work Queue master)
+//                 ->  per-interval TD tasks on an elastic worker pool
+//                 ->  streaming HMM truth discovery per claim shard
+//                 ->  live truth estimates
+//
+// with the PID feedback loop observing each TD job's execution time
+// against its soft deadline and retuning task priorities (LCK) and the
+// worker-pool size (GCK) between intervals.
+//
+// Claims are sharded onto `num_jobs` TD jobs by claim-id hash (paper
+// §III-E: the HMM consumes per-claim ACS aggregates, so shards share no
+// state). Each shard owns an SstdStreaming engine guarded by its own
+// mutex; a shard's interval batch executes as one Work Queue task.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "control/dtm.h"
+#include "core/truth_discovery.h"
+#include "dist/work_queue.h"
+#include "sstd/streaming.h"
+
+namespace sstd {
+
+class SstdSystem {
+ public:
+  struct Config {
+    SstdConfig sstd;
+    std::size_t workers = 4;
+    std::size_t num_jobs = 8;
+    // Soft deadline for each interval's TD work, in wall-clock seconds.
+    double interval_deadline_s = 1.0;
+    control::DtmConfig dtm;
+  };
+
+  struct Metrics {
+    std::uint64_t reports_ingested = 0;
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t task_failures = 0;
+    std::size_t intervals_processed = 0;
+    std::size_t deadline_hits = 0;
+    double mean_task_exec_s = 0.0;
+    std::size_t current_workers = 0;
+
+    double hit_rate() const {
+      return intervals_processed
+                 ? static_cast<double>(deadline_hits) / intervals_processed
+                 : 0.0;
+    }
+  };
+
+  SstdSystem(Config config, TimestampMs interval_ms);
+  ~SstdSystem();
+
+  SstdSystem(const SstdSystem&) = delete;
+  SstdSystem& operator=(const SstdSystem&) = delete;
+
+  // Crawler push: buffers the report for its claim's shard. Reports must
+  // arrive in non-decreasing time order (per the streaming contract).
+  void ingest(const Report& report);
+
+  // Closes interval `k`: dispatches one TD task per shard with buffered
+  // data, waits for all of them (measuring against the soft deadline) and
+  // lets the DTM retune priorities and the pool for the next interval.
+  void end_interval(IntervalIndex k);
+
+  // Current estimate for a claim (threadsafe; kNoEstimate if unseen).
+  std::int8_t estimate(ClaimId claim) const;
+
+  Metrics metrics() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<SstdStreaming> engine;
+    std::vector<Report> buffer;
+    mutable std::mutex mutex;
+  };
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  dist::WorkQueue queue_;
+  control::DynamicTaskManager dtm_;
+  std::uint64_t next_task_id_ = 0;
+  Metrics metrics_;
+  mutable std::mutex metrics_mutex_;
+};
+
+}  // namespace sstd

@@ -1,0 +1,151 @@
+#include "text/clusterer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sstd::text {
+
+OnlineClaimClusterer::OnlineClaimClusterer(ClustererOptions options)
+    : options_(options) {}
+
+bool OnlineClaimClusterer::is_stopword(const std::string& token) const {
+  if (tweets_seen_ < 50) return false;  // not enough data to judge
+  const auto it = global_counts_.find(token);
+  if (it == global_counts_.end()) return false;
+  return static_cast<double>(it->second) >
+         options_.stopword_fraction * static_cast<double>(tweets_seen_);
+}
+
+void OnlineClaimClusterer::rebuild_signature(Cluster& cluster) const {
+  // Pick the k most frequent non-stopword tokens.
+  std::vector<std::pair<std::uint32_t, const std::string*>> ranked;
+  ranked.reserve(cluster.token_counts.size());
+  for (const auto& [token, count] : cluster.token_counts) {
+    if (is_stopword(token)) continue;
+    ranked.emplace_back(count, &token);
+  }
+  const std::size_t k = std::min(options_.signature_size, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return *a.second < *b.second;  // deterministic tie-break
+                    });
+  cluster.signature.clear();
+  for (std::size_t i = 0; i < k; ++i) cluster.signature.insert(*ranked[i].second);
+}
+
+void OnlineClaimClusterer::add_member(Cluster& cluster,
+                                      const TokenSet& tokens) {
+  ++cluster.size;
+  for (const auto& token : tokens) ++cluster.token_counts[token];
+  cluster.recent.push_back(tokens);
+  if (cluster.recent.size() > options_.recent_buffer) {
+    cluster.recent.pop_front();
+  }
+  rebuild_signature(cluster);
+}
+
+void OnlineClaimClusterer::maybe_split(std::size_t cluster_index) {
+  Cluster& cluster = clusters_[cluster_index];
+  if (cluster.recent.size() < 4) return;
+
+  // Diameter estimate: the farthest pair among recent members (the buffer
+  // is bounded, so this stays O(buffer^2) with small constants).
+  double diameter = 0.0;
+  std::size_t far_a = 0;
+  std::size_t far_b = 0;
+  for (std::size_t i = 0; i < cluster.recent.size(); ++i) {
+    for (std::size_t j = i + 1; j < cluster.recent.size(); ++j) {
+      const double d = jaccard_distance(cluster.recent[i], cluster.recent[j]);
+      if (d > diameter) {
+        diameter = d;
+        far_a = i;
+        far_b = j;
+      }
+    }
+  }
+  if (diameter <= options_.split_diameter) return;
+
+  // 2-means style split seeded by the farthest pair: reassign the recent
+  // buffer to whichever seed is closer, rebuild both clusters from their
+  // halves. Counts from evicted (old) members stay with the original
+  // cluster — acceptable drift for an online algorithm.
+  Cluster fresh;
+  fresh.id = next_id_++;
+  const TokenSet seed_a = cluster.recent[far_a];
+  const TokenSet seed_b = cluster.recent[far_b];
+
+  std::deque<TokenSet> keep;
+  for (auto& member : cluster.recent) {
+    const double da = jaccard_distance(member, seed_a);
+    const double db = jaccard_distance(member, seed_b);
+    if (db < da) {
+      ++fresh.size;
+      for (const auto& token : member) ++fresh.token_counts[token];
+      fresh.recent.push_back(std::move(member));
+    } else {
+      keep.push_back(std::move(member));
+    }
+  }
+  if (fresh.recent.empty() || keep.empty()) return;  // degenerate split
+
+  cluster.recent = std::move(keep);
+  // Rebuild the retained cluster's counts from its recent buffer plus the
+  // mass that left: subtract what moved to the new cluster.
+  for (const auto& [token, count] : fresh.token_counts) {
+    auto it = cluster.token_counts.find(token);
+    if (it != cluster.token_counts.end()) {
+      it->second = it->second > count ? it->second - count : 0;
+      if (it->second == 0) cluster.token_counts.erase(it);
+    }
+  }
+  cluster.size = cluster.size > fresh.size ? cluster.size - fresh.size : 1;
+
+  rebuild_signature(cluster);
+  rebuild_signature(fresh);
+  clusters_.push_back(std::move(fresh));
+}
+
+std::uint32_t OnlineClaimClusterer::assign(
+    const std::vector<std::string>& tokens) {
+  ++tweets_seen_;
+  const TokenSet token_set = to_token_set(tokens);
+  for (const auto& token : token_set) ++global_counts_[token];
+
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double d =
+        1.0 - containment_similarity(token_set, clusters_[i].signature);
+    if (d < best_distance) {
+      best_distance = d;
+      best_index = i;
+    }
+  }
+
+  if (clusters_.empty() || best_distance >= options_.assign_threshold) {
+    Cluster fresh;
+    fresh.id = next_id_++;
+    add_member(fresh, token_set);
+    clusters_.push_back(std::move(fresh));
+    return clusters_.back().id;
+  }
+
+  add_member(clusters_[best_index], token_set);
+  const std::uint32_t id = clusters_[best_index].id;
+  maybe_split(best_index);
+  return id;
+}
+
+std::vector<std::string> OnlineClaimClusterer::signature(
+    std::uint32_t cluster_id) const {
+  for (const auto& cluster : clusters_) {
+    if (cluster.id == cluster_id) {
+      return std::vector<std::string>(cluster.signature.begin(),
+                                      cluster.signature.end());
+    }
+  }
+  return {};
+}
+
+}  // namespace sstd::text

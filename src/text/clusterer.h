@@ -1,0 +1,85 @@
+// Online claim extraction (paper §V-A "Data Pre-processing"): a K-means
+// variant over Jaccard distance that clusters tweets of similar content.
+// Each arriving tweet is assigned to the nearest existing cluster, a new
+// cluster is opened when nothing is close enough, and a cluster is split
+// in two when its diameter exceeds a threshold — exactly the online
+// behaviour the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace sstd::text {
+
+struct ClustererOptions {
+  // A tweet joins the nearest cluster if its distance to the cluster
+  // signature is below this; otherwise it seeds a new cluster. Distance is
+  // 1 - containment(tweet, signature): containment rather than raw Jaccard
+  // because filler tokens inflate a tweet/signature union far more than
+  // the overlap (the paper's "variant of K-means clustering" with a
+  // micro-blog-appropriate distance).
+  double assign_threshold = 0.8;
+
+  // A cluster splits when its estimated diameter (distance between its two
+  // most dissimilar recent members) exceeds this.
+  double split_diameter = 0.95;
+
+  // Signature size: the k most frequent tokens represent the cluster.
+  std::size_t signature_size = 8;
+
+  // Bounded per-cluster buffer of recent member token-sets used for the
+  // diameter estimate and for seeding splits.
+  std::size_t recent_buffer = 32;
+
+  // Tokens seen in more than this fraction of all tweets are ignored when
+  // building signatures (cheap stop-word discovery). Deliberately
+  // conservative: in a narrow stream a topic keyword can approach 50%
+  // document frequency, and dropping it destroys the cluster signature —
+  // only near-universal tokens are safe to discard.
+  double stopword_fraction = 0.6;
+};
+
+class OnlineClaimClusterer {
+ public:
+  explicit OnlineClaimClusterer(ClustererOptions options = {});
+
+  // Assigns the tweet (by its tokens) to a cluster, possibly creating or
+  // splitting clusters, and returns the cluster id. Ids are stable: a
+  // split keeps the original id for one half and mints a new id for the
+  // other.
+  std::uint32_t assign(const std::vector<std::string>& tokens);
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  std::uint64_t tweets_seen() const { return tweets_seen_; }
+
+  // Top tokens of the cluster's signature (for inspection / debugging).
+  std::vector<std::string> signature(std::uint32_t cluster_id) const;
+
+ private:
+  struct Cluster {
+    std::uint32_t id;
+    std::unordered_map<std::string, std::uint32_t> token_counts;
+    std::uint64_t size = 0;
+    TokenSet signature;
+    std::deque<TokenSet> recent;
+  };
+
+  void add_member(Cluster& cluster, const TokenSet& tokens);
+  void rebuild_signature(Cluster& cluster) const;
+  // Returns the index of the newly created cluster when a split happened.
+  void maybe_split(std::size_t cluster_index);
+  bool is_stopword(const std::string& token) const;
+
+  ClustererOptions options_;
+  std::vector<Cluster> clusters_;
+  std::uint32_t next_id_ = 0;
+  std::uint64_t tweets_seen_ = 0;
+  std::unordered_map<std::string, std::uint64_t> global_counts_;
+};
+
+}  // namespace sstd::text

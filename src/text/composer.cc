@@ -1,0 +1,71 @@
+#include "text/composer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "text/vocab.h"
+
+namespace sstd::text {
+
+TweetComposer::TweetComposer(std::vector<std::vector<std::string>> topics,
+                             ComposerOptions options)
+    : topics_(std::move(topics)), options_(options) {
+  if (topics_.empty()) {
+    throw std::invalid_argument("TweetComposer: no topics");
+  }
+}
+
+SynthTweet TweetComposer::compose(std::uint32_t topic_index,
+                                  std::int8_t stance, bool hedged,
+                                  Rng& rng) const {
+  const auto& bank = topics_.at(topic_index);
+  SynthTweet tweet;
+  tweet.latent_claim = ClaimId{topic_index};
+  tweet.latent_stance = stance;
+  tweet.latent_hedged = hedged;
+
+  // Topic keywords: always at least min_topic_tokens, sampled without
+  // replacement so the claim clusterer has a stable signature to find.
+  std::vector<std::string> pool = bank;
+  const int take = std::min<std::size_t>(
+      pool.size(),
+      options_.min_topic_tokens +
+          rng.below(pool.size() - options_.min_topic_tokens + 1));
+  for (int i = 0; i < take; ++i) {
+    const std::size_t pick = rng.below(pool.size());
+    tweet.tokens.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  // Stance marker.
+  if (rng.bernoulli(options_.stance_word_probability)) {
+    const auto& words = stance > 0 ? assert_words() : deny_words();
+    tweet.tokens.push_back(words[rng.below(words.size())]);
+  }
+
+  // Hedge marker(s).
+  if (hedged) {
+    const auto& hedges = hedge_words();
+    tweet.tokens.push_back(hedges[rng.below(hedges.size())]);
+    if (rng.bernoulli(0.3)) {
+      tweet.tokens.push_back(hedges[rng.below(hedges.size())]);
+    }
+  }
+
+  // Filler noise.
+  const auto& filler = filler_words();
+  const int n_filler = static_cast<int>(
+      options_.min_filler +
+      rng.below(options_.max_filler - options_.min_filler + 1));
+  for (int i = 0; i < n_filler; ++i) {
+    tweet.tokens.push_back(filler[rng.below(filler.size())]);
+  }
+
+  // Shuffle so token position carries no signal.
+  for (std::size_t i = tweet.tokens.size(); i > 1; --i) {
+    std::swap(tweet.tokens[i - 1], tweet.tokens[rng.below(i)]);
+  }
+  return tweet;
+}
+
+}  // namespace sstd::text

@@ -1,0 +1,40 @@
+// Synthetic tweet composer: renders (claim topic, stance, hedging) into a
+// token bag that the downstream NLP stages must decode back out.
+#pragma once
+
+#include <vector>
+
+#include "text/tweet.h"
+#include "util/rng.h"
+
+namespace sstd::text {
+
+struct ComposerOptions {
+  int min_filler = 3;
+  int max_filler = 8;
+  int min_topic_tokens = 2;  // how many of the topic's keywords to include
+  double stance_word_probability = 0.85;  // leave some tweets stance-bare
+};
+
+class TweetComposer {
+ public:
+  // `topics[c]` is the keyword bank of claim topic c.
+  explicit TweetComposer(std::vector<std::vector<std::string>> topics,
+                         ComposerOptions options = {});
+
+  std::size_t num_topics() const { return topics_.size(); }
+  const std::vector<std::string>& topic(std::size_t index) const {
+    return topics_[index];
+  }
+
+  // Generates the token bag for one tweet. The latent_* metadata fields of
+  // the returned tweet are filled; source/time are the caller's job.
+  SynthTweet compose(std::uint32_t topic_index, std::int8_t stance,
+                     bool hedged, Rng& rng) const;
+
+ private:
+  std::vector<std::vector<std::string>> topics_;
+  ComposerOptions options_;
+};
+
+}  // namespace sstd::text

@@ -1,0 +1,43 @@
+#include "text/hedge_classifier.h"
+
+#include "text/composer.h"
+#include "text/vocab.h"
+
+namespace sstd::text {
+
+void HedgeClassifier::fit(const std::vector<Example>& corpus) {
+  for (const auto& example : corpus) {
+    model_.add_document(example.tokens, example.hedged);
+  }
+}
+
+double HedgeClassifier::predict_probability(
+    const std::vector<std::string>& tokens) const {
+  if (!model_.trained()) return 0.0;
+  return model_.predict(tokens);
+}
+
+HedgeClassifier HedgeClassifier::train_synthetic(std::size_t size, Rng& rng) {
+  // Use all three scenario topic banks so the classifier is not tied to
+  // one event's keywords.
+  std::vector<std::vector<std::string>> topics = bombing_topics();
+  for (auto& t : shooting_topics()) topics.push_back(t);
+  for (auto& t : football_topics()) topics.push_back(t);
+  TweetComposer composer(std::move(topics));
+
+  HedgeClassifier classifier;
+  std::vector<Example> corpus;
+  corpus.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const bool hedged = (i % 2) == 0;
+    const auto topic =
+        static_cast<std::uint32_t>(rng.below(composer.num_topics()));
+    const std::int8_t stance = rng.bernoulli(0.5) ? 1 : -1;
+    corpus.push_back(
+        {composer.compose(topic, stance, hedged, rng).tokens, hedged});
+  }
+  classifier.fit(corpus);
+  return classifier;
+}
+
+}  // namespace sstd::text

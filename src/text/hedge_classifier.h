@@ -1,0 +1,41 @@
+// Uncertainty scoring (paper Definition 2 / §V-A): "a simple text
+// classifier ... trained with the training data provided by CoNLL-2010
+// Shared Task". Our substitute is a Bernoulli Naive Bayes hedge detector
+// trained on a synthetic hedged/unhedged corpus built from the same
+// vocabulary banks; its positive-class probability is used directly as the
+// report's uncertainty score kappa.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/naive_bayes.h"
+#include "util/rng.h"
+
+namespace sstd::text {
+
+class HedgeClassifier {
+ public:
+  struct Example {
+    std::vector<std::string> tokens;
+    bool hedged;
+  };
+
+  // Laplace-smoothed Bernoulli NB. `smoothing` is the pseudo-count.
+  explicit HedgeClassifier(double smoothing = 1.0) : model_(smoothing) {}
+
+  void fit(const std::vector<Example>& corpus);
+  bool trained() const { return model_.trained(); }
+
+  // P(hedged | tokens) in [0, 1]; this is the uncertainty score kappa.
+  double predict_probability(const std::vector<std::string>& tokens) const;
+
+  // Builds a labeled corpus of `size` synthetic tweets (half hedged) from
+  // the vocabulary banks and fits on it.
+  static HedgeClassifier train_synthetic(std::size_t size, Rng& rng);
+
+ private:
+  BernoulliNaiveBayes model_;
+};
+
+}  // namespace sstd::text

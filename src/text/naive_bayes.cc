@@ -1,0 +1,49 @@
+#include "text/naive_bayes.h"
+
+namespace sstd::text {
+
+void BernoulliNaiveBayes::add_document(
+    const std::vector<std::string>& tokens, bool positive) {
+  auto& df = positive ? positive_df_ : negative_df_;
+  (positive ? positives_ : negatives_) += 1;
+  const std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  for (const auto& token : unique) ++df[token];
+}
+
+double BernoulliNaiveBayes::class_probability(
+    const std::unordered_map<std::string, std::uint64_t>& df,
+    std::uint64_t class_count, const std::string& token) const {
+  const auto it = df.find(token);
+  const double count = it != df.end() ? static_cast<double>(it->second) : 0.0;
+  return (count + smoothing_) /
+         (static_cast<double>(class_count) + 2.0 * smoothing_);
+}
+
+double BernoulliNaiveBayes::predict(
+    const std::vector<std::string>& tokens) const {
+  if (!trained()) return 0.5;
+  const double total =
+      static_cast<double>(positives_) + static_cast<double>(negatives_);
+  double log_pos = std::log((static_cast<double>(positives_) + 1e-9) / total);
+  double log_neg = std::log((static_cast<double>(negatives_) + 1e-9) / total);
+
+  const std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  auto score_token = [&](const std::string& token) {
+    const bool present = unique.contains(token);
+    const double p_pos = class_probability(positive_df_, positives_, token);
+    const double p_neg = class_probability(negative_df_, negatives_, token);
+    log_pos += std::log(present ? p_pos : 1.0 - p_pos);
+    log_neg += std::log(present ? p_neg : 1.0 - p_neg);
+  };
+  for (const auto& [token, _] : positive_df_) score_token(token);
+  for (const auto& [token, _] : negative_df_) {
+    if (!positive_df_.contains(token)) score_token(token);
+  }
+
+  const double peak = std::max(log_pos, log_neg);
+  const double exp_pos = std::exp(log_pos - peak);
+  const double exp_neg = std::exp(log_neg - peak);
+  return exp_pos / (exp_pos + exp_neg);
+}
+
+}  // namespace sstd::text

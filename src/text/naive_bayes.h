@@ -1,0 +1,47 @@
+// Generic binary Bernoulli Naive Bayes over token sets.
+//
+// The paper's preprocessing needs several small text classifiers
+// (uncertainty/hedging, attitude polarity) and frames them as replaceable
+// plugins (§VII: "one can easily update or replace components like
+// uncertainty classifier as a plugin of the system"). This is the shared
+// classifier core: presence/absence of every vocabulary token is scored —
+// absence matters (a tweet with no hedge markers is evidence of
+// confidence, not the absence of evidence).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sstd::text {
+
+class BernoulliNaiveBayes {
+ public:
+  explicit BernoulliNaiveBayes(double smoothing = 1.0)
+      : smoothing_(smoothing) {}
+
+  // Adds one training document with a binary label.
+  void add_document(const std::vector<std::string>& tokens, bool positive);
+
+  bool trained() const { return positives_ + negatives_ > 0; }
+  std::uint64_t documents() const { return positives_ + negatives_; }
+
+  // P(positive | tokens); 0.5-prior behaviour emerges from balanced data.
+  double predict(const std::vector<std::string>& tokens) const;
+
+ private:
+  double class_probability(
+      const std::unordered_map<std::string, std::uint64_t>& df,
+      std::uint64_t class_count, const std::string& token) const;
+
+  double smoothing_;
+  std::uint64_t positives_ = 0;
+  std::uint64_t negatives_ = 0;
+  std::unordered_map<std::string, std::uint64_t> positive_df_;
+  std::unordered_map<std::string, std::uint64_t> negative_df_;
+};
+
+}  // namespace sstd::text

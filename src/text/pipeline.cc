@@ -1,0 +1,50 @@
+#include "text/pipeline.h"
+
+namespace sstd::text {
+
+TextPipeline::TextPipeline(PipelineOptions options)
+    : clusterer_(options.clusterer), independence_(options.independence) {
+  Rng rng(options.seed);
+  hedge_ = HedgeClassifier::train_synthetic(options.hedge_training_size, rng);
+  if (options.use_naive_bayes_attitude) {
+    attitude_ = std::make_unique<NaiveBayesAttitude>(
+        NaiveBayesAttitude::train_synthetic(options.attitude_training_size,
+                                            rng));
+  } else {
+    attitude_ = std::make_unique<KeywordAttitude>();
+  }
+}
+
+Report TextPipeline::process(const SynthTweet& tweet) {
+  const std::uint32_t cluster = clusterer_.assign(tweet.tokens);
+  ++topic_votes_[cluster][tweet.latent_claim.value];
+
+  Report report;
+  report.source = tweet.source;
+  report.claim = ClaimId{cluster};
+  report.time_ms = tweet.time_ms;
+  report.attitude = attitude_->classify(tweet.tokens);
+  report.uncertainty = hedge_.predict_probability(tweet.tokens);
+  report.independence =
+      independence_.score(tweet.tokens, tweet.time_ms, tweet.is_retweet);
+  return report;
+}
+
+std::unordered_map<std::uint32_t, std::uint32_t>
+TextPipeline::cluster_to_topic() const {
+  std::unordered_map<std::uint32_t, std::uint32_t> mapping;
+  for (const auto& [cluster, votes] : topic_votes_) {
+    std::uint32_t best_topic = 0;
+    std::uint32_t best_count = 0;
+    for (const auto& [topic, count] : votes) {
+      if (count > best_count) {
+        best_count = count;
+        best_topic = topic;
+      }
+    }
+    mapping[cluster] = best_topic;
+  }
+  return mapping;
+}
+
+}  // namespace sstd::text

@@ -1,0 +1,60 @@
+// End-to-end text preprocessing pipeline (paper §V-A "Data Pre-processing"
+// and Fig. 2's data-flow front end): tweet -> claim cluster -> attitude /
+// uncertainty / independence scores -> core Report.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <memory>
+
+#include "core/report.h"
+#include "text/clusterer.h"
+#include "text/hedge_classifier.h"
+#include "text/scorers.h"
+#include "text/tweet.h"
+
+namespace sstd::text {
+
+struct PipelineOptions {
+  ClustererOptions clusterer;
+  IndependenceScorer::Options independence;
+  std::size_t hedge_training_size = 2000;
+  // Attitude plugin (§VII): the learned Naive-Bayes polarity model
+  // (default) or the paper's original keyword heuristic.
+  bool use_naive_bayes_attitude = true;
+  std::size_t attitude_training_size = 2000;
+  std::uint64_t seed = 2017;
+};
+
+class TextPipeline {
+ public:
+  explicit TextPipeline(PipelineOptions options = {});
+
+  // Processes one tweet (non-decreasing timestamps): clusters it into a
+  // claim, scores it, and returns the resulting report. The report's claim
+  // id is the *discovered* cluster id, not the tweet's latent topic.
+  Report process(const SynthTweet& tweet);
+
+  std::size_t num_discovered_claims() const {
+    return clusterer_.num_clusters();
+  }
+  const OnlineClaimClusterer& clusterer() const { return clusterer_; }
+  const HedgeClassifier& hedge_classifier() const { return hedge_; }
+
+  // Majority latent topic per discovered cluster — used by evaluations to
+  // align discovered claims with generator ground truth.
+  std::unordered_map<std::uint32_t, std::uint32_t> cluster_to_topic() const;
+
+ private:
+  OnlineClaimClusterer clusterer_;
+  std::unique_ptr<AttitudeClassifier> attitude_;
+  HedgeClassifier hedge_;
+  IndependenceScorer independence_;
+  // cluster id -> (latent topic -> count), for cluster_to_topic().
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::uint32_t>>
+      topic_votes_;
+};
+
+}  // namespace sstd::text

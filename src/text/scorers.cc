@@ -1,0 +1,70 @@
+#include "text/scorers.h"
+
+#include <unordered_set>
+
+#include "text/composer.h"
+#include "text/vocab.h"
+
+namespace sstd::text {
+
+std::int8_t attitude_score(const std::vector<std::string>& tokens) {
+  static const std::unordered_set<std::string> kDeny(deny_words().begin(),
+                                                     deny_words().end());
+  for (const auto& token : tokens) {
+    if (kDeny.contains(token)) return -1;
+  }
+  return 1;
+}
+
+std::int8_t NaiveBayesAttitude::classify(
+    const std::vector<std::string>& tokens) const {
+  return model_.predict(tokens) >= 0.5 ? 1 : -1;
+}
+
+NaiveBayesAttitude NaiveBayesAttitude::train_synthetic(std::size_t size,
+                                                       Rng& rng) {
+  std::vector<std::vector<std::string>> topics = bombing_topics();
+  for (auto& t : shooting_topics()) topics.push_back(t);
+  for (auto& t : football_topics()) topics.push_back(t);
+  const TweetComposer composer(std::move(topics));
+
+  NaiveBayesAttitude classifier;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::int8_t stance = (i % 2 == 0) ? 1 : -1;
+    const auto topic =
+        static_cast<std::uint32_t>(rng.below(composer.num_topics()));
+    const bool hedged = rng.bernoulli(0.25);
+    classifier.model_.add_document(
+        composer.compose(topic, stance, hedged, rng).tokens, stance > 0);
+  }
+  return classifier;
+}
+
+double IndependenceScorer::score(const std::vector<std::string>& tokens,
+                                 TimestampMs time_ms, bool is_retweet) {
+  // Expire stale memory.
+  while (!recent_.empty() &&
+         recent_.front().first + options_.memory_ms <= time_ms) {
+    recent_.pop_front();
+  }
+
+  const TokenSet token_set = to_token_set(tokens);
+  double result = 1.0;
+  if (is_retweet) {
+    result = options_.retweet_score;
+  } else {
+    for (const auto& [_, past] : recent_) {
+      if (jaccard_similarity(token_set, past) >=
+          options_.similarity_threshold) {
+        result = options_.duplicate_score;
+        break;
+      }
+    }
+  }
+
+  recent_.emplace_back(time_ms, std::move(token_set));
+  if (recent_.size() > options_.max_memory) recent_.pop_front();
+  return result;
+}
+
+}  // namespace sstd::text

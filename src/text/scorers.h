@@ -1,0 +1,81 @@
+// Attitude and independence scoring (paper Definitions 1 & 3, §V-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "text/naive_bayes.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace sstd::text {
+
+// Keyword attitude scorer: a tweet containing denial words ("fake",
+// "hoax", "debunked", ...) is classified as disagreeing (-1); everything
+// else that mentions the claim counts as agreeing (+1). Mirrors the
+// paper's heuristic ("whether a tweet contains certain negative words").
+std::int8_t attitude_score(const std::vector<std::string>& tokens);
+
+// Pluggable attitude classification (paper §VII: components like the
+// classifiers are plugins; "the polarity analysis is often used to
+// automatically decide whether a tweet is expressing negative or positive
+// feelings towards a claim").
+class AttitudeClassifier {
+ public:
+  virtual ~AttitudeClassifier() = default;
+  // +1 = asserts the claim, -1 = denies it.
+  virtual std::int8_t classify(
+      const std::vector<std::string>& tokens) const = 0;
+};
+
+// The paper's evaluation heuristic, as a plugin.
+class KeywordAttitude final : public AttitudeClassifier {
+ public:
+  std::int8_t classify(
+      const std::vector<std::string>& tokens) const override {
+    return attitude_score(tokens);
+  }
+};
+
+// The §VII upgrade: a learned polarity model (Bernoulli Naive Bayes over
+// token presence) trained on a synthetic stance-labeled corpus.
+class NaiveBayesAttitude final : public AttitudeClassifier {
+ public:
+  std::int8_t classify(
+      const std::vector<std::string>& tokens) const override;
+
+  static NaiveBayesAttitude train_synthetic(std::size_t size, Rng& rng);
+
+ private:
+  BernoulliNaiveBayes model_{1.0};
+};
+
+// Independence scorer: retweets and near-duplicates of recently seen
+// tweets get a low independence score (they echo rather than observe).
+class IndependenceScorer {
+ public:
+  struct Options {
+    double retweet_score = 0.2;    // explicit retweets
+    double duplicate_score = 0.4;  // near-duplicates of recent tweets
+    double similarity_threshold = 0.8;
+    TimestampMs memory_ms = 60'000;  // how long tweets stay comparable
+    std::size_t max_memory = 256;    // bounded scan window
+  };
+
+  IndependenceScorer() = default;
+  explicit IndependenceScorer(const Options& options) : options_(options) {}
+
+  // Scores the tweet and records it for future comparisons. Timestamps
+  // must be non-decreasing.
+  double score(const std::vector<std::string>& tokens, TimestampMs time_ms,
+               bool is_retweet);
+
+ private:
+  Options options_;
+  std::deque<std::pair<TimestampMs, TokenSet>> recent_;
+};
+
+}  // namespace sstd::text

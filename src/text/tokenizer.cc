@@ -1,0 +1,68 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/tweet.h"
+
+namespace sstd::text {
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+TokenSet to_token_set(const std::vector<std::string>& tokens) {
+  return TokenSet(tokens.begin(), tokens.end());
+}
+
+double jaccard_similarity(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const TokenSet& small = a.size() <= b.size() ? a : b;
+  const TokenSet& large = a.size() <= b.size() ? b : a;
+  std::size_t intersection = 0;
+  for (const auto& token : small) {
+    if (large.contains(token)) ++intersection;
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double jaccard_distance(const TokenSet& a, const TokenSet& b) {
+  return 1.0 - jaccard_similarity(a, b);
+}
+
+double containment_similarity(const TokenSet& a, const TokenSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const TokenSet& small = a.size() <= b.size() ? a : b;
+  const TokenSet& large = a.size() <= b.size() ? b : a;
+  std::size_t intersection = 0;
+  for (const auto& token : small) {
+    if (large.contains(token)) ++intersection;
+  }
+  return static_cast<double>(intersection) /
+         static_cast<double>(small.size());
+}
+
+std::string SynthTweet::joined_text() const {
+  std::string out;
+  for (const auto& token : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+}  // namespace sstd::text

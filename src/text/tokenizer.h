@@ -1,0 +1,33 @@
+// Tokenization and Jaccard distance, the primitives behind the paper's
+// claim clustering ("Jaccard distance ... commonly used distance metric
+// for micro-blog data clustering", §V-A).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sstd::text {
+
+// Lowercases and splits on any non-alphanumeric byte; drops empty pieces.
+std::vector<std::string> tokenize(std::string_view text);
+
+using TokenSet = std::unordered_set<std::string>;
+
+TokenSet to_token_set(const std::vector<std::string>& tokens);
+
+// Jaccard distance 1 - |A intersect B| / |A union B|; two empty sets have
+// distance 0 (identical), one empty set has distance 1.
+double jaccard_distance(const TokenSet& a, const TokenSet& b);
+
+// Jaccard similarity |A intersect B| / |A union B|.
+double jaccard_similarity(const TokenSet& a, const TokenSet& b);
+
+// Containment (overlap coefficient): |A intersect B| / min(|A|, |B|).
+// More robust than plain Jaccard when one side is a compact signature and
+// the other a noisy tweet — filler tokens inflate the union but not the
+// minimum. Two empty sets have containment 1.
+double containment_similarity(const TokenSet& a, const TokenSet& b);
+
+}  // namespace sstd::text

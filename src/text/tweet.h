@@ -1,0 +1,30 @@
+// Synthetic tweet: the raw input of the text-processing pipeline, before
+// claim extraction and semantic scoring turn it into a core Report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sstd::text {
+
+struct SynthTweet {
+  SourceId source;
+  TimestampMs time_ms = 0;
+  std::vector<std::string> tokens;
+
+  // Latent generation metadata (what the generator intended). Retained for
+  // evaluating the pipeline's extraction quality; a real system would not
+  // see these fields.
+  ClaimId latent_claim;         // which claim topic the tweet is about
+  std::int8_t latent_stance = 0;  // +1 assert, -1 deny
+  bool latent_hedged = false;
+  bool is_retweet = false;      // explicit retweet of an earlier tweet
+
+  std::string joined_text() const;
+};
+
+}  // namespace sstd::text

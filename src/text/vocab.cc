@@ -1,0 +1,78 @@
+#include "text/vocab.h"
+
+namespace sstd::text {
+
+const std::vector<std::string>& assert_words() {
+  static const std::vector<std::string> kWords{
+      "confirmed", "breaking",  "official", "happening", "witnessed",
+      "saw",       "reported",  "verified", "live",      "update",
+      "alert",     "developing"};
+  return kWords;
+}
+
+const std::vector<std::string>& deny_words() {
+  static const std::vector<std::string> kWords{
+      "fake",     "false",   "hoax",     "debunked", "rumor",
+      "untrue",   "denied",  "wrong",    "misinformation", "lie",
+      "incorrect", "nothappening"};
+  return kWords;
+}
+
+const std::vector<std::string>& hedge_words() {
+  static const std::vector<std::string> kWords{
+      "possibly",  "maybe",      "unconfirmed", "allegedly", "apparently",
+      "reportedly", "might",     "perhaps",     "unclear",   "hearing",
+      "seems",     "suspected",  "potential",   "probably"};
+  return kWords;
+}
+
+const std::vector<std::string>& filler_words() {
+  static const std::vector<std::string> kWords{
+      "the",    "a",      "and",   "is",     "at",    "on",      "in",
+      "please", "stay",   "safe",  "people", "just",  "now",     "today",
+      "everyone", "here",  "near",  "this",   "that",  "omg",     "wow",
+      "pray",   "hope",   "news",  "watch",  "city",  "area",    "still",
+      "right",  "going",  "crazy", "scene",  "folks", "friends", "family"};
+  return kWords;
+}
+
+std::vector<std::vector<std::string>> bombing_topics() {
+  return {
+      {"marathon", "finish", "line", "explosion"},
+      {"suspect", "backpack", "spotted", "downtown"},
+      {"library", "bomb", "threat", "jfk"},
+      {"bridge", "closed", "police", "checkpoint"},
+      {"casualties", "hospital", "er", "injured"},
+      {"arrest", "made", "custody", "manhunt"},
+      {"second", "device", "found", "square"},
+      {"lockdown", "campus", "shelter", "order"},
+  };
+}
+
+std::vector<std::vector<std::string>> shooting_topics() {
+  return {
+      {"gunfire", "office", "magazine", "staff"},
+      {"suspects", "fled", "car", "north"},
+      {"hostage", "market", "east", "standoff"},
+      {"metro", "station", "closed", "security"},
+      {"victims", "count", "critical", "hospital"},
+      {"police", "raid", "apartment", "suburb"},
+      {"accomplice", "sought", "border", "alert"},
+      {"vigil", "square", "crowd", "tonight"},
+  };
+}
+
+std::vector<std::vector<std::string>> football_topics() {
+  return {
+      {"touchdown", "irish", "lead", "score"},
+      {"fieldgoal", "buckeyes", "points", "drive"},
+      {"interception", "quarterback", "turnover", "redzone"},
+      {"fumble", "recovered", "defense", "midfield"},
+      {"injury", "starter", "sideline", "return"},
+      {"overtime", "tied", "clock", "timeout"},
+      {"upset", "ranked", "unranked", "stunner"},
+      {"penalty", "flag", "holding", "replay"},
+  };
+}
+
+}  // namespace sstd::text

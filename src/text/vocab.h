@@ -1,0 +1,33 @@
+// Vocabulary banks for the synthetic tweet model. The paper's pipeline
+// extracts attitude / uncertainty / independence from tweet text (§V-A);
+// our substitute generates token-level tweets with controlled stance,
+// hedging and topic markers so the same NLP stages can be exercised
+// (DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sstd::text {
+
+// Words that signal the tweet asserts the claim ("confirmed", "breaking").
+const std::vector<std::string>& assert_words();
+
+// Words that signal denial / debunking ("fake", "hoax", "debunked").
+const std::vector<std::string>& deny_words();
+
+// Hedge markers ("possibly", "unconfirmed", "allegedly") — the CoNLL-2010
+// shared task's target phenomenon, which the paper's uncertainty
+// classifier was trained on.
+const std::vector<std::string>& hedge_words();
+
+// Generic filler (function words + common chatter) for realistic noise.
+const std::vector<std::string>& filler_words();
+
+// Scenario topic banks: each inner vector is the keyword set of one claim
+// topic (e.g. {"marathon", "finish", "line", "explosion"}).
+std::vector<std::vector<std::string>> bombing_topics();
+std::vector<std::vector<std::string>> shooting_topics();
+std::vector<std::vector<std::string>> football_topics();
+
+}  // namespace sstd::text

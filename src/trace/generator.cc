@@ -1,0 +1,348 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "text/composer.h"
+#include "text/vocab.h"
+#include "util/discrete_distribution.h"
+
+namespace sstd::trace {
+
+TraceGenerator::TraceGenerator(ScenarioConfig config)
+    : config_(std::move(config)) {
+  if (config_.source_classes.empty()) {
+    throw std::invalid_argument("TraceGenerator: no source classes");
+  }
+  if (config_.num_claims == 0 || config_.num_sources == 0) {
+    throw std::invalid_argument("TraceGenerator: empty population");
+  }
+}
+
+void TraceGenerator::sample_population(Rng& rng) {
+  source_accuracy_.resize(config_.num_sources);
+  source_activity_.resize(config_.num_sources);
+
+  std::vector<double> class_weights;
+  class_weights.reserve(config_.source_classes.size());
+  for (const auto& cls : config_.source_classes) {
+    class_weights.push_back(cls.fraction);
+  }
+
+  for (std::uint32_t s = 0; s < config_.num_sources; ++s) {
+    const auto& cls = config_.source_classes[rng.weighted_index(class_weights)];
+    // Beta(mean*kappa, (1-mean)*kappa): mean `accuracy_mean`, tightness
+    // controlled by the class concentration.
+    source_accuracy_[s] = rng.beta(cls.accuracy_mean * cls.accuracy_kappa,
+                                   (1.0 - cls.accuracy_mean) *
+                                       cls.accuracy_kappa);
+    // Heavy-tailed activity: Zipf over the source index (sources are
+    // exchangeable, so assigning by index is equivalent to shuffling).
+    source_activity_[s] =
+        std::pow(static_cast<double>(s) + 1.0, -config_.activity_zipf_s);
+  }
+}
+
+void TraceGenerator::sample_claims(Rng& rng) {
+  claims_.resize(config_.num_claims);
+  const auto T = config_.intervals;
+  for (std::uint32_t u = 0; u < config_.num_claims; ++u) {
+    ClaimState& claim = claims_[u];
+    const auto latest_start = static_cast<IntervalIndex>(
+        std::max(1.0, T * config_.claim_start_fraction));
+    claim.start = static_cast<IntervalIndex>(rng.below(latest_start));
+    const double life_fraction =
+        rng.uniform(config_.claim_min_life_fraction,
+                    config_.claim_max_life_fraction);
+    const auto life = static_cast<IntervalIndex>(
+        std::max(1.0, (T - claim.start) * life_fraction));
+    claim.end = std::min<IntervalIndex>(T, claim.start + life);
+    claim.flip_probability =
+        rng.uniform(config_.flip_rate_min, config_.flip_rate_max);
+    claim.misinformation =
+        rng.bernoulli(config_.misinformation_claim_fraction);
+    if (claim.misinformation) {
+      const IntervalIndex span = claim.end - claim.start;
+      const IntervalIndex duration =
+          std::min(config_.misinformation_duration, span);
+      claim.burst_start =
+          claim.start +
+          static_cast<IntervalIndex>(rng.below(
+              static_cast<std::uint64_t>(span - duration) + 1));
+      claim.burst_end = claim.burst_start + duration;
+    }
+  }
+}
+
+std::vector<TruthSeries> TraceGenerator::sample_truth(Rng& rng) const {
+  std::vector<TruthSeries> truth(config_.num_claims);
+  for (std::uint32_t u = 0; u < config_.num_claims; ++u) {
+    TruthSeries series(config_.intervals, 0);
+    std::int8_t state =
+        rng.bernoulli(config_.initial_true_probability) ? 1 : 0;
+    const double q = config_.stationary_true_probability;
+    const double f = claims_[u].flip_probability;
+    // Asymmetric chain with stationary P(true) = q (see ScenarioConfig).
+    const double up = std::min(2.0 * f * q, 1.0);
+    const double down = std::min(2.0 * f * (1.0 - q), 1.0);
+    for (IntervalIndex k = 0; k < config_.intervals; ++k) {
+      if (k > 0 && rng.bernoulli(state != 0 ? down : up)) {
+        state = static_cast<std::int8_t>(1 - state);
+      }
+      series[k] = state;
+    }
+    truth[u] = std::move(series);
+  }
+  // Couple correlated pairs: the sparse partner inherits the popular
+  // claim's truth series (claims are popularity-ordered by index).
+  for (const auto& [popular, sparse] : correlated_claim_pairs(config_)) {
+    truth[sparse] = truth[popular];
+  }
+  return truth;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+TraceGenerator::correlated_claim_pairs(const ScenarioConfig& config) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  const std::uint32_t limit =
+      std::min(config.correlated_pairs, config.num_claims / 2);
+  pairs.reserve(limit);
+  for (std::uint32_t i = 0; i < limit; ++i) {
+    pairs.emplace_back(i, config.num_claims - 1 - i);
+  }
+  return pairs;
+}
+
+std::vector<double> TraceGenerator::interval_rates(Rng& rng) const {
+  // Diurnal modulation plus random spike intervals, then normalized so the
+  // expected total matches config.total_reports.
+  std::vector<double> raw(config_.intervals);
+  for (IntervalIndex k = 0; k < config_.intervals; ++k) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(k) * config_.duration_days /
+                         config_.intervals;
+    double multiplier = 1.0 + 0.45 * std::sin(phase);
+    if (rng.bernoulli(config_.spike_probability)) {
+      multiplier *= config_.spike_multiplier;
+    }
+    raw[k] = multiplier;
+  }
+  double total = 0.0;
+  for (double r : raw) total += r;
+  const double scale = static_cast<double>(config_.total_reports) / total;
+  for (double& r : raw) r *= scale;
+  return raw;
+}
+
+Dataset TraceGenerator::generate() {
+  Rng rng(config_.seed);
+  sample_population(rng);
+  sample_claims(rng);
+  const std::vector<TruthSeries> truth = sample_truth(rng);
+  const std::vector<double> rates = interval_rates(rng);
+
+  Dataset data(config_.name, config_.num_sources, config_.num_claims,
+               config_.intervals, config_.interval_ms());
+  for (std::uint32_t u = 0; u < config_.num_claims; ++u) {
+    data.set_ground_truth(ClaimId{u}, truth[u]);
+  }
+
+  const DiscreteDistribution source_dist(source_activity_);
+  // Claim popularity: Zipf over claim index.
+  std::vector<double> popularity(config_.num_claims);
+  for (std::uint32_t u = 0; u < config_.num_claims; ++u) {
+    popularity[u] = std::pow(static_cast<double>(u) + 1.0,
+                             -config_.claim_popularity_zipf);
+  }
+  const DiscreteDistribution claim_dist(popularity);
+
+  // Last organic attitude per claim, for retweet cascades.
+  std::vector<std::int8_t> last_attitude(config_.num_claims, 0);
+
+  auto sample_time = [&](IntervalIndex k) {
+    return static_cast<TimestampMs>(k) * config_.interval_ms() +
+           static_cast<TimestampMs>(rng.below(
+               static_cast<std::uint64_t>(config_.interval_ms())));
+  };
+
+  for (IntervalIndex k = 0; k < config_.intervals; ++k) {
+    // Active claims this interval (for rejection sampling and bursts).
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t u = 0; u < config_.num_claims; ++u) {
+      if (k >= claims_[u].start && k < claims_[u].end) active.push_back(u);
+    }
+    if (active.empty()) continue;
+
+    const auto organic = rng.poisson(rates[k]);
+    for (std::uint64_t i = 0; i < organic; ++i) {
+      // Sample a popular claim, rejecting inactive ones.
+      std::uint32_t claim = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        claim = static_cast<std::uint32_t>(claim_dist.sample(rng));
+        if (k >= claims_[claim].start && k < claims_[claim].end) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) claim = active[rng.below(active.size())];
+
+      Report r;
+      r.claim = ClaimId{claim};
+      r.source =
+          SourceId{static_cast<std::uint32_t>(source_dist.sample(rng))};
+      r.time_ms = sample_time(k);
+
+      if (rng.bernoulli(config_.neutral_probability)) {
+        r.attitude = 0;  // no extractable stance; CS = 0
+        r.uncertainty = rng.uniform(0.0, 0.5);
+        r.independence = rng.uniform(0.85, 1.0);
+        data.add_report(r);
+        continue;
+      }
+
+      const bool hedged = rng.bernoulli(config_.hedge_probability);
+      r.uncertainty = hedged ? rng.uniform(0.45, 0.9) : rng.uniform(0.0, 0.25);
+
+      const bool echoed = last_attitude[claim] != 0 &&
+                          rng.bernoulli(config_.retweet_probability);
+      if (echoed) {
+        // Echoes repeat an earlier report verbatim regardless of the
+        // echoing source's own accuracy.
+        r.attitude = last_attitude[claim];
+        r.independence = rng.uniform(0.1, 0.35);
+      } else {
+        const bool truth_now = truth[claim][k] != 0;
+        double accuracy = source_accuracy_[r.source.value];
+        if (hedged) {
+          accuracy = std::max(accuracy - config_.hedge_accuracy_penalty,
+                              0.05);
+        }
+        const bool correct = rng.bernoulli(accuracy);
+        const bool asserted_value = correct == truth_now;
+        r.attitude = asserted_value ? 1 : -1;
+        r.independence = rng.uniform(0.85, 1.0);
+        last_attitude[claim] = r.attitude;
+      }
+      data.add_report(r);
+    }
+
+    // Misinformation bursts: extra reports asserting the wrong value.
+    for (std::uint32_t u : active) {
+      const ClaimState& claim = claims_[u];
+      if (!claim.misinformation || k < claim.burst_start ||
+          k >= claim.burst_end) {
+        continue;
+      }
+      const double per_claim_rate =
+          rates[k] / static_cast<double>(active.size());
+      const auto burst =
+          rng.poisson(config_.misinformation_intensity * per_claim_rate);
+      const auto wrong = static_cast<std::int8_t>(truth[u][k] != 0 ? -1 : 1);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        // Coordinated bursts: confidently worded, heavily copied.
+        Report r;
+        r.claim = ClaimId{u};
+        r.source =
+            SourceId{static_cast<std::uint32_t>(source_dist.sample(rng))};
+        r.time_ms = sample_time(k);
+        r.attitude = wrong;
+        r.uncertainty = rng.uniform(0.0, 0.2);
+        r.independence = rng.uniform(0.08, 0.3);
+        data.add_report(r);
+      }
+    }
+  }
+
+  data.finalize();
+  return data;
+}
+
+std::vector<std::uint64_t> TraceGenerator::generate_traffic_profile() {
+  Rng rng(config_.seed);
+  const std::vector<double> rates = interval_rates(rng);
+  std::vector<std::uint64_t> profile(config_.intervals);
+  for (IntervalIndex k = 0; k < config_.intervals; ++k) {
+    profile[k] = rng.poisson(rates[k]);
+  }
+  return profile;
+}
+
+std::vector<text::SynthTweet> TraceGenerator::generate_tweets(
+    std::uint64_t max_tweets) {
+  // Reuse the scored-report generator, then render each report as a token
+  // bag: this keeps tweet-level experiments consistent with the report
+  // dynamics (same truth, same attitudes).
+  ScenarioConfig small = config_;
+  small.total_reports = std::min<std::uint64_t>(config_.total_reports,
+                                                max_tweets);
+  TraceGenerator inner(small);
+  Dataset data = inner.generate();
+
+  std::vector<std::vector<std::string>> topics;
+  if (config_.name.find("Football") != std::string::npos) {
+    topics = text::football_topics();
+  } else if (config_.name.find("Paris") != std::string::npos) {
+    topics = text::shooting_topics();
+  } else {
+    topics = text::bombing_topics();
+  }
+  const text::TweetComposer composer(topics);
+
+  Rng rng(config_.seed ^ 0x7177ee7ULL);
+  std::vector<text::SynthTweet> tweets;
+  tweets.reserve(data.num_reports());
+  for (const Report& r : data.reports()) {
+    if (r.attitude == 0) continue;
+    const auto topic = r.claim.value % composer.num_topics();
+    text::SynthTweet tweet = composer.compose(
+        static_cast<std::uint32_t>(topic), r.attitude,
+        /*hedged=*/r.uncertainty > 0.4, rng);
+    tweet.source = r.source;
+    tweet.time_ms = r.time_ms;
+    tweet.latent_claim = r.claim;
+    tweet.is_retweet = r.independence < 0.5;
+    tweets.push_back(std::move(tweet));
+  }
+  return tweets;
+}
+
+TraceStats TraceGenerator::compute_stats(const Dataset& data,
+                                         const ScenarioConfig& config) {
+  TraceStats stats;
+  stats.name = config.name;
+  stats.duration_days = config.duration_days;
+  for (std::size_t i = 0; i < config.keywords.size(); ++i) {
+    if (i > 0) stats.keywords += ", ";
+    stats.keywords += config.keywords[i];
+  }
+  stats.num_reports = data.num_reports();
+  stats.num_sources = data.distinct_reporting_sources();
+  stats.num_claims = data.num_claims();
+
+  double flips = 0.0;
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const auto& series = data.ground_truth(ClaimId{u});
+    for (std::size_t k = 1; k < series.size(); ++k) {
+      flips += series[k] != series[k - 1];
+    }
+  }
+  stats.truth_flips_per_claim =
+      data.num_claims() ? flips / data.num_claims() : 0.0;
+
+  const auto profile = data.traffic_profile();
+  std::uint64_t peak = 0;
+  std::uint64_t total = 0;
+  for (auto count : profile) {
+    peak = std::max(peak, static_cast<std::uint64_t>(count));
+    total += count;
+  }
+  const double mean =
+      profile.empty() ? 0.0 : static_cast<double>(total) / profile.size();
+  stats.peak_to_mean_traffic = mean > 0.0 ? peak / mean : 0.0;
+  return stats;
+}
+
+}  // namespace sstd::trace

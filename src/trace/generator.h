@@ -1,0 +1,81 @@
+// Synthetic trace generator: samples a full social-sensing dataset (with
+// latent ground truth) from a ScenarioConfig. This is the stand-in for the
+// paper's Twitter crawls (DESIGN.md §2): the generator controls exactly the
+// statistical structure truth discovery depends on — source reliability
+// strata, heavy-tailed activity/popularity, evolving truth, hedging,
+// retweet cascades, traffic spikes and coordinated misinformation bursts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "text/tweet.h"
+#include "trace/scenario.h"
+#include "util/rng.h"
+
+namespace sstd::trace {
+
+// Summary statistics in the shape of the paper's Table II.
+struct TraceStats {
+  std::string name;
+  double duration_days = 0.0;
+  std::string keywords;
+  std::uint64_t num_reports = 0;
+  std::uint64_t num_sources = 0;  // distinct sources that reported
+  std::uint32_t num_claims = 0;
+  double truth_flips_per_claim = 0.0;
+  double peak_to_mean_traffic = 0.0;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(ScenarioConfig config);
+
+  const ScenarioConfig& config() const { return config_; }
+
+  // Generates the scored-report dataset (ground truth attached,
+  // finalized). Deterministic for a fixed config (config.seed).
+  Dataset generate();
+
+  // Generates raw token-level tweets for the text-pipeline experiments.
+  // Claims are mapped onto the scenario's topic bank (modulo its size), so
+  // the clusterer has real token signatures to discover. Intended for
+  // smaller volumes (`max_tweets` caps the output).
+  std::vector<text::SynthTweet> generate_tweets(std::uint64_t max_tweets);
+
+  // Per-interval expected report counts only — enough to drive the
+  // cluster simulator at Super-Bowl scale (Fig 7) without materializing
+  // tens of millions of Report objects.
+  std::vector<std::uint64_t> generate_traffic_profile();
+
+  static TraceStats compute_stats(const Dataset& data,
+                                  const ScenarioConfig& config);
+
+  // The claim pairs that share a truth series under
+  // config.correlated_pairs: (popular, sparse) by construction.
+  static std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  correlated_claim_pairs(const ScenarioConfig& config);
+
+ private:
+  struct ClaimState {
+    IntervalIndex start;
+    IntervalIndex end;  // exclusive
+    double flip_probability;
+    bool misinformation;
+    IntervalIndex burst_start = 0;
+    IntervalIndex burst_end = 0;
+  };
+
+  void sample_population(Rng& rng);
+  void sample_claims(Rng& rng);
+  std::vector<TruthSeries> sample_truth(Rng& rng) const;
+  std::vector<double> interval_rates(Rng& rng) const;
+
+  ScenarioConfig config_;
+  std::vector<double> source_accuracy_;
+  std::vector<double> source_activity_;
+  std::vector<ClaimState> claims_;
+};
+
+}  // namespace sstd::trace

@@ -1,0 +1,216 @@
+#include "trace/scenario_file.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sstd::trace {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) parts.push_back(trim(part));
+  return parts;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("scenario file line " + std::to_string(line) +
+                           ": " + message);
+}
+
+}  // namespace
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_scenario_file: cannot open " + path);
+  }
+
+  ScenarioConfig config;
+  config.source_classes.clear();  // file provides its own (or defaults back)
+  bool saw_source_class = false;
+
+  // Field registry: name -> setter-from-string.
+  using Setter = std::function<void(const std::string&)>;
+  auto set_double = [](double* field) {
+    return [field](const std::string& value) { *field = std::stod(value); };
+  };
+  auto set_u32 = [](std::uint32_t* field) {
+    return [field](const std::string& value) {
+      *field = static_cast<std::uint32_t>(std::stoul(value));
+    };
+  };
+  auto set_u64 = [](std::uint64_t* field) {
+    return [field](const std::string& value) {
+      *field = std::stoull(value);
+    };
+  };
+  auto set_interval = [](IntervalIndex* field) {
+    return [field](const std::string& value) {
+      *field = static_cast<IntervalIndex>(std::stol(value));
+    };
+  };
+
+  const std::unordered_map<std::string, Setter> setters = {
+      {"name", [&](const std::string& v) { config.name = v; }},
+      {"keywords",
+       [&](const std::string& v) { config.keywords = split_commas(v); }},
+      {"duration_days", set_double(&config.duration_days)},
+      {"num_sources", set_u32(&config.num_sources)},
+      {"table2_sources", set_u32(&config.table2_sources)},
+      {"num_claims", set_u32(&config.num_claims)},
+      {"intervals", set_interval(&config.intervals)},
+      {"activity_zipf_s", set_double(&config.activity_zipf_s)},
+      {"flip_rate_min", set_double(&config.flip_rate_min)},
+      {"flip_rate_max", set_double(&config.flip_rate_max)},
+      {"initial_true_probability",
+       set_double(&config.initial_true_probability)},
+      {"stationary_true_probability",
+       set_double(&config.stationary_true_probability)},
+      {"claim_start_fraction", set_double(&config.claim_start_fraction)},
+      {"claim_min_life_fraction",
+       set_double(&config.claim_min_life_fraction)},
+      {"claim_max_life_fraction",
+       set_double(&config.claim_max_life_fraction)},
+      {"total_reports", set_u64(&config.total_reports)},
+      {"spike_probability", set_double(&config.spike_probability)},
+      {"spike_multiplier", set_double(&config.spike_multiplier)},
+      {"claim_popularity_zipf", set_double(&config.claim_popularity_zipf)},
+      {"hedge_probability", set_double(&config.hedge_probability)},
+      {"neutral_probability", set_double(&config.neutral_probability)},
+      {"retweet_probability", set_double(&config.retweet_probability)},
+      {"hedge_accuracy_penalty",
+       set_double(&config.hedge_accuracy_penalty)},
+      {"misinformation_claim_fraction",
+       set_double(&config.misinformation_claim_fraction)},
+      {"misinformation_intensity",
+       set_double(&config.misinformation_intensity)},
+      {"misinformation_duration",
+       set_interval(&config.misinformation_duration)},
+      {"correlated_pairs", set_u32(&config.correlated_pairs)},
+      {"seed", set_u64(&config.seed)},
+  };
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto equals = line.find('=');
+    if (equals == std::string::npos) fail(line_number, "expected key = value");
+    const std::string key = trim(line.substr(0, equals));
+    const std::string value = trim(line.substr(equals + 1));
+    if (value.empty()) fail(line_number, "empty value for '" + key + "'");
+
+    try {
+      if (key == "source_class") {
+        const auto parts = split_commas(value);
+        if (parts.size() != 4) {
+          fail(line_number,
+               "source_class needs label, fraction, mean, kappa");
+        }
+        SourceClass cls;
+        cls.label = parts[0];
+        cls.fraction = std::stod(parts[1]);
+        cls.accuracy_mean = std::stod(parts[2]);
+        cls.accuracy_kappa = std::stod(parts[3]);
+        config.source_classes.push_back(cls);
+        saw_source_class = true;
+        continue;
+      }
+      const auto it = setters.find(key);
+      if (it == setters.end()) fail(line_number, "unknown key '" + key + "'");
+      it->second(value);
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail(line_number, "bad value '" + value + "' for '" + key + "'");
+    }
+  }
+
+  if (!saw_source_class) {
+    // Fall back to the shared default population.
+    config.source_classes = boston_bombing().source_classes;
+  }
+  return config;
+}
+
+void save_scenario_file(const ScenarioConfig& config,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_scenario_file: cannot open " + path);
+  }
+  out << "# SSTD scenario configuration (see src/trace/scenario.h for the\n"
+         "# meaning of each field). Lines are `key = value`; `#` comments.\n";
+  out << "name = " << config.name << "\n";
+  out << "keywords = ";
+  for (std::size_t i = 0; i < config.keywords.size(); ++i) {
+    if (i) out << ", ";
+    out << config.keywords[i];
+  }
+  out << "\n";
+  out << "duration_days = " << config.duration_days << "\n";
+  out << "num_sources = " << config.num_sources << "\n";
+  out << "table2_sources = " << config.table2_sources << "\n";
+  out << "num_claims = " << config.num_claims << "\n";
+  out << "intervals = " << config.intervals << "\n\n";
+  out << "# source population strata: label, fraction, accuracy mean, "
+         "Beta concentration\n";
+  for (const auto& cls : config.source_classes) {
+    out << "source_class = " << cls.label << ", " << cls.fraction << ", "
+        << cls.accuracy_mean << ", " << cls.accuracy_kappa << "\n";
+  }
+  out << "activity_zipf_s = " << config.activity_zipf_s << "\n\n";
+  out << "# truth dynamics\n";
+  out << "flip_rate_min = " << config.flip_rate_min << "\n";
+  out << "flip_rate_max = " << config.flip_rate_max << "\n";
+  out << "initial_true_probability = " << config.initial_true_probability
+      << "\n";
+  out << "stationary_true_probability = "
+      << config.stationary_true_probability << "\n";
+  out << "claim_start_fraction = " << config.claim_start_fraction << "\n";
+  out << "claim_min_life_fraction = " << config.claim_min_life_fraction
+      << "\n";
+  out << "claim_max_life_fraction = " << config.claim_max_life_fraction
+      << "\n\n";
+  out << "# traffic\n";
+  out << "total_reports = " << config.total_reports << "\n";
+  out << "spike_probability = " << config.spike_probability << "\n";
+  out << "spike_multiplier = " << config.spike_multiplier << "\n";
+  out << "claim_popularity_zipf = " << config.claim_popularity_zipf << "\n\n";
+  out << "# report semantics\n";
+  out << "hedge_probability = " << config.hedge_probability << "\n";
+  out << "neutral_probability = " << config.neutral_probability << "\n";
+  out << "retweet_probability = " << config.retweet_probability << "\n";
+  out << "hedge_accuracy_penalty = " << config.hedge_accuracy_penalty
+      << "\n\n";
+  out << "# misinformation bursts\n";
+  out << "misinformation_claim_fraction = "
+      << config.misinformation_claim_fraction << "\n";
+  out << "misinformation_intensity = " << config.misinformation_intensity
+      << "\n";
+  out << "misinformation_duration = " << config.misinformation_duration
+      << "\n\n";
+  out << "correlated_pairs = " << config.correlated_pairs << "\n";
+  out << "seed = " << config.seed << "\n";
+  if (!out) throw std::runtime_error("save_scenario_file: write failed");
+}
+
+}  // namespace sstd::trace

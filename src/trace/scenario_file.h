@@ -1,0 +1,27 @@
+// Scenario configuration files: a small key = value format (with `#`
+// comments) so users can define custom social-sensing scenarios for
+// trace_tool and the benches without recompiling. Every numeric field of
+// ScenarioConfig is addressable by its struct name; source classes are
+// repeated `source_class = label, fraction, accuracy_mean, accuracy_kappa`
+// lines; keywords are one comma-separated list.
+//
+// save_scenario_file emits a complete, commented file for any config, so
+// `trace_tool scaffold boston my.scenario` gives users a template to edit.
+#pragma once
+
+#include <string>
+
+#include "trace/scenario.h"
+
+namespace sstd::trace {
+
+// Parses a scenario file. Unknown keys and malformed lines throw
+// std::runtime_error with the offending line number. Fields not present
+// keep their ScenarioConfig defaults.
+ScenarioConfig load_scenario_file(const std::string& path);
+
+// Writes every field of `config` as a commented key = value file.
+void save_scenario_file(const ScenarioConfig& config,
+                        const std::string& path);
+
+}  // namespace sstd::trace

@@ -1,0 +1,107 @@
+// Thread-safe queue used between the Work Queue master and worker threads.
+//
+// Supports priority ordering (higher priority first, FIFO within equal
+// priority) because the PID controller steers TD jobs by adjusting task
+// priorities (the paper's Local Control Knob).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace sstd {
+
+template <typename T>
+class BlockingPriorityQueue {
+ public:
+  // Returns false once the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return false;
+    out = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return true;
+  }
+
+  // Non-blocking pop; returns nullopt when empty (even if still open).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (heap_.empty()) return std::nullopt;
+    std::optional<T> out = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return out;
+  }
+
+  void push(T value, double priority = 0.0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      heap_.push(Entry{priority, next_sequence_++, std::move(value)});
+    }
+    not_empty_.notify_one();
+  }
+
+  // Recomputes the priority of every queued entry with `reprice` (called
+  // as reprice(value, old_priority) -> new priority) and rebuilds the
+  // heap. O(n log n) under the lock — the queue holds at most the current
+  // backlog, and the controller retunes at ~1 Hz, so this is cheap in
+  // practice. Sequence numbers are preserved, keeping FIFO order among
+  // equal priorities.
+  template <typename Reprice>
+  void reprioritize(Reprice&& reprice) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> entries;
+    entries.reserve(heap_.size());
+    while (!heap_.empty()) {
+      entries.push_back(std::move(const_cast<Entry&>(heap_.top())));
+      heap_.pop();
+    }
+    for (auto& entry : entries) {
+      entry.priority = reprice(entry.value, entry.priority);
+      heap_.push(std::move(entry));
+    }
+  }
+
+  // After close(), pushes are ignored and pop() drains then returns false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+ private:
+  struct Entry {
+    double priority;
+    std::uint64_t sequence;
+    T value;
+
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return sequence > other.sequence;  // FIFO among equal priorities
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sstd

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace sstd {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> cells;
+  cells.reserve(columns.size());
+  for (auto c : columns) cells.emplace_back(c);
+  write_line(cells);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  write_line(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_line(cells);
+}
+
+std::string CsvWriter::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string CsvWriter::cell(long long value) {
+  return std::to_string(value);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      out_ << cell;
+      continue;
+    }
+    out_ << '"';
+    for (char ch : cell) {
+      if (ch == '"') out_ << '"';
+      out_ << ch;
+    }
+    out_ << '"';
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace sstd

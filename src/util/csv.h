@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the bench harness to dump experiment series.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sstd {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing, creating parent directories if needed.
+  // Throws std::runtime_error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  void header(std::initializer_list<std::string_view> columns);
+  void header(const std::vector<std::string>& columns);
+
+  // Appends one row. Values are quoted iff they contain separators/quotes.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience: mixed string/double rows built by the caller via cell().
+  static std::string cell(double value, int precision = 6);
+  static std::string cell(long long value);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace sstd

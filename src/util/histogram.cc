@@ -1,0 +1,50 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace sstd {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  const double span = hi_ - lo_;
+  double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+  pos = std::clamp(pos, 0.0, static_cast<double>(counts_.size()) - 1.0);
+  counts_[static_cast<std::size_t>(pos)] += count;
+  total_ += count;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%10.2f, %10.2f) %8llu ",
+                  bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    os << label;
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    os << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sstd

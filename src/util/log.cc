@@ -1,0 +1,49 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace sstd {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  using namespace std::chrono;
+  const auto now =
+      duration_cast<milliseconds>(steady_clock::now().time_since_epoch());
+
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%10lld.%03lld] %s [%.*s] %s\n",
+               static_cast<long long>(now.count() / 1000),
+               static_cast<long long>(now.count() % 1000), level_name(level),
+               static_cast<int>(tag.size()), tag.data(), body);
+}
+
+}  // namespace sstd

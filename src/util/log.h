@@ -1,0 +1,30 @@
+// Leveled, thread-safe logging. The distributed runtime logs from worker
+// threads, so emission is serialized behind a mutex; everything else is
+// static configuration.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace sstd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style logging. `tag` names the emitting subsystem ("dist", "pid").
+void log_message(LogLevel level, std::string_view tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define SSTD_LOG_DEBUG(tag, ...) \
+  ::sstd::log_message(::sstd::LogLevel::kDebug, tag, __VA_ARGS__)
+#define SSTD_LOG_INFO(tag, ...) \
+  ::sstd::log_message(::sstd::LogLevel::kInfo, tag, __VA_ARGS__)
+#define SSTD_LOG_WARN(tag, ...) \
+  ::sstd::log_message(::sstd::LogLevel::kWarn, tag, __VA_ARGS__)
+#define SSTD_LOG_ERROR(tag, ...) \
+  ::sstd::log_message(::sstd::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace sstd

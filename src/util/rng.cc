@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sstd {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection to avoid
+  // modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // traffic rates used in trace synthesis (errors well under sampling noise).
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return 0;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(weights[i], 0.0);
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::gamma(double shape) {
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia-Tsang trick).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double Rng::beta(double a, double b) {
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Rejection-inversion would be faster, but trace generation samples this
+  // at most once per report; simple inverse-CDF over a cached harmonic sum
+  // is fine and exact. We avoid caching across calls because (n, s) vary.
+  double harmonic = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) harmonic += std::pow(k, -s);
+  double target = uniform() * harmonic;
+  for (std::size_t k = 1; k <= n; ++k) {
+    target -= std::pow(k, -s);
+    if (target < 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace sstd

@@ -1,0 +1,120 @@
+// Deterministic random number generation for the whole SSTD library.
+//
+// Every stochastic component in this repository takes an explicit Rng (or a
+// seed) so that traces, experiments and tests are reproducible run-to-run.
+// The engine is xoshiro256++ seeded via splitmix64, which is fast, has a
+// 256-bit state and passes BigCrush; std::mt19937 would also work but its
+// state is bulky to fork cheaply.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sstd {
+
+// splitmix64: used to expand a single 64-bit seed into xoshiro state.
+// Public because tests and hashing utilities also want a cheap mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ engine satisfying UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Derive an independent child generator; used to give each simulated
+  // source / claim / worker its own stream without cross-correlation.
+  Rng fork() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+        static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Standard normal via Marsaglia polar method (cached spare value).
+  double normal();
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  // Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -std::log(u) / rate;
+  }
+
+  // Poisson sample. Uses inversion for small means, normal approximation
+  // plus rejection for large means (good enough for traffic synthesis).
+  std::uint64_t poisson(double mean);
+
+  // Sample an index in [0, weights.size()) proportional to weights.
+  // Zero/negative weights are treated as zero; if all weights are zero the
+  // first index is returned.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Beta(a, b) via two gamma draws; used for source-reliability priors.
+  double beta(double a, double b);
+
+  // Gamma(shape, scale=1) via Marsaglia-Tsang.
+  double gamma(double shape);
+
+  // Zipf-like rank sample over [0, n): P(k) proportional to 1/(k+1)^s.
+  // Models heavy-tailed source activity (few prolific, many quiet sources).
+  std::size_t zipf(std::size_t n, double s);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace sstd

@@ -1,0 +1,83 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sstd {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+void ConfusionMatrix::add(bool truth, bool predicted) {
+  if (truth) {
+    predicted ? ++tp_ : ++fn_;
+  } else {
+    predicted ? ++fp_ : ++tn_;
+  }
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  tp_ += other.tp_;
+  tn_ += other.tn_;
+  fp_ += other.fp_;
+  fn_ += other.fn_;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto n = total();
+  return n ? static_cast<double>(tp_ + tn_) / static_cast<double>(n) : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  const auto denom = tp_ + fp_;
+  return denom ? static_cast<double>(tp_) / static_cast<double>(denom) : 0.0;
+}
+
+double ConfusionMatrix::recall() const {
+  const auto denom = tp_ + fn_;
+  return denom ? static_cast<double>(tp_) / static_cast<double>(denom) : 0.0;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+std::string ConfusionMatrix::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "acc=%.3f prec=%.3f rec=%.3f f1=%.3f",
+                accuracy(), precision(), recall(), f1());
+  return buf;
+}
+
+}  // namespace sstd

@@ -1,0 +1,64 @@
+// Small statistics helpers shared by the evaluation harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sstd {
+
+// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile of a sample by linear interpolation; `q` in [0, 1].
+// The input is copied and sorted (samples here are small).
+double percentile(std::vector<double> values, double q);
+
+// Binary-classification confusion matrix. Convention: the positive class is
+// "claim is true". Used for the paper's Accuracy / Precision / Recall / F1.
+class ConfusionMatrix {
+ public:
+  void add(bool truth, bool predicted);
+  void merge(const ConfusionMatrix& other);
+
+  std::uint64_t tp() const { return tp_; }
+  std::uint64_t tn() const { return tn_; }
+  std::uint64_t fp() const { return fp_; }
+  std::uint64_t fn() const { return fn_; }
+  std::uint64_t total() const { return tp_ + tn_ + fp_ + fn_; }
+
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  std::string summary() const;  // "acc=.. prec=.. rec=.. f1=.."
+
+ private:
+  std::uint64_t tp_ = 0;
+  std::uint64_t tn_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t fn_ = 0;
+};
+
+}  // namespace sstd

@@ -1,0 +1,26 @@
+// Monotonic stopwatch for measuring real execution time in Figure 4/5
+// benches and in the threaded Work Queue runtime.
+#pragma once
+
+#include <chrono>
+
+namespace sstd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sstd

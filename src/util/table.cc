@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace sstd {
+
+void TextTable::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i];
+      os << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  os << std::string(total, '-') << '\n';
+  emit_row(os, columns_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  os << std::string(total, '-') << '\n';
+  return os.str();
+}
+
+void TextTable::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace sstd

@@ -1,0 +1,31 @@
+// Aligned console tables. Every bench binary prints its table/figure series
+// in the same visual format the paper uses, via this helper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sstd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a full table with a title rule, header and column alignment.
+  std::string to_string() const;
+
+  // Renders to stdout.
+  void print() const;
+
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sstd

@@ -1,0 +1,122 @@
+// Tests for the analytics layer: source audits, misinformation-spreader
+// ranking, and claim controversy scoring.
+#include <gtest/gtest.h>
+
+#include "sstd/analytics.h"
+#include "sstd/batch.h"
+#include "trace/generator.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+Report make_report(std::uint32_t source, std::uint32_t claim,
+                   TimestampMs time_ms, int attitude,
+                   double independence = 1.0) {
+  Report r;
+  r.source = SourceId{source};
+  r.claim = ClaimId{claim};
+  r.time_ms = time_ms;
+  r.attitude = static_cast<std::int8_t>(attitude);
+  r.independence = independence;
+  return r;
+}
+
+// Two claims, 6 intervals; source 0 always agrees with the estimates,
+// source 1 always disagrees, source 2 reports only twice (filtered).
+Dataset make_audit_dataset(EstimateMatrix* estimates) {
+  Dataset data("audit", 4, 2, 6, 1000);
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 1, 1, 1, 1, 1});
+  data.set_ground_truth(ClaimId{1}, TruthSeries{0, 0, 0, 0, 0, 0});
+  for (IntervalIndex k = 0; k < 6; ++k) {
+    data.add_report(make_report(0, 0, k * 1000 + 10, 1));
+    data.add_report(make_report(0, 1, k * 1000 + 20, -1));
+    data.add_report(make_report(1, 0, k * 1000 + 30, -1, 0.3));
+    if (k < 2) data.add_report(make_report(2, 0, k * 1000 + 40, 1));
+  }
+  data.finalize();
+  *estimates = EstimateMatrix{
+      std::vector<std::int8_t>(6, 1),
+      std::vector<std::int8_t>(6, 0),
+  };
+  return data;
+}
+
+TEST(Analytics, AuditCountsAgreementsPerSource) {
+  EstimateMatrix estimates;
+  const Dataset data = make_audit_dataset(&estimates);
+  const auto audits = audit_sources(data, estimates, /*min_reports=*/3);
+  ASSERT_EQ(audits.size(), 2u);  // source 2 filtered (only 2 reports)
+
+  EXPECT_EQ(audits[0].source.value, 0u);
+  EXPECT_EQ(audits[0].reports, 12u);
+  EXPECT_DOUBLE_EQ(audits[0].agreement_rate, 1.0);
+  EXPECT_EQ(audits[0].claims_touched, 2u);
+
+  EXPECT_EQ(audits[1].source.value, 1u);
+  EXPECT_DOUBLE_EQ(audits[1].agreement_rate, 0.0);
+  EXPECT_NEAR(audits[1].mean_independence, 0.3, 1e-12);
+}
+
+TEST(Analytics, MinReportsZeroIncludesEveryone) {
+  EstimateMatrix estimates;
+  const Dataset data = make_audit_dataset(&estimates);
+  const auto audits = audit_sources(data, estimates, 0);
+  EXPECT_EQ(audits.size(), 3u);
+}
+
+TEST(Analytics, LeastReliableRanksDisagreersFirst) {
+  EstimateMatrix estimates;
+  const Dataset data = make_audit_dataset(&estimates);
+  const auto worst = least_reliable_sources(data, estimates, 1, 3);
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].source.value, 1u);
+}
+
+TEST(Analytics, ControversyZeroWhenUnanimous) {
+  EstimateMatrix estimates;
+  const Dataset data = make_audit_dataset(&estimates);
+  const auto controversy = claim_controversy(data, estimates);
+  ASSERT_EQ(controversy.size(), 2u);
+  // Claim 0: source 0 & 2 assert (mass 8), source 1 denies with mass
+  // 6 * 0.3 = 1.8 -> controversy = 1.8 / 9.8.
+  EXPECT_NEAR(controversy[0].controversy, 1.8 / 9.8, 1e-9);
+  // Claim 1: only source 0 reports (denials) -> unanimous.
+  EXPECT_DOUBLE_EQ(controversy[1].controversy, 0.0);
+  // Constant estimates -> no flips.
+  EXPECT_DOUBLE_EQ(controversy[0].estimate_flip_rate, 0.0);
+}
+
+TEST(Analytics, FlipRateCountsEstimateChanges) {
+  EstimateMatrix estimates;
+  const Dataset data = make_audit_dataset(&estimates);
+  EstimateMatrix flippy = estimates;
+  flippy[0] = {1, 0, 1, 0, 1, 0};  // flips at every comparable step
+  const auto controversy = claim_controversy(data, flippy);
+  EXPECT_DOUBLE_EQ(controversy[0].estimate_flip_rate, 1.0);
+}
+
+TEST(Analytics, SpammersBubbleUpOnGeneratedTrace) {
+  // On a generated trace with misinformation bursts, the bottom of the
+  // reliability ranking should be dominated by sources whose reports are
+  // mostly low-independence (the echo/burst signature).
+  auto config = trace::tiny(trace::boston_bombing(), 40'000, 24);
+  config.misinformation_claim_fraction = 0.5;
+  trace::TraceGenerator generator(config);
+  const Dataset data = generator.generate();
+
+  SstdBatch sstd;
+  const auto estimates = sstd.run(data);
+  const auto worst = least_reliable_sources(data, estimates, 20, 4);
+  ASSERT_FALSE(worst.empty());
+  double independence_sum = 0.0;
+  for (const auto& audit : worst) {
+    EXPECT_LE(audit.agreement_rate, 0.5);
+    independence_sum += audit.mean_independence;
+  }
+  // The unreliable tail is echo-heavy compared to the global mean (~0.7).
+  EXPECT_LT(independence_sum / worst.size(), 0.75);
+}
+
+}  // namespace
+}  // namespace sstd

@@ -1,0 +1,381 @@
+// Tests for src/baselines: snapshot construction, each baseline's core
+// behaviour (does it outvote unreliable majorities, handle sparsity, track
+// evolving truth), and the windowed dynamic adapter.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "core/metrics.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+Report make_report(std::uint32_t source, std::uint32_t claim,
+                   TimestampMs time_ms, int attitude,
+                   double uncertainty = 0.0, double independence = 1.0) {
+  Report r;
+  r.source = SourceId{source};
+  r.claim = ClaimId{claim};
+  r.time_ms = time_ms;
+  r.attitude = static_cast<std::int8_t>(attitude);
+  r.uncertainty = uncertainty;
+  r.independence = independence;
+  return r;
+}
+
+TEST(Snapshot, DeduplicatesPerSourceClaimPair) {
+  std::vector<Report> reports{
+      make_report(0, 0, 1, 1),
+      make_report(0, 0, 2, 1),   // same source, same claim: one assertion
+      make_report(1, 0, 3, -1),
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  EXPECT_EQ(snap.assertions().size(), 2u);
+  EXPECT_EQ(snap.num_sources(), 2u);
+  EXPECT_EQ(snap.num_claims(), 1u);
+}
+
+TEST(Snapshot, ConflictingReportsBySameSourceNetOut) {
+  std::vector<Report> reports{
+      make_report(0, 0, 1, 1),
+      make_report(0, 0, 2, -1),  // cancels exactly
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  EXPECT_TRUE(snap.assertions().empty());
+}
+
+TEST(Snapshot, NeutralAttitudeIgnored) {
+  std::vector<Report> reports{make_report(0, 0, 1, 0)};
+  const Snapshot snap{std::span<const Report>(reports)};
+  EXPECT_TRUE(snap.assertions().empty());
+}
+
+TEST(Snapshot, WeightCarriesCertaintyAndIndependence) {
+  std::vector<Report> reports{make_report(0, 0, 1, 1, 0.5, 0.5)};
+  const Snapshot snap{std::span<const Report>(reports)};
+  ASSERT_EQ(snap.assertions().size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.assertions()[0].weight, 0.25);
+  EXPECT_EQ(snap.assertions()[0].value, 1);
+}
+
+TEST(Snapshot, IndexesAreConsistent) {
+  std::vector<Report> reports{
+      make_report(5, 7, 1, 1),
+      make_report(9, 7, 2, -1),
+      make_report(5, 3, 3, 1),
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  EXPECT_EQ(snap.num_sources(), 2u);
+  EXPECT_EQ(snap.num_claims(), 2u);
+  // by_claim / by_source must partition the assertion list.
+  std::size_t total = 0;
+  for (const auto& list : snap.by_claim()) total += list.size();
+  EXPECT_EQ(total, snap.assertions().size());
+  total = 0;
+  for (const auto& list : snap.by_source()) total += list.size();
+  EXPECT_EQ(total, snap.assertions().size());
+}
+
+TEST(MajorityVote, FollowsTheCrowd) {
+  std::vector<Report> reports{
+      make_report(0, 0, 1, 1),
+      make_report(1, 0, 2, 1),
+      make_report(2, 0, 3, -1),
+      make_report(0, 1, 4, -1),
+      make_report(1, 1, 5, -1),
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  MajorityVote mv;
+  const auto verdicts = mv.solve(snap);
+  // Look up dense indices via claim_at.
+  for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+    if (snap.claim_at(c).value == 0) EXPECT_EQ(verdicts[c], 1);
+    if (snap.claim_at(c).value == 1) EXPECT_EQ(verdicts[c], 0);
+  }
+}
+
+TEST(MajorityVote, TieGoesToFalse) {
+  std::vector<Report> reports{
+      make_report(0, 0, 1, 1),
+      make_report(1, 0, 2, -1),
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  MajorityVote mv;
+  EXPECT_EQ(mv.solve(snap)[0], 0);
+}
+
+TEST(WeightedVote, CertaintyBeatsHeadcount) {
+  // Two hedged, copied "true" votes vs one confident original "false".
+  std::vector<Report> reports{
+      make_report(0, 0, 1, 1, 0.8, 0.3),
+      make_report(1, 0, 2, 1, 0.8, 0.3),
+      make_report(2, 0, 3, -1, 0.0, 1.0),
+  };
+  const Snapshot snap{std::span<const Report>(reports)};
+  WeightedVote wv;
+  EXPECT_EQ(wv.solve(snap)[0], 0);
+  MajorityVote mv;
+  EXPECT_EQ(mv.solve(snap)[0], 1);  // headcount says true
+}
+
+// Shared scenario: a reliable bloc and an unreliable bloc disagree. The
+// reliable bloc is consistent across many claims; the unreliable bloc is
+// random. Iterative schemes should learn to trust the consistent bloc.
+//
+// Construction: 12 "background" claims where reliable sources are joined
+// by an *independent* honest majority (so truth is identifiable), plus one
+// contested claim where the unreliable bloc outnumbers the reliable one.
+std::vector<Report> make_trust_scenario(std::uint32_t* contested_claim) {
+  std::vector<Report> reports;
+  TimestampMs t = 0;
+  const std::uint32_t kReliable[] = {0, 1, 2};
+  const std::uint32_t kUnreliable[] = {3, 4, 5, 6};
+  Rng rng(77);
+
+  // Background claims: reliable sources always vote the true value (+1);
+  // unreliable sources vote randomly; 4 extra honest one-shot sources
+  // (ids 10+) supply the independent majority.
+  std::uint32_t next_honest = 10;
+  for (std::uint32_t claim = 0; claim < 12; ++claim) {
+    for (auto s : kReliable) reports.push_back(make_report(s, claim, ++t, 1));
+    for (auto s : kUnreliable) {
+      reports.push_back(
+          make_report(s, claim, ++t, rng.bernoulli(0.5) ? 1 : -1));
+    }
+    for (int extra = 0; extra < 4; ++extra) {
+      reports.push_back(make_report(next_honest++, claim, ++t, 1));
+    }
+  }
+  // Contested claim 12: reliable bloc says true, all 4 unreliable say
+  // false. Headcount favors "false"; trust-aware schemes should say true.
+  *contested_claim = 12;
+  for (auto s : kReliable) reports.push_back(make_report(s, 12, ++t, 1));
+  for (auto s : kUnreliable) reports.push_back(make_report(s, 12, ++t, -1));
+  return reports;
+}
+
+template <typename Solver>
+int solve_contested(const std::vector<Report>& reports,
+                    std::uint32_t contested) {
+  const Snapshot snap{std::span<const Report>(reports)};
+  Solver solver;
+  const auto verdicts = solver.solve(snap);
+  for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+    if (snap.claim_at(c).value == contested) return verdicts[c];
+  }
+  return -1;
+}
+
+TEST(TruthFinder, TrustsConsistentSources) {
+  std::uint32_t contested = 0;
+  const auto reports = make_trust_scenario(&contested);
+  EXPECT_EQ(solve_contested<TruthFinder>(reports, contested), 1);
+  // Sanity: naive majority gets it wrong.
+  EXPECT_EQ(solve_contested<MajorityVote>(reports, contested), 0);
+}
+
+TEST(Catd, TrustsConsistentSources) {
+  std::uint32_t contested = 0;
+  const auto reports = make_trust_scenario(&contested);
+  EXPECT_EQ(solve_contested<Catd>(reports, contested), 1);
+}
+
+TEST(ThreeEstimates, TrustsConsistentSources) {
+  std::uint32_t contested = 0;
+  const auto reports = make_trust_scenario(&contested);
+  EXPECT_EQ(solve_contested<ThreeEstimates>(reports, contested), 1);
+}
+
+TEST(Invest, RunsAndProducesVerdictsForAllClaims) {
+  std::uint32_t contested = 0;
+  const auto reports = make_trust_scenario(&contested);
+  const Snapshot snap{std::span<const Report>(reports)};
+  Invest invest;
+  const auto verdicts = invest.solve(snap);
+  EXPECT_EQ(verdicts.size(), snap.num_claims());
+  // Background claims (clear honest majority) must come out true.
+  int background_true = 0;
+  for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+    if (snap.claim_at(c).value < 12 && verdicts[c] == 1) ++background_true;
+  }
+  EXPECT_GE(background_true, 10);
+}
+
+TEST(Catd, ChiSquareQuantileSanity) {
+  // Known values: chi2_{0.5}(k) ~ k - 2/3; chi2_{0.95}(10) ~ 18.31.
+  EXPECT_NEAR(chi_square_quantile(0.5, 10), 9.34, 0.2);
+  EXPECT_NEAR(chi_square_quantile(0.95, 10), 18.31, 0.3);
+  EXPECT_NEAR(chi_square_quantile(0.025, 10), 3.25, 0.3);
+  // Monotone in dof.
+  EXPECT_LT(chi_square_quantile(0.025, 2), chi_square_quantile(0.025, 20));
+  // Tiny dof stays positive.
+  EXPECT_GT(chi_square_quantile(0.025, 1), 0.0);
+}
+
+TEST(Catd, DownweightsSingleClaimSources) {
+  // 5 one-shot sources say false; 1 source with a long correct history
+  // says true on the contested claim. CATD's confidence interval should
+  // shrink the one-shots' influence.
+  std::vector<Report> reports;
+  TimestampMs t = 0;
+  // History: source 0 agrees with 3 independent honest sources per claim.
+  std::uint32_t honest = 10;
+  for (std::uint32_t claim = 0; claim < 10; ++claim) {
+    reports.push_back(make_report(0, claim, ++t, 1));
+    for (int e = 0; e < 3; ++e) {
+      reports.push_back(make_report(honest++, claim, ++t, 1));
+    }
+  }
+  // Contested claim 10: source 0 true, five fresh sources false.
+  reports.push_back(make_report(0, 10, ++t, 1));
+  for (std::uint32_t s = 100; s < 105; ++s) {
+    reports.push_back(make_report(s, 10, ++t, -1));
+  }
+  const Snapshot snap{std::span<const Report>(reports)};
+  Catd catd;
+  const auto verdicts = catd.solve(snap);
+  for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+    if (snap.claim_at(c).value == 10) EXPECT_EQ(verdicts[c], 1);
+  }
+}
+
+Dataset make_evolving_dataset() {
+  // One claim, truth flips TRUE -> FALSE at interval 5 (of 10). A reliable
+  // crowd reports the current truth each interval.
+  Dataset data("evolving", 20, 1, 10, 1000);
+  TruthSeries truth(10);
+  for (int k = 0; k < 10; ++k) truth[k] = k < 5 ? 1 : 0;
+  data.set_ground_truth(ClaimId{0}, truth);
+  Rng rng(11);
+  for (int k = 0; k < 10; ++k) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      const int attitude = (k < 5) == rng.bernoulli(0.85) ? 1 : -1;
+      data.add_report(
+          make_report(s, 0, k * 1000 + 100 + s * 10, attitude));
+    }
+  }
+  data.finalize();
+  return data;
+}
+
+TEST(DynaTd, TracksEvolvingTruth) {
+  Dataset data = make_evolving_dataset();
+  DynaTdBatch dynatd;
+  const auto cm = evaluate_scheme(dynatd, data);
+  // The flip costs at most a couple of intervals of lag.
+  EXPECT_GE(cm.accuracy(), 0.7);
+}
+
+TEST(DynaTd, NoEstimateBeforeAnyReports) {
+  DynaTd dynatd;
+  EXPECT_EQ(dynatd.current_estimate(ClaimId{0}), kNoEstimate);
+  dynatd.offer(make_report(0, 0, 1, 1));
+  // Estimate appears only after the interval closes.
+  EXPECT_EQ(dynatd.current_estimate(ClaimId{0}), kNoEstimate);
+  dynatd.end_interval(0);
+  EXPECT_EQ(dynatd.current_estimate(ClaimId{0}), 1);
+}
+
+TEST(DynaTd, SourceWeightsReflectErrors) {
+  DynaTd dynatd;
+  // Source 0 keeps agreeing with the (honest-majority) verdicts; source 1
+  // keeps disagreeing.
+  for (int k = 0; k < 10; ++k) {
+    dynatd.offer(make_report(0, 0, k * 10 + 1, 1));
+    dynatd.offer(make_report(2, 0, k * 10 + 2, 1));
+    dynatd.offer(make_report(3, 0, k * 10 + 3, 1));
+    dynatd.offer(make_report(1, 0, k * 10 + 4, -1));
+    dynatd.end_interval(k);
+  }
+  EXPECT_GT(dynatd.source_weight(SourceId{0}),
+            dynatd.source_weight(SourceId{1}));
+}
+
+TEST(Rtd, RobustToCopiedMisinformation) {
+  // A rumor burst: 6 sources echo a false claim with low independence; 3
+  // independent reliable sources deny it. RTD should side with the
+  // independent sources.
+  Dataset data("rumor", 30, 1, 4, 1000);
+  data.set_ground_truth(ClaimId{0}, TruthSeries{0, 0, 0, 0});
+  TimestampMs t = 0;
+  for (int k = 0; k < 4; ++k) {
+    for (std::uint32_t s = 0; s < 6; ++s) {
+      data.add_report(
+          make_report(s, 0, k * 1000 + (t += 7) % 900, 1, 0.3, 0.15));
+    }
+    for (std::uint32_t s = 10; s < 13; ++s) {
+      data.add_report(
+          make_report(s, 0, k * 1000 + (t += 7) % 900, -1, 0.0, 1.0));
+    }
+  }
+  data.finalize();
+  Rtd rtd;
+  const auto cm = evaluate_scheme(rtd, data);
+  EXPECT_GE(cm.accuracy(), 0.75);
+}
+
+TEST(WindowedAdapter, TracksFlipWithSmallWindow) {
+  Dataset data = make_evolving_dataset();
+  WindowedAdapter adapter(std::make_unique<MajorityVote>(),
+                          /*window_ms=*/1000);
+  const auto cm = evaluate(data, adapter.run(data));
+  EXPECT_GE(cm.accuracy(), 0.8);
+}
+
+TEST(WindowedAdapter, HugeWindowBlursTheFlip) {
+  // With a window covering the whole trace, the adapter effectively runs a
+  // static algorithm once: it cannot track the truth flip, so accuracy
+  // should be notably worse than the small-window run.
+  Dataset data = make_evolving_dataset();
+  WindowedAdapter small(std::make_unique<MajorityVote>(), 1000);
+  WindowedAdapter huge(std::make_unique<MajorityVote>(), 20000);
+  const double small_acc = evaluate(data, small.run(data)).accuracy();
+  const double huge_acc = evaluate(data, huge.run(data)).accuracy();
+  EXPECT_GT(small_acc, huge_acc);
+}
+
+TEST(WindowedAdapter, CarryForwardFillsQuietIntervals) {
+  Dataset data("quiet", 4, 1, 6, 1000);
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 1, 1, 1, 1, 1});
+  // Reports only in interval 0.
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    data.add_report(make_report(s, 0, 100 + s, 1));
+  }
+  data.finalize();
+
+  WindowedAdapter carry(std::make_unique<MajorityVote>(), 1000, true);
+  const auto with_carry = carry.run(data);
+  EXPECT_EQ(with_carry[0][0], 1);
+  EXPECT_EQ(with_carry[0][5], 1);  // carried forward
+
+  WindowedAdapter no_carry(std::make_unique<MajorityVote>(), 1000, false);
+  const auto without = no_carry.run(data);
+  EXPECT_EQ(without[0][0], 1);
+  EXPECT_EQ(without[0][5], kNoEstimate);
+}
+
+TEST(PaperBaselines, FactoryProducesSixNamedSchemes) {
+  const auto baselines = make_paper_baselines(1000);
+  ASSERT_EQ(baselines.size(), 6u);
+  std::vector<std::string> names;
+  for (const auto& b : baselines) names.push_back(b->name());
+  const std::vector<std::string> expected{"DynaTD", "TruthFinder", "RTD",
+                                          "CATD",   "Invest",      "3-Estimates"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(PaperBaselines, AllRunOnEvolvingDataset) {
+  Dataset data = make_evolving_dataset();
+  for (const auto& baseline : make_paper_baselines(1000)) {
+    const auto estimates = baseline->run(data);
+    ASSERT_EQ(estimates.size(), data.num_claims()) << baseline->name();
+    const auto cm = evaluate(data, estimates);
+    // Every baseline must beat coin-flipping on this easy trace.
+    EXPECT_GT(cm.accuracy(), 0.5) << baseline->name();
+  }
+}
+
+}  // namespace
+}  // namespace sstd

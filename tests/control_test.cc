@@ -1,0 +1,204 @@
+// Tests for src/control: PID controller behaviour (Eq. 9), the WCET model
+// (Eq. 10-12), and the Dynamic Task Manager's knob policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/dtm.h"
+#include "control/pid.h"
+#include "control/wcet.h"
+
+namespace sstd::control {
+namespace {
+
+TEST(Pid, ProportionalTermOnly) {
+  PidGains gains;
+  gains.kp = 2.0;
+  gains.ki = 0.0;
+  gains.kd = 0.0;
+  PidController pid(gains);
+  EXPECT_DOUBLE_EQ(pid.step(3.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(pid.step(-1.5, 1.0), -3.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  PidGains gains;
+  gains.kp = 0.0;
+  gains.ki = 1.0;
+  gains.kd = 0.0;
+  PidController pid(gains);
+  EXPECT_DOUBLE_EQ(pid.step(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pid.step(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(pid.step(1.0, 0.5), 2.5);
+}
+
+TEST(Pid, DerivativeRespondsToChange) {
+  PidGains gains;
+  gains.kp = 0.0;
+  gains.ki = 0.0;
+  gains.kd = 1.0;
+  PidController pid(gains);
+  EXPECT_DOUBLE_EQ(pid.step(1.0, 1.0), 0.0);  // no previous sample
+  EXPECT_DOUBLE_EQ(pid.step(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(pid.step(3.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pid.step(1.0, 2.0), -1.0);
+}
+
+TEST(Pid, PaperGainsCombineAllTerms) {
+  PidController pid;  // Kp=1.2 Ki=0.3 Kd=0.2
+  const double y1 = pid.step(2.0, 1.0);
+  EXPECT_NEAR(y1, 1.2 * 2.0 + 0.3 * 2.0 + 0.0, 1e-12);
+  const double y2 = pid.step(4.0, 1.0);
+  EXPECT_NEAR(y2, 1.2 * 4.0 + 0.3 * 6.0 + 0.2 * 2.0, 1e-12);
+}
+
+TEST(Pid, IntegralWindupIsClamped) {
+  PidGains gains;
+  gains.kp = 0.0;
+  gains.ki = 1.0;
+  gains.kd = 0.0;
+  gains.integral_limit = 10.0;
+  PidController pid(gains);
+  for (int i = 0; i < 100; ++i) pid.step(100.0, 1.0);
+  EXPECT_LE(std::fabs(pid.step(100.0, 1.0)), 10.0 + 1e-9);
+}
+
+TEST(Pid, ResetClearsState) {
+  PidController pid;
+  pid.step(5.0, 1.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  // After reset the derivative term is zero again.
+  PidGains d_only;
+  d_only.kp = 0.0;
+  d_only.ki = 0.0;
+  d_only.kd = 1.0;
+  PidController pid2(d_only);
+  pid2.step(2.0, 1.0);
+  pid2.reset();
+  EXPECT_DOUBLE_EQ(pid2.step(5.0, 1.0), 0.0);
+}
+
+TEST(Wcet, TaskExecutionFollowsEq10) {
+  WcetParams params;
+  params.task_init_s = 0.5;
+  params.theta1 = 1e-3;
+  WcetModel model(params);
+  EXPECT_DOUBLE_EQ(model.task_execution_s(1000.0), 1.5);
+}
+
+TEST(Wcet, FullModelFollowsEq11) {
+  WcetParams params;
+  params.task_init_s = 0.5;
+  params.theta2 = 1e-3;
+  WcetModel model(params);
+  // TI*T_u + D*theta2*total/(WK*T_u) = 0.5*2 + 1000*1e-3*10/(4*2)
+  EXPECT_DOUBLE_EQ(model.wcet_s(1000.0, 2, 10, 4), 1.0 + 1.25);
+}
+
+TEST(Wcet, SimplifiedModelFollowsEq12) {
+  WcetParams params;
+  params.theta2 = 2e-3;
+  WcetModel model(params);
+  // D*theta2/(WK*P) = 500*2e-3/(2*0.25)
+  EXPECT_DOUBLE_EQ(model.wcet_simplified_s(500.0, 0.25, 2), 2.0);
+  // More workers -> proportionally lower WCET.
+  EXPECT_DOUBLE_EQ(model.wcet_simplified_s(500.0, 0.25, 4), 1.0);
+  // Higher priority share -> lower WCET.
+  EXPECT_DOUBLE_EQ(model.wcet_simplified_s(500.0, 0.5, 2), 1.0);
+}
+
+TEST(Wcet, GuardsDegenerateInputs) {
+  WcetModel model;
+  EXPECT_GT(model.wcet_simplified_s(100.0, 0.0, 0), 0.0);
+  EXPECT_GE(model.wcet_s(100.0, 0, 0, 0), 0.0);
+}
+
+DtmConfig test_dtm_config() {
+  DtmConfig config;
+  config.wcet.theta2 = 1e-2;
+  config.min_workers = 1;
+  config.max_workers = 16;
+  return config;
+}
+
+TEST(Dtm, LateJobGainsPriority) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, /*deadline=*/1.0);   // tight
+  dtm.register_job(2, /*deadline=*/100.0); // loose
+  std::unordered_map<dist::JobId, double> remaining{{1, 1000.0},
+                                                    {2, 1000.0}};
+  const auto decision = dtm.sample(0.0, remaining, 2);
+  EXPECT_GT(dtm.priority(1), dtm.priority(2));
+  EXPECT_EQ(decision.priorities.size(), 2u);
+}
+
+TEST(Dtm, LatenessGrowsWorkerTarget) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, 0.5);
+  std::unordered_map<dist::JobId, double> remaining{{1, 1e6}};  // hopeless
+  const auto decision = dtm.sample(0.0, remaining, 4);
+  EXPECT_GT(decision.worker_target, 4u);
+}
+
+TEST(Dtm, ComfortableSystemShrinksSlowlyWithPatience) {
+  auto config = test_dtm_config();
+  config.scale_down_patience = 3;
+  DynamicTaskManager dtm(config);
+  dtm.register_job(1, 1000.0);
+  std::unordered_map<dist::JobId, double> remaining{{1, 1.0}};
+  // First two comfortable samples: no shrink yet.
+  EXPECT_EQ(dtm.sample(0.0, remaining, 4).worker_target, 4u);
+  EXPECT_EQ(dtm.sample(1.0, remaining, 4).worker_target, 4u);
+  // Third: shrink by exactly one.
+  EXPECT_EQ(dtm.sample(2.0, remaining, 4).worker_target, 3u);
+}
+
+TEST(Dtm, WorkerTargetRespectsBounds) {
+  auto config = test_dtm_config();
+  config.min_workers = 2;
+  config.max_workers = 6;
+  config.scale_down_patience = 1;
+  DynamicTaskManager dtm(config);
+  dtm.register_job(1, 1e9);
+  std::unordered_map<dist::JobId, double> remaining{{1, 0.0}};
+  for (int i = 0; i < 20; ++i) {
+    const auto decision = dtm.sample(i, remaining, 2);
+    EXPECT_GE(decision.worker_target, 2u);
+  }
+  DynamicTaskManager dtm2(config);
+  dtm2.register_job(1, 0.1);
+  std::unordered_map<dist::JobId, double> hopeless{{1, 1e9}};
+  for (int i = 0; i < 20; ++i) {
+    const auto decision = dtm2.sample(i, hopeless, 6);
+    EXPECT_LE(decision.worker_target, 6u);
+  }
+}
+
+TEST(Dtm, CompleteJobRemovesIt) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, 10.0);
+  EXPECT_TRUE(dtm.has_job(1));
+  dtm.complete_job(1);
+  EXPECT_FALSE(dtm.has_job(1));
+  EXPECT_EQ(dtm.active_jobs(), 0u);
+}
+
+TEST(Dtm, EmptySystemIsStable) {
+  DynamicTaskManager dtm(test_dtm_config());
+  const auto decision = dtm.sample(0.0, {}, 4);
+  EXPECT_EQ(decision.worker_target, 4u);
+  EXPECT_TRUE(decision.priorities.empty());
+}
+
+TEST(Dtm, PriorityWeightsStayBounded) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, 0.001);
+  std::unordered_map<dist::JobId, double> remaining{{1, 1e9}};
+  for (int i = 0; i < 200; ++i) dtm.sample(i, remaining, 1);
+  EXPECT_LE(dtm.priority(1), 1e3 + 1e-9);
+  EXPECT_GE(dtm.priority(1), 1e-3 - 1e-9);
+}
+
+}  // namespace
+}  // namespace sstd::control

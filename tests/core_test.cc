@@ -1,0 +1,322 @@
+// Unit tests for src/core: contribution scores (Eq. 1), sliding-window ACS
+// (Eq. 4), dataset indexing, and the evaluation protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/acs.h"
+#include "core/dataset.h"
+#include "core/metrics.h"
+#include "core/report.h"
+#include "core/truth_discovery.h"
+
+namespace sstd {
+namespace {
+
+Report make_report(std::uint32_t source, std::uint32_t claim,
+                   TimestampMs time_ms, int attitude,
+                   double uncertainty = 0.0, double independence = 1.0) {
+  Report r;
+  r.source = SourceId{source};
+  r.claim = ClaimId{claim};
+  r.time_ms = time_ms;
+  r.attitude = static_cast<std::int8_t>(attitude);
+  r.uncertainty = uncertainty;
+  r.independence = independence;
+  return r;
+}
+
+TEST(ContributionScore, MatchesEquationOne) {
+  // CS = rho * (1 - kappa) * eta.
+  EXPECT_DOUBLE_EQ(contribution_score(make_report(0, 0, 0, 1, 0.25, 0.8)),
+                   1.0 * 0.75 * 0.8);
+  EXPECT_DOUBLE_EQ(contribution_score(make_report(0, 0, 0, -1, 0.5, 0.5)),
+                   -0.25);
+  EXPECT_DOUBLE_EQ(contribution_score(make_report(0, 0, 0, 0, 0.0, 1.0)), 0.0);
+}
+
+TEST(ContributionScore, ClampsOutOfRangeScores) {
+  EXPECT_DOUBLE_EQ(contribution_score(make_report(0, 0, 0, 1, -0.5, 2.0)), 1.0);
+  EXPECT_DOUBLE_EQ(contribution_score(make_report(0, 0, 0, 1, 2.0, 1.0)), 0.0);
+}
+
+TEST(SlidingAcs, SumsWithinWindowOnly) {
+  SlidingAcs acs(100);
+  acs.add(0, 1.0);
+  acs.add(50, 0.5);
+  EXPECT_DOUBLE_EQ(acs.value_at(50), 1.5);
+  // At t=120 the report at t=0 has left the (t-100, t] window.
+  EXPECT_DOUBLE_EQ(acs.value_at(120), 0.5);
+  EXPECT_EQ(acs.window_count(), 1u);
+  // At t=151 everything has expired (50 <= 151-100 is false... 50 <= 51).
+  EXPECT_DOUBLE_EQ(acs.value_at(151), 0.0);
+}
+
+TEST(SlidingAcs, WindowBoundaryIsHalfOpen) {
+  SlidingAcs acs(100);
+  acs.add(0, 1.0);
+  // Queries must be in non-decreasing time order (streaming contract). The
+  // window is (t - 100, t]: at t=99 the report at time 0 is still inside;
+  // at exactly t=100 it has aged out (entries with time <= t - window
+  // expire).
+  EXPECT_DOUBLE_EQ(acs.value_at(99), 1.0);
+  EXPECT_DOUBLE_EQ(acs.value_at(100), 0.0);
+}
+
+TEST(SlidingAcs, RejectsNonPositiveWindow) {
+  EXPECT_THROW(SlidingAcs(0), std::invalid_argument);
+}
+
+TEST(AcsSeries, PerIntervalAggregation) {
+  // 4 intervals of 100ms, window = 100ms.
+  std::vector<Report> reports{
+      make_report(0, 0, 10, 1),    // interval 0
+      make_report(1, 0, 50, 1),    // interval 0
+      make_report(2, 0, 150, -1),  // interval 1
+      make_report(3, 0, 350, 1),   // interval 3
+  };
+  const auto series = build_acs_series(reports, 4, 100, 100);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0], 2.0);   // both early reports in window at t=99
+  EXPECT_DOUBLE_EQ(series[1], -1.0);  // early ones expired, only t=150
+  EXPECT_DOUBLE_EQ(series[2], 0.0);   // nothing within (199, 299]
+  EXPECT_DOUBLE_EQ(series[3], 1.0);
+}
+
+TEST(AcsSeries, WiderWindowAccumulatesHistory) {
+  std::vector<Report> reports{
+      make_report(0, 0, 10, 1),
+      make_report(1, 0, 150, 1),
+  };
+  const auto series = build_acs_series(reports, 3, 100, 300);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 2.0);  // both inside the 300ms window
+  EXPECT_DOUBLE_EQ(series[2], 2.0);
+}
+
+TEST(WindowCounts, CountsReportsInWindow) {
+  std::vector<Report> reports{
+      make_report(0, 0, 10, 1),
+      make_report(1, 0, 150, -1),
+  };
+  const auto counts = build_window_counts(reports, 3, 100, 100);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Dataset, FinalizeSortsAndIndexesByClaim) {
+  Dataset data("test", 4, 2, 10, 100);
+  data.add_report(make_report(0, 1, 500, 1));
+  data.add_report(make_report(1, 0, 100, 1));
+  data.add_report(make_report(2, 1, 200, -1));
+  data.finalize();
+
+  EXPECT_EQ(data.num_reports(), 3u);
+  EXPECT_EQ(data.reports().front().time_ms, 100);
+
+  const auto claim1 = data.reports_of_claim(ClaimId{1});
+  ASSERT_EQ(claim1.size(), 2u);
+  EXPECT_EQ(claim1[0].time_ms, 200);
+  EXPECT_EQ(claim1[1].time_ms, 500);
+
+  const auto claim0 = data.reports_of_claim(ClaimId{0});
+  ASSERT_EQ(claim0.size(), 1u);
+  EXPECT_EQ(claim0[0].source.value, 1u);
+}
+
+TEST(Dataset, IntervalOfClampsToRange) {
+  Dataset data("test", 1, 1, 10, 100);
+  EXPECT_EQ(data.interval_of(0), 0);
+  EXPECT_EQ(data.interval_of(999), 9);
+  EXPECT_EQ(data.interval_of(5000), 9);
+  EXPECT_EQ(data.interval_of(250), 2);
+}
+
+TEST(Dataset, TrafficProfileCountsPerInterval) {
+  Dataset data("test", 4, 1, 4, 100);
+  data.add_report(make_report(0, 0, 10, 1));
+  data.add_report(make_report(1, 0, 20, 1));
+  data.add_report(make_report(2, 0, 350, 1));
+  data.finalize();
+  const auto profile = data.traffic_profile();
+  EXPECT_EQ(profile[0], 2u);
+  EXPECT_EQ(profile[1], 0u);
+  EXPECT_EQ(profile[3], 1u);
+}
+
+TEST(Dataset, DistinctSources) {
+  Dataset data("test", 5, 1, 2, 100);
+  data.add_report(make_report(0, 0, 10, 1));
+  data.add_report(make_report(0, 0, 20, 1));
+  data.add_report(make_report(3, 0, 30, 1));
+  data.finalize();
+  EXPECT_EQ(data.distinct_reporting_sources(), 2u);
+}
+
+TEST(Dataset, GroundTruthValidation) {
+  Dataset data("test", 1, 1, 4, 100);
+  EXPECT_THROW(data.set_ground_truth(ClaimId{0}, TruthSeries{1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(data.set_ground_truth(ClaimId{5}, TruthSeries{1, 0, 1, 0}),
+               std::out_of_range);
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 0, 1, 0});
+  EXPECT_TRUE(data.has_ground_truth());
+  EXPECT_EQ(data.ground_truth(ClaimId{0})[2], 1);
+}
+
+TEST(Dataset, RejectsBadGeometry) {
+  EXPECT_THROW(Dataset("bad", 1, 1, 0, 100), std::invalid_argument);
+  EXPECT_THROW(Dataset("bad", 1, 1, 10, 0), std::invalid_argument);
+}
+
+// A trivially correct scheme for exercising the metrics plumbing: echoes
+// the ground truth.
+class OracleScheme final : public BatchTruthDiscovery {
+ public:
+  std::string name() const override { return "Oracle"; }
+  EstimateMatrix run(const Dataset& data) override {
+    EstimateMatrix m(data.num_claims());
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      const auto& truth = data.ground_truth(ClaimId{u});
+      m[u].assign(truth.begin(), truth.end());
+    }
+    return m;
+  }
+};
+
+Dataset make_labeled_dataset() {
+  Dataset data("labeled", 3, 1, 4, 100);
+  data.add_report(make_report(0, 0, 10, 1));
+  data.add_report(make_report(1, 0, 110, 1));
+  data.add_report(make_report(2, 0, 210, -1));
+  data.add_report(make_report(0, 0, 310, -1));
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 1, 0, 0});
+  data.finalize();
+  return data;
+}
+
+TEST(Evaluate, OracleScoresPerfect) {
+  Dataset data = make_labeled_dataset();
+  OracleScheme oracle;
+  const auto cm = evaluate_scheme(oracle, data);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+TEST(Evaluate, InactiveIntervalsAreSkipped) {
+  Dataset data("sparse", 1, 1, 4, 100);
+  data.add_report(make_report(0, 0, 10, 1));  // only interval 0 is active
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 1, 1, 1});
+  data.finalize();
+
+  OracleScheme oracle;
+  const auto cm = evaluate_scheme(oracle, data);
+  EXPECT_EQ(cm.total(), 1u);
+
+  EvalOptions all;
+  all.min_window_reports = 0;
+  const auto cm_all = evaluate_scheme(oracle, data, all);
+  EXPECT_EQ(cm_all.total(), 4u);
+}
+
+TEST(Evaluate, MissingEstimatePolicy) {
+  Dataset data = make_labeled_dataset();
+  class Silent final : public BatchTruthDiscovery {
+   public:
+    std::string name() const override { return "Silent"; }
+    EstimateMatrix run(const Dataset& d) override {
+      return EstimateMatrix(
+          d.num_claims(),
+          std::vector<std::int8_t>(d.intervals(), kNoEstimate));
+    }
+  } silent;
+
+  // Default: missing counts as "false" prediction.
+  const auto cm = evaluate_scheme(silent, data);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.tp(), 0u);
+  EXPECT_EQ(cm.tn(), 2u);
+
+  EvalOptions skip;
+  skip.count_missing_as_false = false;
+  const auto cm_skip = evaluate_scheme(silent, data, skip);
+  EXPECT_EQ(cm_skip.total(), 0u);
+}
+
+TEST(AccuracyOverTime, PerIntervalSeries) {
+  Dataset data = make_labeled_dataset();
+  // Estimates right on intervals 0-1, wrong on 2-3.
+  EstimateMatrix estimates{{1, 1, 1, 1}};
+  const auto series = accuracy_over_time(data, estimates);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.0);
+  EXPECT_DOUBLE_EQ(series[3], 0.0);
+}
+
+TEST(AccuracyOverTime, InactiveIntervalsReportMinusOne) {
+  Dataset data("sparse", 1, 1, 3, 100);
+  data.add_report(make_report(0, 0, 10, 1));
+  data.set_ground_truth(ClaimId{0}, TruthSeries{1, 1, 1});
+  data.finalize();
+  EstimateMatrix estimates{{1, 1, 1}};
+  const auto series = accuracy_over_time(data, estimates);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], -1.0);
+  EXPECT_DOUBLE_EQ(series[2], -1.0);
+}
+
+TEST(AccuracyOverTime, MatchesOverallAccuracyWhenAveraged) {
+  Dataset data = make_labeled_dataset();
+  EstimateMatrix estimates{{1, 0, 0, 0}};  // right on 0, 2, 3; wrong on 1
+  const auto series = accuracy_over_time(data, estimates);
+  const auto cm = evaluate(data, estimates);
+  double weighted = 0.0;
+  int active = 0;
+  for (double a : series) {
+    if (a < 0.0) continue;
+    weighted += a;  // one active claim per interval here
+    ++active;
+  }
+  EXPECT_NEAR(weighted / active, cm.accuracy(), 1e-12);
+}
+
+TEST(Evaluate, ThrowsWithoutGroundTruth) {
+  Dataset data("unlabeled", 1, 1, 2, 100);
+  data.add_report(make_report(0, 0, 10, 1));
+  data.finalize();
+  OracleScheme oracle;
+  EXPECT_THROW(evaluate(data, EstimateMatrix(1), {}), std::invalid_argument);
+}
+
+TEST(ReplayStreaming, FeedsReportsInIntervalOrder) {
+  // A probe scheme that flags claims as "true" exactly while the newest
+  // offered report has positive attitude; replay should reproduce the
+  // interval structure.
+  class Probe final : public StreamingTruthDiscovery {
+   public:
+    std::string name() const override { return "Probe"; }
+    void offer(const Report& r) override { last_attitude_ = r.attitude; }
+    void end_interval(IntervalIndex) override {}
+    std::int8_t current_estimate(ClaimId) const override {
+      return last_attitude_ > 0 ? 1 : 0;
+    }
+
+   private:
+    int last_attitude_ = 0;
+  } probe;
+
+  Dataset data = make_labeled_dataset();
+  const auto estimates = replay_streaming(probe, data);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0][0], 1);  // +1 report in interval 0
+  EXPECT_EQ(estimates[0][1], 1);  // +1 report in interval 1
+  EXPECT_EQ(estimates[0][2], 0);  // -1 report in interval 2
+  EXPECT_EQ(estimates[0][3], 0);
+}
+
+}  // namespace
+}  // namespace sstd

@@ -1,0 +1,165 @@
+// Tests for the claim-dependency extension (sstd/correlated.h, paper §VII
+// future work): validation, blending behaviour, and the end-to-end gain on
+// sparse correlated claims.
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "sstd/batch.h"
+#include "sstd/correlated.h"
+#include "trace/generator.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+TEST(CorrelatedSstd, ValidatesParameters) {
+  EXPECT_THROW(CorrelatedSstd({}, {}, -0.1), std::invalid_argument);
+  EXPECT_THROW(CorrelatedSstd({}, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(CorrelatedSstd({{0, 1, 2.0}}, {}, 0.3),
+               std::invalid_argument);
+  EXPECT_NO_THROW(CorrelatedSstd({{0, 1, -0.5}}, {}, 0.3));
+}
+
+TEST(CorrelatedSstd, NoCorrelationsMatchesPlainSstd) {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 20'000, 12));
+  const Dataset data = generator.generate();
+  SstdBatch plain;
+  CorrelatedSstd correlated({}, SstdConfig{}, 0.35);
+  EXPECT_EQ(correlated.run(data), plain.run(data));
+}
+
+TEST(CorrelatedSstd, IgnoresOutOfRangeAndSelfPairs) {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 15'000, 10));
+  const Dataset data = generator.generate();
+  SstdBatch plain;
+  CorrelatedSstd correlated({{0, 0, 1.0}, {3, 99, 1.0}}, SstdConfig{}, 0.4);
+  EXPECT_EQ(correlated.run(data), plain.run(data));
+}
+
+// Hand-built scenario: claim 0 is heavily observed, claim 1 shares its
+// truth but is observed by a single noisy source. The extension should
+// lift claim 1's accuracy toward claim 0's.
+Dataset make_sparse_pair_dataset(std::uint64_t seed) {
+  Dataset data("pair", 40, 2, 40, 1000);
+  Rng rng(seed);
+  TruthSeries truth(40);
+  std::int8_t state = 1;
+  for (int k = 0; k < 40; ++k) {
+    if (k > 0 && rng.bernoulli(0.08)) state = 1 - state;
+    truth[k] = state;
+  }
+  data.set_ground_truth(ClaimId{0}, truth);
+  data.set_ground_truth(ClaimId{1}, truth);
+
+  for (int k = 0; k < 40; ++k) {
+    // Claim 0: 12 reports per interval at 85% accuracy.
+    for (std::uint32_t s = 0; s < 12; ++s) {
+      Report r;
+      r.source = SourceId{s};
+      r.claim = ClaimId{0};
+      r.time_ms = k * 1000 + 10 + s;
+      const bool correct = rng.bernoulli(0.85);
+      r.attitude = (correct == (truth[k] != 0)) ? 1 : -1;
+      data.add_report(r);
+    }
+    // Claim 1: one 60%-accurate report per interval.
+    Report r;
+    r.source = SourceId{30};
+    r.claim = ClaimId{1};
+    r.time_ms = k * 1000 + 500;
+    const bool correct = rng.bernoulli(0.6);
+    r.attitude = (correct == (truth[k] != 0)) ? 1 : -1;
+    data.add_report(r);
+  }
+  data.finalize();
+  return data;
+}
+
+TEST(CorrelatedSstd, SparseClaimBorrowsStrengthFromPopularPartner) {
+  double plain_total = 0.0;
+  double correlated_total = 0.0;
+  for (std::uint64_t seed : {3, 5, 8, 13}) {
+    const Dataset data = make_sparse_pair_dataset(seed);
+    auto sparse_accuracy = [&](const EstimateMatrix& estimates) {
+      ConfusionMatrix cm;
+      const auto& truth = data.ground_truth(ClaimId{1});
+      for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+        cm.add(truth[k] != 0, estimates[1][k] == 1);
+      }
+      return cm.accuracy();
+    };
+    SstdBatch plain;
+    plain_total += sparse_accuracy(plain.run(data));
+    CorrelatedSstd correlated({{0, 1, 1.0}}, SstdConfig{}, 0.5);
+    correlated_total += sparse_accuracy(correlated.run(data));
+  }
+  EXPECT_GT(correlated_total, plain_total + 0.2);  // >5 points mean gain
+}
+
+TEST(CorrelatedSstd, NegativeWeightInvertsBorrowedEvidence) {
+  // Claim 1 anti-correlated with claim 0: inherits the *opposite* truth.
+  Dataset data("anti", 40, 2, 40, 1000);
+  Rng rng(7);
+  TruthSeries truth(40);
+  std::int8_t state = 1;
+  for (int k = 0; k < 40; ++k) {
+    if (k > 0 && rng.bernoulli(0.08)) state = 1 - state;
+    truth[k] = state;
+  }
+  TruthSeries anti(40);
+  for (int k = 0; k < 40; ++k) anti[k] = 1 - truth[k];
+  data.set_ground_truth(ClaimId{0}, truth);
+  data.set_ground_truth(ClaimId{1}, anti);
+  for (int k = 0; k < 40; ++k) {
+    for (std::uint32_t s = 0; s < 12; ++s) {
+      Report r;
+      r.source = SourceId{s};
+      r.claim = ClaimId{0};
+      r.time_ms = k * 1000 + 10 + s;
+      r.attitude = (rng.bernoulli(0.85) == (truth[k] != 0)) ? 1 : -1;
+      data.add_report(r);
+    }
+    Report r;
+    r.source = SourceId{30};
+    r.claim = ClaimId{1};
+    r.time_ms = k * 1000 + 500;
+    r.attitude = (rng.bernoulli(0.6) == (anti[k] != 0)) ? 1 : -1;
+    data.add_report(r);
+  }
+  data.finalize();
+
+  CorrelatedSstd correlated({{0, 1, -1.0}}, SstdConfig{}, 0.5);
+  const auto estimates = correlated.run(data);
+  ConfusionMatrix cm;
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    cm.add(anti[k] != 0, estimates[1][k] == 1);
+  }
+  EXPECT_GT(cm.accuracy(), 0.75);
+}
+
+TEST(GeneratorCorrelation, PairsShareTruthSeries) {
+  auto config = trace::tiny(trace::boston_bombing(), 15'000, 16);
+  config.correlated_pairs = 4;
+  trace::TraceGenerator generator(config);
+  const Dataset data = generator.generate();
+  const auto pairs =
+      trace::TraceGenerator::correlated_claim_pairs(config);
+  ASSERT_EQ(pairs.size(), 4u);
+  for (const auto& [popular, sparse] : pairs) {
+    EXPECT_EQ(data.ground_truth(ClaimId{popular}),
+              data.ground_truth(ClaimId{sparse}))
+        << popular << " <-> " << sparse;
+  }
+}
+
+TEST(GeneratorCorrelation, PairCountClampedToHalfClaims) {
+  auto config = trace::tiny(trace::boston_bombing(), 10'000, 10);
+  config.correlated_pairs = 100;
+  EXPECT_EQ(trace::TraceGenerator::correlated_claim_pairs(config).size(),
+            5u);
+}
+
+}  // namespace
+}  // namespace sstd

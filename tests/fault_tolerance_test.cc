@@ -1,0 +1,181 @@
+// Fault-injection tests: Work Queue task retries (HTCondor-style scavenged
+// nodes fail routinely) and simulated worker crashes with task eviction
+// and recovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "dist/sim_cluster.h"
+#include "dist/work_queue.h"
+
+namespace sstd::dist {
+namespace {
+
+TEST(WorkQueueFaults, FailingTaskIsRetriedUntilSuccess) {
+  WorkQueue queue(2);
+  std::atomic<int> attempts{0};
+  Task task;
+  task.id = 1;
+  task.max_retries = 5;
+  task.work = [&attempts] {
+    if (attempts.fetch_add(1) < 2) {
+      throw std::runtime_error("transient failure");
+    }
+  };
+  queue.submit(std::move(task), 0.0);
+  queue.wait_all();
+
+  EXPECT_EQ(attempts.load(), 3);  // 2 failures + 1 success
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].failed);
+  EXPECT_EQ(reports[0].attempts, 3);
+}
+
+TEST(WorkQueueFaults, RetriesExhaustedReportsFailure) {
+  WorkQueue queue(1);
+  std::atomic<int> attempts{0};
+  Task task;
+  task.id = 2;
+  task.max_retries = 2;
+  task.work = [&attempts] {
+    attempts.fetch_add(1);
+    throw std::runtime_error("permanent failure");
+  };
+  queue.submit(std::move(task), 0.0);
+  queue.wait_all();
+
+  EXPECT_EQ(attempts.load(), 3);  // initial + 2 retries
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].failed);
+  EXPECT_EQ(reports[0].attempts, 3);
+}
+
+TEST(WorkQueueFaults, NonStdExceptionIsAlsoCaught) {
+  WorkQueue queue(1);
+  Task task;
+  task.id = 3;
+  task.max_retries = 0;
+  task.work = [] { throw 42; };
+  queue.submit(std::move(task), 0.0);
+  queue.wait_all();
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].failed);
+}
+
+TEST(WorkQueueFaults, HealthyTasksUnaffectedByFailingNeighbor) {
+  WorkQueue queue(2);
+  std::atomic<int> successes{0};
+  for (int i = 0; i < 20; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    if (i == 7) {
+      task.max_retries = 1;
+      task.work = [] { throw std::runtime_error("boom"); };
+    } else {
+      task.work = [&successes] { successes.fetch_add(1); };
+    }
+    queue.submit(std::move(task), 0.0);
+  }
+  queue.wait_all();
+  EXPECT_EQ(successes.load(), 19);
+  EXPECT_EQ(queue.drain_reports().size(), 20u);
+}
+
+SimConfig fault_sim() {
+  SimConfig config;
+  config.task_init_s = 0.1;
+  config.theta1 = 1e-3;
+  config.comm_per_unit_s = 0.0;
+  config.worker_stagger_s = 0.0;
+  config.master_dispatch_s = 0.0;
+  config.worker_startup_s = 0.0;
+  return config;
+}
+
+TEST(SimClusterFaults, CrashEvictsRunningTaskAndItCompletesElsewhere) {
+  SimCluster cluster = SimCluster::homogeneous(2, fault_sim());
+  Task task;
+  task.id = 1;
+  task.data_size = 5000.0;  // 5.1 s on a healthy worker
+  ASSERT_TRUE(cluster.submit(task));
+
+  // Crash whichever worker picked it up at t=1 (dispatch is deterministic:
+  // worker 0 scans first).
+  cluster.schedule_worker_failure(0, 1.0);
+  const double makespan = cluster.run_to_completion();
+
+  EXPECT_EQ(cluster.evictions(), 1u);
+  // Restarted from scratch on worker 1 after the crash at t=1.
+  EXPECT_NEAR(makespan, 1.0 + 5.1, 0.2);
+  EXPECT_EQ(cluster.worker_count(), 1u);  // worker 0 never came back
+}
+
+TEST(SimClusterFaults, CrashedWorkerCanRecover) {
+  SimCluster cluster = SimCluster::homogeneous(1, fault_sim());
+  cluster.schedule_worker_failure(0, 0.5, /*recover_after_s=*/2.0);
+  Task task;
+  task.id = 1;
+  task.data_size = 2000.0;  // 2.1 s
+  ASSERT_TRUE(cluster.submit(task));
+  const double makespan = cluster.run_to_completion();
+  EXPECT_EQ(cluster.evictions(), 1u);
+  EXPECT_EQ(cluster.worker_count(), 1u);  // recovered
+  // Crash at 0.5, repair 2.0 -> available at 2.5, runs 2.1 s.
+  EXPECT_NEAR(makespan, 4.6, 0.2);
+}
+
+TEST(SimClusterFaults, CrashOfIdleWorkerEvictsNothing) {
+  SimCluster cluster = SimCluster::homogeneous(2, fault_sim());
+  cluster.schedule_worker_failure(1, 0.1);
+  Task task;
+  task.id = 1;
+  task.data_size = 1000.0;
+  ASSERT_TRUE(cluster.submit(task));
+  const double makespan = cluster.run_to_completion();
+  EXPECT_EQ(cluster.evictions(), 0u);
+  EXPECT_NEAR(makespan, 1.1, 0.05);
+}
+
+TEST(SimClusterFaults, TaskFinishedBeforeCrashIsNotEvicted) {
+  SimCluster cluster = SimCluster::homogeneous(1, fault_sim());
+  Task task;
+  task.id = 1;
+  task.data_size = 100.0;  // finishes at 0.2
+  ASSERT_TRUE(cluster.submit(task));
+  cluster.schedule_worker_failure(0, 5.0);
+  const auto completions = cluster.advance_to(10.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(cluster.evictions(), 0u);
+}
+
+TEST(SimClusterFaults, RejectsBadWorkerIndex) {
+  SimCluster cluster = SimCluster::homogeneous(2, fault_sim());
+  EXPECT_THROW(cluster.schedule_worker_failure(5, 1.0), std::out_of_range);
+}
+
+TEST(SimClusterFaults, AllWorkCompletesUnderRepeatedCrashes) {
+  SimCluster cluster = SimCluster::homogeneous(4, fault_sim());
+  for (int i = 0; i < 20; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.data_size = 500.0;
+    ASSERT_TRUE(cluster.submit(task));
+  }
+  // Workers crash and recover on a rolling schedule.
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    cluster.schedule_worker_failure(w, 0.4 + 0.3 * w,
+                                    /*recover_after_s=*/0.5);
+  }
+  double makespan = cluster.run_to_completion();
+  EXPECT_GT(makespan, 0.0);
+  EXPECT_EQ(cluster.pending(), 0u);
+  EXPECT_EQ(cluster.running(), 0u);
+  EXPECT_GE(cluster.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace sstd::dist

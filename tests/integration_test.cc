@@ -1,0 +1,141 @@
+// Cross-module integration tests: the full data path from raw synthetic
+// tweets through the text pipeline into truth discovery; serialization
+// round-trips of generated traces; streaming-vs-batch agreement; and the
+// evaluation harness run end to end over every scheme.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/baselines.h"
+#include "core/metrics.h"
+#include "core/serialize.h"
+#include "sstd/batch.h"
+#include "sstd/streaming.h"
+#include "text/pipeline.h"
+#include "trace/generator.h"
+
+namespace sstd {
+namespace {
+
+TEST(Integration, TweetsThroughPipelineIntoTruthDiscovery) {
+  // Raw tweets -> clustering + scoring -> remap to latent topics ->
+  // SSTD must beat coin flipping comfortably despite extraction noise.
+  auto config = trace::tiny(trace::boston_bombing(), 12'000, 8);
+  trace::TraceGenerator generator(config);
+  const auto tweets = generator.generate_tweets(12'000);
+  ASSERT_GT(tweets.size(), 5'000u);
+
+  text::TextPipeline pipeline;
+  std::vector<Report> scored;
+  scored.reserve(tweets.size());
+  for (const auto& tweet : tweets) {
+    Report r = pipeline.process(tweet);
+    r.claim = tweet.latent_claim;  // align with generator labels
+    scored.push_back(r);
+  }
+
+  trace::TraceGenerator label_gen(config);
+  const Dataset labeled = label_gen.generate();
+  Dataset data("integration", labeled.num_sources(), labeled.num_claims(),
+               labeled.intervals(), labeled.interval_ms());
+  for (std::uint32_t u = 0; u < labeled.num_claims(); ++u) {
+    data.set_ground_truth(ClaimId{u}, labeled.ground_truth(ClaimId{u}));
+  }
+  for (const auto& r : scored) data.add_report(r);
+  data.finalize();
+
+  SstdBatch sstd;
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+  const auto cm = evaluate(data, sstd.run(data), eval);
+  EXPECT_GT(cm.accuracy(), 0.65);
+}
+
+TEST(Integration, SaveLoadPreservesSchemeOutputs) {
+  // Every scheme must produce identical estimates on a loaded trace.
+  trace::TraceGenerator generator(
+      trace::tiny(trace::college_football(), 15'000, 10));
+  const Dataset original = generator.generate();
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "integ.sstd").string();
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+
+  SstdBatch sstd_a;
+  SstdBatch sstd_b;
+  EXPECT_EQ(sstd_a.run(original), sstd_b.run(loaded));
+
+  for (auto& baseline : make_paper_baselines()) {
+    const auto from_original = baseline->run(original);
+    const auto from_loaded = baseline->run(loaded);
+    EXPECT_EQ(from_original, from_loaded) << baseline->name();
+  }
+}
+
+TEST(Integration, StreamingAgreesWithBatchOnMostCells) {
+  // The streaming engine sees data causally (no future smoothing), so it
+  // cannot match batch Viterbi exactly — but on a well-populated trace the
+  // two views should agree on the vast majority of active cells.
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 40'000, 16));
+  const Dataset data = generator.generate();
+
+  SstdBatch batch;
+  const auto batch_estimates = batch.run(data);
+
+  SstdConfig config;
+  config.refit_every = 20;
+  SstdStreaming streaming(config, data.interval_ms());
+  const auto stream_estimates = replay_streaming(streaming, data);
+
+  std::uint64_t agree = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    const auto counts = build_window_counts(
+        data.reports_of_claim(ClaimId{u}), data.intervals(),
+        data.interval_ms(), data.interval_ms());
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      if (counts[k] == 0) continue;
+      if (stream_estimates[u][k] == kNoEstimate) continue;
+      ++total;
+      agree += stream_estimates[u][k] == batch_estimates[u][k];
+    }
+  }
+  ASSERT_GT(total, 300u);
+  EXPECT_GT(static_cast<double>(agree) / total, 0.75);
+}
+
+TEST(Integration, EvaluationHarnessConsistentAcrossEquivalentPaths) {
+  // evaluate_scheme must equal run-then-evaluate.
+  trace::TraceGenerator generator(
+      trace::tiny(trace::paris_shooting(), 10'000, 8));
+  const Dataset data = generator.generate();
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+
+  SstdBatch sstd_direct;
+  const auto direct = evaluate_scheme(sstd_direct, data, eval);
+  SstdBatch sstd_manual;
+  const auto manual = evaluate(data, sstd_manual.run(data), eval);
+  EXPECT_EQ(direct.tp(), manual.tp());
+  EXPECT_EQ(direct.tn(), manual.tn());
+  EXPECT_EQ(direct.fp(), manual.fp());
+  EXPECT_EQ(direct.fn(), manual.fn());
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // Whole path generate -> SSTD -> metrics is bit-stable run-to-run.
+  auto run_once = [] {
+    trace::TraceGenerator generator(
+        trace::tiny(trace::boston_bombing(), 20'000, 12));
+    const Dataset data = generator.generate();
+    SstdBatch sstd;
+    EvalOptions eval;
+    eval.window_ms = data.interval_ms();
+    return evaluate(data, sstd.run(data), eval).summary();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sstd

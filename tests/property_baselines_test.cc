@@ -1,0 +1,155 @@
+// Property tests over ALL static truth-discovery solvers, parameterized by
+// solver factory: invariants any sane scheme must satisfy regardless of
+// its internal model — unanimity, label consistency under relabeling of
+// source ids, and determinism.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baselines/baselines.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+using SolverFactory = std::function<std::unique_ptr<StaticSolver>()>;
+
+struct SolverCase {
+  std::string name;
+  SolverFactory make;
+};
+
+class SolverProperty : public ::testing::TestWithParam<SolverCase> {
+ protected:
+  static Report make_report(std::uint32_t source, std::uint32_t claim,
+                            TimestampMs t, int attitude) {
+    Report r;
+    r.source = SourceId{source};
+    r.claim = ClaimId{claim};
+    r.time_ms = t;
+    r.attitude = static_cast<std::int8_t>(attitude);
+    return r;
+  }
+
+  // Random multi-claim scenario with an honest majority per claim.
+  static std::vector<Report> random_scenario(std::uint64_t seed,
+                                             std::vector<std::int8_t>* truth) {
+    Rng rng(seed);
+    const std::uint32_t claims = 6;
+    const std::uint32_t sources = 15;
+    truth->resize(claims);
+    std::vector<Report> reports;
+    TimestampMs t = 0;
+    for (std::uint32_t u = 0; u < claims; ++u) {
+      (*truth)[u] = rng.bernoulli(0.5) ? 1 : 0;
+      for (std::uint32_t s = 0; s < sources; ++s) {
+        const bool correct = rng.bernoulli(0.8);
+        const int asserted = (correct == ((*truth)[u] != 0)) ? 1 : -1;
+        reports.push_back(make_report(s, u, ++t, asserted));
+      }
+    }
+    return reports;
+  }
+};
+
+TEST_P(SolverProperty, UnanimousAgreementIsRespected) {
+  // Every source asserts claim 0 true and claim 1 false; any solver must
+  // agree.
+  std::vector<Report> reports;
+  TimestampMs t = 0;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    reports.push_back(make_report(s, 0, ++t, 1));
+    reports.push_back(make_report(s, 1, ++t, -1));
+  }
+  const Snapshot snap{std::span<const Report>(reports)};
+  auto solver = GetParam().make();
+  const auto verdicts = solver->solve(snap);
+  for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+    if (snap.claim_at(c).value == 0) EXPECT_EQ(verdicts[c], 1);
+    if (snap.claim_at(c).value == 1) EXPECT_EQ(verdicts[c], 0);
+  }
+}
+
+TEST_P(SolverProperty, DeterministicAcrossRuns) {
+  std::vector<std::int8_t> truth;
+  const auto reports = random_scenario(17, &truth);
+  const Snapshot snap{std::span<const Report>(reports)};
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  EXPECT_EQ(a->solve(snap), b->solve(snap));
+}
+
+TEST_P(SolverProperty, InvariantToSourceRelabeling) {
+  // Renaming source ids (a bijection) must not change any verdict.
+  std::vector<std::int8_t> truth;
+  auto reports = random_scenario(23, &truth);
+  const Snapshot original{std::span<const Report>(reports)};
+  auto baseline_verdicts = GetParam().make()->solve(original);
+  // Map verdicts by raw claim id for comparison.
+  std::vector<std::int8_t> by_claim(16, -1);
+  for (std::uint32_t c = 0; c < original.num_claims(); ++c) {
+    by_claim[original.claim_at(c).value] = baseline_verdicts[c];
+  }
+
+  for (auto& r : reports) {
+    r.source = SourceId{1000 + (r.source.value * 7 + 3) % 1000};
+  }
+  const Snapshot relabeled{std::span<const Report>(reports)};
+  const auto new_verdicts = GetParam().make()->solve(relabeled);
+  for (std::uint32_t c = 0; c < relabeled.num_claims(); ++c) {
+    EXPECT_EQ(new_verdicts[c], by_claim[relabeled.claim_at(c).value])
+        << GetParam().name << " claim " << relabeled.claim_at(c).value;
+  }
+}
+
+TEST_P(SolverProperty, MostlyRecoversHonestMajorityTruth) {
+  // With an 80%-accurate independent crowd, every reasonable solver should
+  // get a large majority of claims right across several random scenarios.
+  int correct = 0;
+  int total = 0;
+  for (std::uint64_t seed : {31, 37, 41, 43}) {
+    std::vector<std::int8_t> truth;
+    const auto reports = random_scenario(seed, &truth);
+    const Snapshot snap{std::span<const Report>(reports)};
+    const auto verdicts = GetParam().make()->solve(snap);
+    for (std::uint32_t c = 0; c < snap.num_claims(); ++c) {
+      correct += verdicts[c] == truth[snap.claim_at(c).value];
+      ++total;
+    }
+  }
+  EXPECT_GE(correct * 10, total * 8) << GetParam().name;
+}
+
+TEST_P(SolverProperty, EmptySnapshotYieldsNoVerdicts) {
+  const Snapshot empty{std::span<const Report>{}};
+  EXPECT_TRUE(GetParam().make()->solve(empty).empty());
+}
+
+TEST_P(SolverProperty, SingleAssertionFollowsTheSource) {
+  std::vector<Report> reports{make_report(0, 0, 1, 1)};
+  const Snapshot snap{std::span<const Report>(reports)};
+  const auto verdicts = GetParam().make()->solve(snap);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, SolverProperty,
+    ::testing::Values(
+        SolverCase{"MajorityVote",
+                   [] { return std::make_unique<MajorityVote>(); }},
+        SolverCase{"WeightedVote",
+                   [] { return std::make_unique<WeightedVote>(); }},
+        SolverCase{"TruthFinder",
+                   [] { return std::make_unique<TruthFinder>(); }},
+        SolverCase{"Invest", [] { return std::make_unique<Invest>(); }},
+        SolverCase{"ThreeEstimates",
+                   [] { return std::make_unique<ThreeEstimates>(); }},
+        SolverCase{"CATD", [] { return std::make_unique<Catd>(); }}),
+    [](const ::testing::TestParamInfo<SolverCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace sstd

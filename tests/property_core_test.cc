@@ -1,0 +1,175 @@
+// Property tests for core primitives, parameterized over random streams:
+// the sliding-window ACS against a brute-force reference, dataset
+// finalization invariants, and quantizer algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/acs.h"
+#include "core/dataset.h"
+#include "hmm/quantizer.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+class RandomStreamProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<Report> random_reports(std::size_t count,
+                                     std::uint32_t claims,
+                                     std::uint32_t sources,
+                                     TimestampMs horizon) {
+    Rng rng(GetParam());
+    std::vector<Report> reports(count);
+    for (auto& r : reports) {
+      r.source = SourceId{static_cast<std::uint32_t>(rng.below(sources))};
+      r.claim = ClaimId{static_cast<std::uint32_t>(rng.below(claims))};
+      r.time_ms = static_cast<TimestampMs>(rng.below(
+          static_cast<std::uint64_t>(horizon)));
+      r.attitude = static_cast<std::int8_t>(rng.range(-1, 1));
+      r.uncertainty = rng.uniform();
+      r.independence = rng.uniform(0.05, 1.0);
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const Report& a, const Report& b) {
+                return a.time_ms < b.time_ms;
+              });
+    return reports;
+  }
+};
+
+TEST_P(RandomStreamProperty, AcsSeriesMatchesBruteForce) {
+  const auto reports = random_reports(400, 1, 50, 10'000);
+  const IntervalIndex intervals = 10;
+  const TimestampMs interval_ms = 1000;
+  for (TimestampMs window : {500, 1000, 3000, 10'000}) {
+    const auto series =
+        build_acs_series(reports, intervals, interval_ms, window);
+    for (IntervalIndex k = 0; k < intervals; ++k) {
+      const TimestampMs end = (k + 1) * interval_ms - 1;
+      double brute = 0.0;
+      for (const auto& r : reports) {
+        if (r.time_ms <= end && r.time_ms > end - window) {
+          brute += contribution_score(r);
+        }
+      }
+      ASSERT_NEAR(series[k], brute, 1e-9)
+          << "window=" << window << " k=" << k;
+    }
+  }
+}
+
+TEST_P(RandomStreamProperty, WindowCountsMatchBruteForce) {
+  const auto reports = random_reports(300, 1, 40, 8'000);
+  const auto counts = build_window_counts(reports, 8, 1000, 2000);
+  for (IntervalIndex k = 0; k < 8; ++k) {
+    const TimestampMs end = (k + 1) * 1000 - 1;
+    std::uint32_t brute = 0;
+    for (const auto& r : reports) {
+      if (r.time_ms <= end && r.time_ms > end - 2000) ++brute;
+    }
+    ASSERT_EQ(counts[k], brute) << "k=" << k;
+  }
+}
+
+TEST_P(RandomStreamProperty, DatasetFinalizePreservesAndPartitions) {
+  const auto reports = random_reports(500, 7, 30, 20'000);
+  Dataset data("prop", 30, 7, 20, 1000);
+  for (const auto& r : reports) data.add_report(r);
+  data.finalize();
+
+  // Global order sorted by time.
+  for (std::size_t i = 1; i < data.reports().size(); ++i) {
+    ASSERT_LE(data.reports()[i - 1].time_ms, data.reports()[i].time_ms);
+  }
+
+  // Per-claim spans partition the reports and stay time-sorted.
+  std::size_t total = 0;
+  for (std::uint32_t u = 0; u < 7; ++u) {
+    const auto span = data.reports_of_claim(ClaimId{u});
+    total += span.size();
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      ASSERT_EQ(span[i].claim.value, u);
+      if (i > 0) ASSERT_LE(span[i - 1].time_ms, span[i].time_ms);
+    }
+  }
+  EXPECT_EQ(total, reports.size());
+
+  // Traffic profile sums to the report count.
+  const auto profile = data.traffic_profile();
+  std::uint64_t profile_total = 0;
+  for (auto c : profile) profile_total += c;
+  EXPECT_EQ(profile_total, reports.size());
+}
+
+TEST_P(RandomStreamProperty, SlidingAcsAgreesWithSeriesBuilder) {
+  const auto reports = random_reports(250, 1, 20, 6'000);
+  const TimestampMs window = 1500;
+  SlidingAcs acs(window);
+  std::size_t next = 0;
+  const auto series = build_acs_series(reports, 6, 1000, window);
+  for (IntervalIndex k = 0; k < 6; ++k) {
+    const TimestampMs end = (k + 1) * 1000;
+    while (next < reports.size() && reports[next].time_ms < end) {
+      acs.add(reports[next]);
+      ++next;
+    }
+    ASSERT_NEAR(acs.value_at(end - 1), series[k], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStreamProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class QuantizerProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(QuantizerProperty, MonotoneInInput) {
+  const auto [bins, scale] = GetParam();
+  const AcsQuantizer q(bins, scale);
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.uniform(-3.0 * scale, 3.0 * scale);
+    const double b = rng.uniform(-3.0 * scale, 3.0 * scale);
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    ASSERT_LE(q.quantize(lo), q.quantize(hi));
+  }
+}
+
+TEST_P(QuantizerProperty, SymmetricAroundZero) {
+  const auto [bins, scale] = GetParam();
+  const AcsQuantizer q(bins, scale);
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.uniform(0.0, 3.0 * scale);
+    ASSERT_EQ(q.quantize(-x), bins - 1 - q.quantize(x)) << "x=" << x;
+  }
+}
+
+TEST_P(QuantizerProperty, OutputAlwaysInRange) {
+  const auto [bins, scale] = GetParam();
+  const AcsQuantizer q(bins, scale);
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const int symbol = q.quantize(x);
+    ASSERT_GE(symbol, 0);
+    ASSERT_LT(symbol, bins);
+  }
+}
+
+TEST_P(QuantizerProperty, ZeroMapsToMiddleBin) {
+  const auto [bins, scale] = GetParam();
+  const AcsQuantizer q(bins, scale);
+  EXPECT_EQ(q.quantize(0.0), (bins - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, QuantizerProperty,
+    ::testing::Combine(::testing::Values(3, 5, 7, 9, 15),
+                       ::testing::Values(0.5, 1.0, 10.0)));
+
+}  // namespace
+}  // namespace sstd

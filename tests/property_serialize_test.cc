@@ -1,0 +1,120 @@
+// Property tests for dataset persistence: random datasets (varying
+// geometry, label coverage, degenerate shapes) must round-trip bit-exactly
+// through the binary format, and scheme outputs must be invariant.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/serialize.h"
+#include "sstd/batch.h"
+#include "util/rng.h"
+
+namespace sstd {
+namespace {
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static std::string temp_path(std::uint64_t seed) {
+    return (std::filesystem::path(::testing::TempDir()) /
+            ("prop_" + std::to_string(seed) + ".sstd"))
+        .string();
+  }
+
+  static Dataset random_dataset(std::uint64_t seed) {
+    Rng rng(seed);
+    const auto claims = static_cast<std::uint32_t>(rng.below(12) + 1);
+    const auto sources = static_cast<std::uint32_t>(rng.below(200) + 1);
+    const auto intervals = static_cast<IntervalIndex>(rng.below(40) + 1);
+    const TimestampMs interval_ms =
+        static_cast<TimestampMs>(rng.below(5000) + 1);
+    Dataset data("prop-" + std::to_string(seed), sources, claims, intervals,
+                 interval_ms);
+
+    // Label a random subset of claims (possibly none).
+    for (std::uint32_t u = 0; u < claims; ++u) {
+      if (!rng.bernoulli(0.7)) continue;
+      TruthSeries series(intervals);
+      for (auto& value : series) value = rng.bernoulli(0.5) ? 1 : 0;
+      data.set_ground_truth(ClaimId{u}, std::move(series));
+    }
+
+    const auto report_count = rng.below(2000);
+    for (std::uint64_t i = 0; i < report_count; ++i) {
+      Report r;
+      r.source = SourceId{static_cast<std::uint32_t>(rng.below(sources))};
+      r.claim = ClaimId{static_cast<std::uint32_t>(rng.below(claims))};
+      r.time_ms = static_cast<TimestampMs>(
+          rng.below(static_cast<std::uint64_t>(intervals) * interval_ms));
+      r.attitude = static_cast<std::int8_t>(rng.range(-1, 1));
+      r.uncertainty = rng.uniform();
+      r.independence = rng.uniform(0.01, 1.0);
+      data.add_report(r);
+    }
+    data.finalize();
+    return data;
+  }
+};
+
+TEST_P(SerializeRoundTrip, BitExactReports) {
+  const Dataset original = random_dataset(GetParam());
+  const std::string path = temp_path(GetParam());
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+
+  ASSERT_EQ(loaded.num_reports(), original.num_reports());
+  ASSERT_EQ(loaded.num_claims(), original.num_claims());
+  ASSERT_EQ(loaded.intervals(), original.intervals());
+  for (std::size_t i = 0; i < original.num_reports(); ++i) {
+    const Report& a = original.reports()[i];
+    const Report& b = loaded.reports()[i];
+    ASSERT_EQ(a.source.value, b.source.value) << "report " << i;
+    ASSERT_EQ(a.claim.value, b.claim.value);
+    ASSERT_EQ(a.time_ms, b.time_ms);
+    ASSERT_EQ(a.attitude, b.attitude);
+    // Binary format stores raw doubles: bit-exact.
+    ASSERT_EQ(a.uncertainty, b.uncertainty);
+    ASSERT_EQ(a.independence, b.independence);
+  }
+  for (std::uint32_t u = 0; u < original.num_claims(); ++u) {
+    ASSERT_EQ(loaded.ground_truth(ClaimId{u}),
+              original.ground_truth(ClaimId{u}));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_P(SerializeRoundTrip, SstdOutputInvariantUnderPersistence) {
+  const Dataset original = random_dataset(GetParam() ^ 0xbeef);
+  const std::string path = temp_path(GetParam() ^ 0xbeef);
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+
+  SstdBatch a;
+  SstdBatch b;
+  EXPECT_EQ(a.run(original), b.run(loaded));
+  std::filesystem::remove(path);
+}
+
+TEST_P(SerializeRoundTrip, PerClaimIndexRebuiltCorrectly) {
+  const Dataset original = random_dataset(GetParam() ^ 0xcafe);
+  const std::string path = temp_path(GetParam() ^ 0xcafe);
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+
+  for (std::uint32_t u = 0; u < original.num_claims(); ++u) {
+    const auto span_a = original.reports_of_claim(ClaimId{u});
+    const auto span_b = loaded.reports_of_claim(ClaimId{u});
+    ASSERT_EQ(span_a.size(), span_b.size()) << "claim " << u;
+    for (std::size_t i = 0; i < span_a.size(); ++i) {
+      ASSERT_EQ(span_a[i].time_ms, span_b[i].time_ms);
+      ASSERT_EQ(span_a[i].source.value, span_b[i].source.value);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006));
+
+}  // namespace
+}  // namespace sstd

@@ -1,0 +1,132 @@
+// Property tests for the text substrate: tokenizer algebra, metric
+// properties of the Jaccard/containment similarities, clusterer id
+// stability, and hedge-classifier calibration across seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/clusterer.h"
+#include "text/scorers.h"
+#include "text/composer.h"
+#include "text/hedge_classifier.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace sstd::text {
+namespace {
+
+class TextSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TextSeedProperty, TokenizeIsIdempotentOnItsOwnOutput) {
+  // tokenize(join(tokenize(x))) == tokenize(x) for arbitrary byte soup.
+  Rng rng(GetParam());
+  std::string soup;
+  for (int i = 0; i < 200; ++i) {
+    soup.push_back(static_cast<char>(rng.range(32, 126)));
+  }
+  const auto once = tokenize(soup);
+  std::string joined;
+  for (const auto& token : once) {
+    if (!joined.empty()) joined.push_back(' ');
+    joined += token;
+  }
+  EXPECT_EQ(tokenize(joined), once);
+}
+
+TEST_P(TextSeedProperty, JaccardIsSymmetricAndBounded) {
+  Rng rng(GetParam());
+  const auto& words = filler_words();
+  auto random_set = [&] {
+    TokenSet set;
+    const auto size = rng.below(8) + 1;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      set.insert(words[rng.below(words.size())]);
+    }
+    return set;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const TokenSet a = random_set();
+    const TokenSet b = random_set();
+    const double ab = jaccard_similarity(a, b);
+    ASSERT_DOUBLE_EQ(ab, jaccard_similarity(b, a));
+    ASSERT_GE(ab, 0.0);
+    ASSERT_LE(ab, 1.0);
+    ASSERT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+    // Containment dominates Jaccard (divides by the smaller set).
+    ASSERT_GE(containment_similarity(a, b), ab - 1e-12);
+  }
+}
+
+TEST_P(TextSeedProperty, JaccardDistanceTriangleInequality) {
+  // Jaccard distance is a proper metric; spot-check the triangle
+  // inequality on random triples.
+  Rng rng(GetParam() ^ 0x77);
+  const auto& words = assert_words();
+  auto random_set = [&] {
+    TokenSet set;
+    const auto size = rng.below(6) + 1;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      set.insert(words[rng.below(words.size())]);
+    }
+    return set;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const TokenSet a = random_set();
+    const TokenSet b = random_set();
+    const TokenSet c = random_set();
+    ASSERT_LE(jaccard_distance(a, c),
+              jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12);
+  }
+}
+
+TEST_P(TextSeedProperty, ClustererAssignsStableIdForRepeatedTweet) {
+  OnlineClaimClusterer clusterer;
+  Rng rng(GetParam());
+  TweetComposer composer(shooting_topics());
+  const auto tweet = composer.compose(1, 1, false, rng);
+  const auto first = clusterer.assign(tweet.tokens);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(clusterer.assign(tweet.tokens), first);
+  }
+}
+
+TEST_P(TextSeedProperty, HedgeClassifierCalibratedAcrossSeeds) {
+  Rng rng(GetParam());
+  const HedgeClassifier classifier =
+      HedgeClassifier::train_synthetic(3000, rng);
+  TweetComposer composer(bombing_topics());
+  int correct = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool hedged = i % 2 == 0;
+    const auto tweet = composer.compose(
+        static_cast<std::uint32_t>(i % composer.num_topics()), 1, hedged,
+        rng);
+    correct += (classifier.predict_probability(tweet.tokens) > 0.5) == hedged;
+  }
+  EXPECT_GE(correct, kTrials * 7 / 10) << "seed " << GetParam();
+}
+
+TEST_P(TextSeedProperty, AttitudeScorerMatchesComposerStance) {
+  Rng rng(GetParam());
+  TweetComposer composer(football_topics());
+  int correct = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::int8_t stance = i % 2 == 0 ? 1 : -1;
+    const auto tweet = composer.compose(
+        static_cast<std::uint32_t>(i % composer.num_topics()), stance,
+        false, rng);
+    correct += attitude_score(tweet.tokens) == stance;
+  }
+  // Stance words are present ~85% of the time; stance-bare tweets default
+  // to "assert" so negatives are the hard class.
+  EXPECT_GE(correct, kTrials * 7 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextSeedProperty,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace sstd::text

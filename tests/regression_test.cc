@@ -1,0 +1,107 @@
+// Headline-result regression tests: the claims EXPERIMENTS.md reports must
+// keep holding as the code evolves. Each test re-derives one paper-level
+// conclusion on a scaled-down (fast) version of the benchmark workload.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/metrics.h"
+#include "sstd/batch.h"
+#include "sstd/distributed.h"
+#include "trace/generator.h"
+
+namespace sstd {
+namespace {
+
+// Tables III-V: SSTD outperforms every baseline on accuracy and F1, on
+// all three scenario families.
+TEST(Regression, SstdLeadsEveryBaselineOnAllTraces) {
+  for (const auto& base : {trace::boston_bombing(), trace::paris_shooting(),
+                           trace::college_football()}) {
+    trace::TraceGenerator generator(trace::tiny(base, 60'000, 40));
+    const Dataset data = generator.generate();
+    EvalOptions eval;
+    eval.window_ms = data.interval_ms();
+
+    SstdBatch sstd;
+    const auto sstd_cm = evaluate_scheme(sstd, data, eval);
+    ASSERT_GT(sstd_cm.accuracy(), 0.7) << base.name;
+
+    for (auto& baseline : make_paper_baselines()) {
+      const auto cm = evaluate_scheme(*baseline, data, eval);
+      EXPECT_GT(sstd_cm.accuracy(), cm.accuracy())
+          << base.name << " vs " << baseline->name();
+      EXPECT_GT(sstd_cm.f1(), cm.f1())
+          << base.name << " vs " << baseline->name();
+    }
+  }
+}
+
+// Figure 7: simulated speedup is real, sublinear, and grows with size.
+TEST(Regression, SpeedupShapeHolds) {
+  const double small_1 = simulate_makespan(2e5, 64, 1);
+  const double small_8 = simulate_makespan(2e5, 64, 8);
+  const double large_1 = simulate_makespan(2e7, 64, 1);
+  const double large_8 = simulate_makespan(2e7, 64, 8);
+  const double small_speedup = small_1 / small_8;
+  const double large_speedup = large_1 / large_8;
+  EXPECT_GT(small_speedup, 2.0);
+  EXPECT_LT(small_speedup, 8.0);
+  EXPECT_GT(large_speedup, small_speedup);
+}
+
+// Figure 6: PID-controlled SSTD beats the centralized baseline model at a
+// moderate deadline by a wide margin.
+TEST(Regression, PidBeatsCentralizedOnDeadlines) {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 60'000, 24));
+  const Dataset data = generator.generate();
+  const auto per_job = partition_traffic(data, 8);
+
+  DeadlineExperimentConfig config;
+  config.deadline_s = 1.2;
+  config.interval_arrival_s = 2.0;
+  config.initial_workers = 4;
+  config.sim.theta1 = 2e-3;
+  config.sim.comm_per_unit_s = 2e-4;
+  const auto sstd = run_deadline_experiment(per_job, config);
+
+  const auto traffic = data.traffic_profile();
+  const std::vector<std::uint64_t> volumes(traffic.begin(), traffic.end());
+  const auto centralized = centralized_deadline_baseline(
+      volumes, config.deadline_s, config.interval_arrival_s, 2.8e-3);
+
+  EXPECT_GT(sstd.hit_rate, centralized.hit_rate + 0.3);
+}
+
+// A3 ablation: the full contribution score beats attitude-only voting
+// under misinformation bursts.
+TEST(Regression, ContributionScoreComponentsStillEarnTheirKeep) {
+  auto config = trace::tiny(trace::boston_bombing(), 60'000, 40);
+  config.misinformation_claim_fraction = 0.5;
+  trace::TraceGenerator generator(config);
+  const Dataset data = generator.generate();
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+
+  SstdBatch sstd;
+  const double full = evaluate_scheme(sstd, data, eval).accuracy();
+
+  // Strip kappa and eta.
+  Dataset stripped(data.name(), data.num_sources(), data.num_claims(),
+                   data.intervals(), data.interval_ms());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    stripped.set_ground_truth(ClaimId{u}, data.ground_truth(ClaimId{u}));
+  }
+  for (Report r : data.reports()) {
+    r.uncertainty = 0.0;
+    r.independence = 1.0;
+    stripped.add_report(r);
+  }
+  stripped.finalize();
+  SstdBatch plain;
+  const double votes_only = evaluate_scheme(plain, stripped, eval).accuracy();
+  EXPECT_GT(full, votes_only + 0.03);
+}
+
+}  // namespace
+}  // namespace sstd

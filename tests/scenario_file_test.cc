@@ -1,0 +1,131 @@
+// Tests for the scenario configuration file format: round trips, partial
+// files, error reporting, and end-to-end use with the generator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/generator.h"
+#include "trace/scenario_file.h"
+
+namespace sstd::trace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(ScenarioFile, RoundTripPreservesEveryField) {
+  ScenarioConfig original = college_football();
+  original.correlated_pairs = 7;
+  original.seed = 987654;
+  const std::string path = temp_path("roundtrip.scenario");
+  save_scenario_file(original, path);
+  const ScenarioConfig loaded = load_scenario_file(path);
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.keywords, original.keywords);
+  EXPECT_DOUBLE_EQ(loaded.duration_days, original.duration_days);
+  EXPECT_EQ(loaded.num_sources, original.num_sources);
+  EXPECT_EQ(loaded.table2_sources, original.table2_sources);
+  EXPECT_EQ(loaded.num_claims, original.num_claims);
+  EXPECT_EQ(loaded.intervals, original.intervals);
+  ASSERT_EQ(loaded.source_classes.size(), original.source_classes.size());
+  for (std::size_t i = 0; i < loaded.source_classes.size(); ++i) {
+    EXPECT_EQ(loaded.source_classes[i].label,
+              original.source_classes[i].label);
+    EXPECT_DOUBLE_EQ(loaded.source_classes[i].fraction,
+                     original.source_classes[i].fraction);
+    EXPECT_DOUBLE_EQ(loaded.source_classes[i].accuracy_mean,
+                     original.source_classes[i].accuracy_mean);
+  }
+  EXPECT_DOUBLE_EQ(loaded.flip_rate_min, original.flip_rate_min);
+  EXPECT_DOUBLE_EQ(loaded.flip_rate_max, original.flip_rate_max);
+  EXPECT_DOUBLE_EQ(loaded.stationary_true_probability,
+                   original.stationary_true_probability);
+  EXPECT_EQ(loaded.total_reports, original.total_reports);
+  EXPECT_DOUBLE_EQ(loaded.spike_multiplier, original.spike_multiplier);
+  EXPECT_DOUBLE_EQ(loaded.hedge_accuracy_penalty,
+                   original.hedge_accuracy_penalty);
+  EXPECT_EQ(loaded.misinformation_duration,
+            original.misinformation_duration);
+  EXPECT_EQ(loaded.correlated_pairs, 7u);
+  EXPECT_EQ(loaded.seed, 987654u);
+}
+
+TEST(ScenarioFile, RoundTripGeneratesIdenticalTrace) {
+  const ScenarioConfig original = tiny(paris_shooting(), 8'000, 6);
+  const std::string path = temp_path("gen.scenario");
+  save_scenario_file(original, path);
+  const ScenarioConfig loaded = load_scenario_file(path);
+
+  TraceGenerator a(original);
+  TraceGenerator b(loaded);
+  const Dataset da = a.generate();
+  const Dataset db = b.generate();
+  ASSERT_EQ(da.num_reports(), db.num_reports());
+  for (std::size_t i = 0; i < std::min<std::size_t>(200, da.num_reports());
+       ++i) {
+    ASSERT_EQ(da.reports()[i].time_ms, db.reports()[i].time_ms);
+    ASSERT_EQ(da.reports()[i].source.value, db.reports()[i].source.value);
+  }
+}
+
+TEST(ScenarioFile, PartialFileKeepsDefaults) {
+  const std::string path = temp_path("partial.scenario");
+  std::ofstream(path) << "name = Custom Event\n"
+                         "total_reports = 1234\n"
+                         "# a comment line\n"
+                         "\n"
+                         "num_claims = 9\n";
+  const ScenarioConfig loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.name, "Custom Event");
+  EXPECT_EQ(loaded.total_reports, 1234u);
+  EXPECT_EQ(loaded.num_claims, 9u);
+  // Defaults survive, including a non-empty fallback population.
+  EXPECT_FALSE(loaded.source_classes.empty());
+  EXPECT_EQ(loaded.intervals, ScenarioConfig{}.intervals);
+}
+
+TEST(ScenarioFile, InlineCommentsAndWhitespaceTolerated) {
+  const std::string path = temp_path("messy.scenario");
+  std::ofstream(path) << "  name =  Messy   # trailing comment\n"
+                         "\ttotal_reports\t=\t42\n";
+  const ScenarioConfig loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.name, "Messy");
+  EXPECT_EQ(loaded.total_reports, 42u);
+}
+
+TEST(ScenarioFile, ErrorsNameTheLine) {
+  const std::string path = temp_path("bad.scenario");
+  std::ofstream(path) << "name = ok\n"
+                         "this line has no equals\n";
+  try {
+    load_scenario_file(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsUnknownKeyAndBadValue) {
+  const std::string path = temp_path("unknown.scenario");
+  std::ofstream(path) << "not_a_field = 3\n";
+  EXPECT_THROW(load_scenario_file(path), std::runtime_error);
+
+  const std::string path2 = temp_path("badvalue.scenario");
+  std::ofstream(path2) << "total_reports = banana\n";
+  EXPECT_THROW(load_scenario_file(path2), std::runtime_error);
+
+  const std::string path3 = temp_path("badclass.scenario");
+  std::ofstream(path3) << "source_class = onlylabel\n";
+  EXPECT_THROW(load_scenario_file(path3), std::runtime_error);
+}
+
+TEST(ScenarioFile, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_file(temp_path("nope.scenario")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sstd::trace

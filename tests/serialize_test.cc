@@ -1,0 +1,129 @@
+// Tests for src/core/serialize: binary round-trip, CSV export/import, and
+// error handling on malformed inputs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/serialize.h"
+#include "trace/generator.h"
+
+namespace sstd {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+Dataset make_sample() {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::paris_shooting(), 5'000, 10));
+  return generator.generate();
+}
+
+void expect_equal(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_reports(), b.num_reports());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.num_sources(), b.num_sources());
+  EXPECT_EQ(a.num_claims(), b.num_claims());
+  EXPECT_EQ(a.intervals(), b.intervals());
+  EXPECT_EQ(a.interval_ms(), b.interval_ms());
+  for (std::size_t i = 0; i < a.num_reports(); ++i) {
+    const Report& ra = a.reports()[i];
+    const Report& rb = b.reports()[i];
+    ASSERT_EQ(ra.source.value, rb.source.value) << "report " << i;
+    ASSERT_EQ(ra.claim.value, rb.claim.value);
+    ASSERT_EQ(ra.time_ms, rb.time_ms);
+    ASSERT_EQ(ra.attitude, rb.attitude);
+    ASSERT_DOUBLE_EQ(ra.uncertainty, rb.uncertainty);
+    ASSERT_DOUBLE_EQ(ra.independence, rb.independence);
+  }
+  for (std::uint32_t u = 0; u < a.num_claims(); ++u) {
+    ASSERT_EQ(a.ground_truth(ClaimId{u}), b.ground_truth(ClaimId{u}));
+  }
+}
+
+TEST(Serialize, BinaryRoundTripPreservesEverything) {
+  const Dataset original = make_sample();
+  const std::string path = temp_path("roundtrip.sstd");
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+  expect_equal(original, loaded);
+  EXPECT_TRUE(loaded.finalized());
+}
+
+TEST(Serialize, LoadRejectsBadMagic) {
+  const std::string path = temp_path("badmagic.sstd");
+  std::ofstream(path) << "NOPE this is not a dataset";
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+}
+
+TEST(Serialize, LoadRejectsTruncatedFile) {
+  const Dataset original = make_sample();
+  const std::string path = temp_path("trunc.sstd");
+  save_dataset(original, path);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+}
+
+TEST(Serialize, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_dataset(temp_path("does_not_exist.sstd")),
+               std::runtime_error);
+}
+
+TEST(Serialize, CsvRoundTripPreservesReportsAndTruth) {
+  const Dataset original = make_sample();
+  const std::string path = temp_path("export.csv");
+  export_dataset_csv(original, path);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(path + ".truth.csv"));
+
+  const Dataset imported = import_dataset_csv(
+      path, original.name(), original.intervals(), original.interval_ms());
+  ASSERT_EQ(imported.num_reports(), original.num_reports());
+
+  // Spot-check a few reports (CSV stores doubles in decimal; compare with
+  // tolerance).
+  for (std::size_t i = 0; i < 50 && i < original.num_reports(); ++i) {
+    const Report& ra = original.reports()[i];
+    const Report& rb = imported.reports()[i];
+    EXPECT_EQ(ra.source.value, rb.source.value);
+    EXPECT_EQ(ra.claim.value, rb.claim.value);
+    EXPECT_EQ(ra.time_ms, rb.time_ms);
+    EXPECT_EQ(ra.attitude, rb.attitude);
+    EXPECT_NEAR(ra.uncertainty, rb.uncertainty, 1e-5);
+    EXPECT_NEAR(ra.independence, rb.independence, 1e-5);
+  }
+
+  // Truth preserved for every labeled claim the import could size.
+  for (std::uint32_t u = 0; u < imported.num_claims(); ++u) {
+    if (original.ground_truth(ClaimId{u}).empty()) continue;
+    EXPECT_EQ(imported.ground_truth(ClaimId{u}),
+              original.ground_truth(ClaimId{u}));
+  }
+}
+
+TEST(Serialize, CsvImportWithoutTruthSidecarIsUnlabeled) {
+  const Dataset original = make_sample();
+  const std::string path = temp_path("no_truth.csv");
+  export_dataset_csv(original, path);
+  std::filesystem::remove(path + ".truth.csv");
+  const Dataset imported = import_dataset_csv(
+      path, "unlabeled", original.intervals(), original.interval_ms());
+  EXPECT_FALSE(imported.has_ground_truth());
+}
+
+TEST(Serialize, CsvImportRejectsGarbageRow) {
+  const std::string path = temp_path("garbage.csv");
+  std::ofstream out(path);
+  out << "source,claim,time_ms,attitude,uncertainty,independence\n";
+  out << "not,a,valid,row,at,all\n";
+  out.close();
+  EXPECT_THROW(import_dataset_csv(path, "bad", 10, 1000),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sstd

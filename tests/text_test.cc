@@ -1,0 +1,245 @@
+// Tests for src/text: tokenization, Jaccard, online claim clustering,
+// hedge classification, attitude/independence scoring and the end-to-end
+// tweet->report pipeline.
+#include <gtest/gtest.h>
+
+#include "text/clusterer.h"
+#include "text/composer.h"
+#include "text/hedge_classifier.h"
+#include "text/pipeline.h"
+#include "text/scorers.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace sstd::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplitsOnPunctuation) {
+  const auto tokens = tokenize("OSU POSSIBLE shooting: I am on-campus!!");
+  const std::vector<std::string> expected{"osu", "possible", "shooting",
+                                          "i",   "am",       "on",
+                                          "campus"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenizer, EmptyAndSymbolOnlyInputs) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ... ###").empty());
+}
+
+TEST(Jaccard, KnownValues) {
+  const TokenSet a{"x", "y", "z"};
+  const TokenSet b{"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, TokenSet{}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(TokenSet{}, TokenSet{}), 1.0);
+}
+
+TEST(Composer, EmbedsTopicStanceAndHedgeMarkers) {
+  TweetComposer composer(bombing_topics());
+  Rng rng(1);
+  const SynthTweet tweet = composer.compose(2, -1, true, rng);
+  EXPECT_EQ(tweet.latent_claim.value, 2u);
+  EXPECT_EQ(tweet.latent_stance, -1);
+  EXPECT_TRUE(tweet.latent_hedged);
+
+  // At least min_topic_tokens tokens must come from the topic bank.
+  const auto& bank = composer.topic(2);
+  int topic_hits = 0;
+  for (const auto& token : tweet.tokens) {
+    for (const auto& keyword : bank) topic_hits += (token == keyword);
+  }
+  EXPECT_GE(topic_hits, 2);
+
+  // A hedge word must appear.
+  int hedge_hits = 0;
+  for (const auto& token : tweet.tokens) {
+    for (const auto& hedge : hedge_words()) hedge_hits += (token == hedge);
+  }
+  EXPECT_GE(hedge_hits, 1);
+}
+
+TEST(Composer, RejectsEmptyTopicBank) {
+  EXPECT_THROW(TweetComposer({}), std::invalid_argument);
+}
+
+TEST(Clusterer, GroupsSameTopicTweets) {
+  TweetComposer composer(bombing_topics());
+  OnlineClaimClusterer clusterer;
+  Rng rng(2);
+
+  // 40 tweets alternating between two very different topics.
+  std::vector<std::uint32_t> assignments;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint32_t topic = i % 2 == 0 ? 0 : 5;
+    const auto tweet = composer.compose(topic, 1, false, rng);
+    assignments.push_back(clusterer.assign(tweet.tokens));
+  }
+
+  // Tweets of the same topic should overwhelmingly share a cluster id.
+  std::map<std::uint32_t, int> even_counts;
+  std::map<std::uint32_t, int> odd_counts;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    (i % 2 == 0 ? even_counts : odd_counts)[assignments[i]]++;
+  }
+  auto dominant = [](const std::map<std::uint32_t, int>& counts) {
+    int best = 0;
+    int total = 0;
+    std::uint32_t id = 0;
+    for (auto [cluster, count] : counts) {
+      total += count;
+      if (count > best) {
+        best = count;
+        id = cluster;
+      }
+    }
+    return std::pair{id, static_cast<double>(best) / total};
+  };
+  const auto [even_id, even_purity] = dominant(even_counts);
+  const auto [odd_id, odd_purity] = dominant(odd_counts);
+  EXPECT_NE(even_id, odd_id);
+  // Online single-pass clustering of short noisy texts is imperfect; the
+  // dominant cluster per topic should still clearly dominate.
+  EXPECT_GT(even_purity, 0.7);
+  EXPECT_GT(odd_purity, 0.7);
+}
+
+TEST(Clusterer, NewClusterForUnrelatedContent) {
+  OnlineClaimClusterer clusterer;
+  const auto a = clusterer.assign({"marathon", "finish", "explosion"});
+  const auto b = clusterer.assign({"marathon", "finish", "explosion", "omg"});
+  const auto c = clusterer.assign({"quarterback", "touchdown", "irish"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(clusterer.num_clusters(), 2u);
+}
+
+TEST(Clusterer, SignatureReflectsFrequentTokens) {
+  OnlineClaimClusterer clusterer;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 5; ++i) {
+    id = clusterer.assign({"bomb", "library", "threat"});
+  }
+  const auto signature = clusterer.signature(id);
+  EXPECT_NE(std::find(signature.begin(), signature.end(), "bomb"),
+            signature.end());
+}
+
+TEST(HedgeClassifier, SeparatesHedgedFromConfident) {
+  Rng rng(3);
+  const HedgeClassifier classifier = HedgeClassifier::train_synthetic(2000, rng);
+
+  TweetComposer composer(shooting_topics());
+  int correct = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool hedged = i % 2 == 0;
+    const auto tweet = composer.compose(
+        static_cast<std::uint32_t>(i % composer.num_topics()), 1, hedged,
+        rng);
+    const double p = classifier.predict_probability(tweet.tokens);
+    correct += (p > 0.5) == hedged;
+  }
+  EXPECT_GT(correct, kTrials * 8 / 10);
+}
+
+TEST(HedgeClassifier, UntrainedReturnsZero) {
+  HedgeClassifier classifier;
+  EXPECT_FALSE(classifier.trained());
+  EXPECT_DOUBLE_EQ(classifier.predict_probability({"maybe"}), 0.0);
+}
+
+TEST(HedgeClassifier, OutOfVocabularyDocumentLeansUnhedged) {
+  Rng rng(4);
+  const HedgeClassifier classifier = HedgeClassifier::train_synthetic(500, rng);
+  const double p = classifier.predict_probability({"zzzz", "qqqq"});
+  // Bernoulli NB scores absences: a document containing none of the hedge
+  // markers should lean toward the unhedged class, never toward hedged.
+  EXPECT_LT(p, 0.5);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(AttitudeScore, DenialWordsFlipToDisagree) {
+  EXPECT_EQ(attitude_score({"confirmed", "shooting", "campus"}), 1);
+  EXPECT_EQ(attitude_score({"this", "is", "fake", "news"}), -1);
+  EXPECT_EQ(attitude_score({"hoax"}), -1);
+  EXPECT_EQ(attitude_score({}), 1);  // no denial signal => assert
+}
+
+TEST(IndependenceScorer, RetweetsScoreLow) {
+  IndependenceScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.score({"a", "b"}, 0, /*is_retweet=*/true), 0.2);
+  EXPECT_DOUBLE_EQ(scorer.score({"c", "d"}, 1, false), 1.0);
+}
+
+TEST(IndependenceScorer, NearDuplicatesScoreLow) {
+  IndependenceScorer scorer;
+  EXPECT_DOUBLE_EQ(
+      scorer.score({"marathon", "finish", "line", "explosion"}, 0, false),
+      1.0);
+  // Same token set shortly after: near-duplicate.
+  EXPECT_DOUBLE_EQ(
+      scorer.score({"marathon", "finish", "line", "explosion"}, 10, false),
+      0.4);
+}
+
+TEST(IndependenceScorer, MemoryExpires) {
+  IndependenceScorer::Options options;
+  options.memory_ms = 100;
+  IndependenceScorer scorer(options);
+  scorer.score({"x", "y", "z"}, 0, false);
+  // Far beyond the memory window the same text is independent again.
+  EXPECT_DOUBLE_EQ(scorer.score({"x", "y", "z"}, 500, false), 1.0);
+}
+
+TEST(Pipeline, ProducesScoredReports) {
+  TextPipeline pipeline;
+  TweetComposer composer(bombing_topics());
+  Rng rng(5);
+
+  SynthTweet confident = composer.compose(0, 1, false, rng);
+  confident.source = SourceId{7};
+  confident.time_ms = 100;
+  const Report r1 = pipeline.process(confident);
+  EXPECT_EQ(r1.source.value, 7u);
+  EXPECT_EQ(r1.time_ms, 100);
+  EXPECT_EQ(r1.attitude, 1);
+  EXPECT_LT(r1.uncertainty, 0.5);
+  EXPECT_DOUBLE_EQ(r1.independence, 1.0);
+
+  SynthTweet hedged = composer.compose(0, 1, true, rng);
+  hedged.source = SourceId{8};
+  hedged.time_ms = 200;
+  const Report r2 = pipeline.process(hedged);
+  EXPECT_GT(r2.uncertainty, 0.5);
+
+  SynthTweet retweet = confident;
+  retweet.is_retweet = true;
+  retweet.time_ms = 300;
+  const Report r3 = pipeline.process(retweet);
+  EXPECT_LT(r3.independence, 0.5);
+}
+
+TEST(Pipeline, ClusterToTopicMajorityMapping) {
+  TextPipeline pipeline;
+  TweetComposer composer(football_topics());
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    auto tweet = composer.compose(static_cast<std::uint32_t>(i % 3), 1,
+                                  false, rng);
+    tweet.time_ms = i * 10;
+    pipeline.process(tweet);
+  }
+  const auto mapping = pipeline.cluster_to_topic();
+  EXPECT_FALSE(mapping.empty());
+  // Every mapped topic must be one of the three we generated.
+  for (const auto& [cluster, topic] : mapping) {
+    EXPECT_LT(topic, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace sstd::text
