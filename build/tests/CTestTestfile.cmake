@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/hmm_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/sstd_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/property_hmm_test[1]_include.cmake")
+include("/root/repo/build/tests/property_core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rto_test[1]_include.cmake")
+include("/root/repo/build/tests/correlated_test[1]_include.cmake")
+include("/root/repo/build/tests/property_text_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_output_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_bayes_test[1]_include.cmake")
+include("/root/repo/build/tests/multivalue_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_file_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/property_serialize_test[1]_include.cmake")
