@@ -5,11 +5,21 @@
 //
 //   * makespan inflation vs number of injected crashes, with and without
 //     worker recovery;
-//   * deadline hit rate under a crashy pool vs a healthy one.
+//   * deadline hit rate under a crashy pool vs a healthy one (real
+//     FaultPlan injection, PID control compensating via theta5);
+//   * A6c: the *threaded* Work Queue under a FaultPlan sweep — transient
+//     failure probability x worker crashes — reporting soft-deadline hit
+//     rate and recovery latency (JSON in bench_results/).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "bench_common.h"
+#include "dist/fault_plan.h"
 #include "dist/sim_cluster.h"
+#include "dist/work_queue.h"
 #include "sstd/distributed.h"
 
 using namespace sstd;
@@ -116,12 +126,16 @@ int main() {
     config.sim.comm_per_unit_s = 2e-4;
     const auto healthy = run_deadline_experiment(per_job, config);
 
-    // A crash-prone variant: the experiment driver has no failure hook,
-    // so emulate chronic unreliability as a slower effective pool — each
-    // eviction re-runs a task, i.e. ~15% of work is wasted.
+    // A crash-prone variant: real chaos via the experiment's FaultPlan
+    // hook — 15% of task attempts fail transiently and workers crash on a
+    // rolling schedule (evict + recover). Under kPid the DTM sees the
+    // eviction/failure counters and compensates through the GCK (theta5).
     DeadlineExperimentConfig crashy = config;
-    crashy.sim.theta1 *= 1.15;
-    crashy.sim.worker_startup_s *= 2.0;  // replacements keep arriving late
+    crashy.fault = dist::FaultPlan(4242);
+    crashy.fault.fail_tasks(0.15);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      crashy.fault.crash_worker(w, 1.0 + 2.0 * w, /*recover_after_s=*/1.0);
+    }
     const auto degraded = run_deadline_experiment(per_job, crashy);
 
     hits.add_row({TextTable::num(deadline, 1),
@@ -132,5 +146,109 @@ int main() {
                   CsvWriter::cell(degraded.hit_rate, 4)});
   }
   hits.print();
+  std::printf("\n");
+
+  // A6c: the threaded Work Queue under chaos. Sweep transient-failure
+  // probability x worker crashes, all injected through the same FaultPlan
+  // the tests use; measure the soft-deadline hit rate (sojourn within
+  // budget) and the recovery latency of tasks that needed >1 attempt.
+  TextTable chaos(
+      "Ablation A6c: threaded Work Queue chaos sweep (4 workers, 48 "
+      "tasks, soft deadline 0.5 s)");
+  chaos.set_columns({"Fail prob", "Crashes", "Hit rate", "Recovery [ms]",
+                     "Retries", "Evictions"});
+
+  const std::string json_path =
+      bench::results_path("ablation_faults_chaos.json");
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"ablation_faults_chaos\",\n"
+                 "  \"workers\": 4,\n  \"tasks\": 48,\n"
+                 "  \"soft_deadline_s\": 0.5,\n  \"sweep\": [\n");
+  }
+
+  constexpr double kSoftDeadline = 0.5;
+  bool first_entry = true;
+  for (double fail_prob : {0.0, 0.1, 0.3, 0.5}) {
+    for (int num_crashes : {0, 1, 2}) {
+      dist::RetryPolicy retry;
+      retry.base_backoff_s = 0.001;
+      retry.max_backoff_s = 0.01;
+      dist::FastAbortConfig fast_abort;
+      fast_abort.enabled = true;
+      dist::WorkQueue queue(4, retry, fast_abort);
+
+      dist::FaultPlan plan(1000 + static_cast<std::uint64_t>(
+                                      fail_prob * 100.0) * 10 +
+                           static_cast<std::uint64_t>(num_crashes));
+      plan.fail_tasks(fail_prob);
+      if (num_crashes >= 1) {
+        plan.crash_worker(0, 0.01, /*recover_after_s=*/0.05);
+      }
+      if (num_crashes >= 2) plan.crash_worker(1, 0.02);  // permanent
+      queue.install_fault_plan(plan);
+
+      constexpr int kTasks = 48;
+      for (int i = 0; i < kTasks; ++i) {
+        dist::Task task;
+        task.id = static_cast<dist::TaskId>(i);
+        task.max_retries = 10;
+        task.work = [] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        };
+        queue.submit(std::move(task), 0.0);
+      }
+      queue.wait_all();
+
+      const auto reports = queue.drain_reports();
+      const auto stats = queue.stats();
+      std::size_t hit = 0;
+      double recovery_sum = 0.0;
+      std::size_t recovered = 0;
+      double makespan = 0.0;
+      for (const auto& report : reports) {
+        hit += report.sojourn_s() <= kSoftDeadline;
+        makespan = std::max(makespan, report.finished_s);
+        if (report.attempts > 1) {
+          recovery_sum += report.sojourn_s();
+          ++recovered;
+        }
+      }
+      const double hit_rate =
+          static_cast<double>(hit) / static_cast<double>(kTasks);
+      const double recovery_latency =
+          recovered ? recovery_sum / static_cast<double>(recovered) : 0.0;
+
+      chaos.add_row({TextTable::num(fail_prob, 1),
+                     std::to_string(num_crashes), TextTable::num(hit_rate),
+                     TextTable::num(recovery_latency * 1e3, 1),
+                     std::to_string(stats.retries),
+                     std::to_string(stats.evictions)});
+      if (json) {
+        std::fprintf(
+            json,
+            "%s    {\"fail_prob\": %.2f, \"crashes\": %d, "
+            "\"hit_rate\": %.4f, \"recovery_latency_s\": %.4f, "
+            "\"makespan_s\": %.4f, \"retries\": %llu, "
+            "\"injected_failures\": %llu, \"evictions\": %llu, "
+            "\"fast_aborts\": %llu, \"quarantined\": %llu}",
+            first_entry ? "" : ",\n", fail_prob, num_crashes, hit_rate,
+            recovery_latency, makespan,
+            static_cast<unsigned long long>(stats.retries),
+            static_cast<unsigned long long>(stats.injected_failures),
+            static_cast<unsigned long long>(stats.evictions),
+            static_cast<unsigned long long>(stats.fast_aborts),
+            static_cast<unsigned long long>(stats.quarantined));
+        first_entry = false;
+      }
+    }
+  }
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  chaos.print();
   return 0;
 }

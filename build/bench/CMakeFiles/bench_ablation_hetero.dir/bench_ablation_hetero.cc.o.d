@@ -264,4 +264,5 @@ bench/CMakeFiles/bench_ablation_hetero.dir/bench_ablation_hetero.cc.o: \
  /root/repo/src/dist/sim_cluster.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/dist/task.h
+ /root/repo/src/dist/fault_plan.h /root/repo/src/dist/task.h \
+ /usr/include/c++/12/atomic

@@ -263,11 +263,12 @@ bench/CMakeFiles/bench_fig7_speedup.dir/bench_fig7_speedup.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/table.h \
  /root/repo/src/sstd/distributed.h /root/repo/src/control/dtm.h \
  /root/repo/src/control/pid.h /root/repo/src/control/wcet.h \
- /root/repo/src/dist/task.h /root/repo/src/dist/sim_cluster.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dist/work_queue.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /root/repo/src/dist/task.h /usr/include/c++/12/atomic \
+ /root/repo/src/dist/sim_cluster.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/dist/fault_plan.h /root/repo/src/dist/work_queue.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -275,5 +276,6 @@ bench/CMakeFiles/bench_fig7_speedup.dir/bench_fig7_speedup.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/util/blocking_queue.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/thread /root/repo/src/dist/retry_policy.h \
+ /root/repo/src/util/blocking_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

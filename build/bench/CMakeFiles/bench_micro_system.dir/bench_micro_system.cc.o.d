@@ -255,6 +255,9 @@ bench/CMakeFiles/bench_micro_system.dir/bench_micro_system.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/control/dtm.h \
  /root/repo/src/control/pid.h /root/repo/src/control/wcet.h \
  /root/repo/src/dist/task.h /root/repo/src/dist/work_queue.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -262,10 +265,9 @@ bench/CMakeFiles/bench_micro_system.dir/bench_micro_system.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/thread /root/repo/src/util/blocking_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/dist/fault_plan.h \
+ /root/repo/src/dist/retry_policy.h /root/repo/src/util/blocking_queue.h \
  /usr/include/c++/12/optional /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/trace/generator.h \
- /root/repo/src/text/tweet.h /root/repo/src/trace/scenario.h
+ /root/repo/src/trace/generator.h /root/repo/src/text/tweet.h \
+ /root/repo/src/trace/scenario.h

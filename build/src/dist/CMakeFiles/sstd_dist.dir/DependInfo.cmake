@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/fault_plan.cc" "src/dist/CMakeFiles/sstd_dist.dir/fault_plan.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/fault_plan.cc.o.d"
+  "/root/repo/src/dist/retry_policy.cc" "src/dist/CMakeFiles/sstd_dist.dir/retry_policy.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/retry_policy.cc.o.d"
   "/root/repo/src/dist/sim_cluster.cc" "src/dist/CMakeFiles/sstd_dist.dir/sim_cluster.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/sim_cluster.cc.o.d"
   "/root/repo/src/dist/work_queue.cc" "src/dist/CMakeFiles/sstd_dist.dir/work_queue.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/work_queue.cc.o.d"
   )

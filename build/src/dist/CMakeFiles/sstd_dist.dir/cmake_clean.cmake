@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sstd_dist.dir/fault_plan.cc.o"
+  "CMakeFiles/sstd_dist.dir/fault_plan.cc.o.d"
+  "CMakeFiles/sstd_dist.dir/retry_policy.cc.o"
+  "CMakeFiles/sstd_dist.dir/retry_policy.cc.o.d"
   "CMakeFiles/sstd_dist.dir/sim_cluster.cc.o"
   "CMakeFiles/sstd_dist.dir/sim_cluster.cc.o.d"
   "CMakeFiles/sstd_dist.dir/work_queue.cc.o"

@@ -304,7 +304,8 @@ tests/CMakeFiles/dist_test.dir/dist_test.cc.o: \
  /root/repo/src/dist/sim_cluster.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/dist/task.h /root/repo/src/dist/work_queue.h \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/dist/fault_plan.h /root/repo/src/dist/task.h \
+ /root/repo/src/dist/work_queue.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /root/repo/src/util/blocking_queue.h /root/repo/src/util/stopwatch.h
+ /root/repo/src/dist/retry_policy.h /root/repo/src/util/blocking_queue.h \
+ /root/repo/src/util/stopwatch.h

@@ -13,7 +13,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sstd/CMakeFiles/sstd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sstd_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/dist/CMakeFiles/sstd_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/sstd_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/sstd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sstd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
   )
 

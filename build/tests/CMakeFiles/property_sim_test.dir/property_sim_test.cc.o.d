@@ -299,8 +299,8 @@ tests/CMakeFiles/property_sim_test.dir/property_sim_test.cc.o: \
  /root/repo/src/dist/sim_cluster.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/dist/task.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/dist/fault_plan.h /root/repo/src/dist/task.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -306,17 +306,19 @@ tests/CMakeFiles/rto_test.dir/rto_test.cc.o: /root/repo/tests/rto_test.cc \
  /root/repo/src/core/types.h /root/repo/src/dist/sim_cluster.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dist/work_queue.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dist/fault_plan.h \
+ /root/repo/src/dist/work_queue.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/util/blocking_queue.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /root/repo/src/dist/retry_policy.h \
+ /root/repo/src/util/blocking_queue.h /root/repo/src/util/stopwatch.h \
  /root/repo/src/sstd/config.h /root/repo/src/hmm/discrete_hmm.h \
  /root/repo/src/hmm/hmm_core.h /root/repo/src/util/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -329,17 +329,19 @@ tests/CMakeFiles/sstd_engine_test.dir/sstd_engine_test.cc.o: \
  /root/repo/src/dist/task.h /root/repo/src/dist/sim_cluster.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dist/work_queue.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/dist/fault_plan.h \
+ /root/repo/src/dist/work_queue.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/util/blocking_queue.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /root/repo/src/dist/retry_policy.h \
+ /root/repo/src/util/blocking_queue.h /root/repo/src/util/stopwatch.h \
  /root/repo/src/sstd/streaming.h /root/repo/src/core/acs.h \
  /root/repo/src/hmm/online_forward.h /root/repo/src/hmm/online_viterbi.h \
  /root/repo/src/hmm/quantizer.h /root/repo/src/trace/generator.h \

@@ -27,6 +27,22 @@ DtmDecision DynamicTaskManager::sample(
     double now,
     const std::unordered_map<dist::JobId, double>& remaining_data,
     std::size_t workers) {
+  // No fault feedback: re-use the last observation, so the delta is zero.
+  return sample(now, remaining_data, workers, last_faults_);
+}
+
+DtmDecision DynamicTaskManager::sample(
+    double now,
+    const std::unordered_map<dist::JobId, double>& remaining_data,
+    std::size_t workers, const FaultObservation& faults) {
+  // Counters are cumulative and monotone; the delta since the previous
+  // sample is the fault rate the pool is currently paying for.
+  const std::uint64_t delta =
+      (faults.evictions - std::min(faults.evictions, last_faults_.evictions)) +
+      (faults.task_failures -
+       std::min(faults.task_failures, last_faults_.task_failures));
+  last_faults_ = faults;
+
   DtmDecision decision;
   decision.worker_target = workers;
   if (jobs_.empty()) return decision;
@@ -86,6 +102,17 @@ DtmDecision DynamicTaskManager::sample(
       comfortable_samples_ = 0;
     }
   } else {
+    comfortable_samples_ = 0;
+  }
+  // Fault compensation: every eviction/failed attempt since the previous
+  // sample is redone work. A crashy pool behaves like a slower pool, so
+  // the GCK buys the lost throughput back with extra workers.
+  if (delta > 0 && config_.theta5 > 0.0) {
+    const auto extra = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(config_.max_fault_compensation),
+        std::ceil(config_.theta5 * static_cast<double>(delta))));
+    decision.fault_compensation = extra;
+    target += static_cast<long long>(extra);
     comfortable_samples_ = 0;
   }
   target = std::clamp<long long>(

@@ -35,7 +35,24 @@ struct DtmConfig {
   // idle worker.
   int scale_down_patience = 3;
 
+  // Fault compensation gain (GCK over an unreliable pool): every eviction
+  // or failed task attempt observed since the previous sample is work the
+  // pool must redo, so the worker target grows by ceil(theta5 x observed
+  // events), capped below. Closes the paper's feedback loop over the
+  // scavenged-desktop failure model: a crashy pool is simply a slow pool,
+  // and the GCK buys the lost throughput back.
+  double theta5 = 0.5;
+  std::size_t max_fault_compensation = 8;
+
   WcetParams wcet;
+};
+
+// Cumulative fault counters the runtime exposes (WorkQueueStats /
+// SimCluster::evictions + task_failures). The DTM differentiates them
+// across samples to estimate the current failure rate.
+struct FaultObservation {
+  std::uint64_t evictions = 0;
+  std::uint64_t task_failures = 0;
 };
 
 // The DTM's verdict for one sampling step; the runtime driver applies it
@@ -44,6 +61,7 @@ struct DtmDecision {
   std::vector<std::pair<dist::JobId, double>> priorities;  // LCK
   std::size_t worker_target = 1;                           // GCK
   double total_lateness_signal = 0.0;                      // diagnostics
+  std::size_t fault_compensation = 0;  // extra workers for observed faults
 };
 
 class DynamicTaskManager {
@@ -67,6 +85,14 @@ class DynamicTaskManager {
       const std::unordered_map<dist::JobId, double>& remaining_data,
       std::size_t workers);
 
+  // Sample with fault feedback: `faults` carries the runtime's cumulative
+  // eviction/failure counters; the delta since the previous sample grows
+  // the worker target by ceil(theta5 x delta) (GCK compensation).
+  DtmDecision sample(
+      double now,
+      const std::unordered_map<dist::JobId, double>& remaining_data,
+      std::size_t workers, const FaultObservation& faults);
+
   const WcetModel& wcet() const { return wcet_; }
 
  private:
@@ -80,6 +106,7 @@ class DynamicTaskManager {
   WcetModel wcet_;
   std::unordered_map<dist::JobId, JobState> jobs_;
   int comfortable_samples_ = 0;
+  FaultObservation last_faults_;
 };
 
 }  // namespace sstd::control

@@ -1,0 +1,46 @@
+#include "dist/fault_plan.h"
+
+#include "util/rng.h"
+
+namespace sstd::dist {
+
+void FaultPlan::poison_task(TaskId task, int failing_attempts) {
+  poisoned_.push_back(Poisoned{task, failing_attempts});
+}
+
+void FaultPlan::crash_worker(std::uint32_t worker, double at_s,
+                             double recover_after_s) {
+  crashes_.push_back(WorkerCrash{worker, at_s, recover_after_s});
+}
+
+void FaultPlan::delay_task(TaskId task, double extra_s, int attempt) {
+  stragglers_.push_back(Straggler{task, attempt, extra_s});
+}
+
+bool FaultPlan::should_fail(TaskId task, int attempt) const {
+  for (const auto& poisoned : poisoned_) {
+    if (poisoned.task == task && attempt < poisoned.failing_attempts) {
+      return true;
+    }
+  }
+  if (fail_probability_ <= 0.0) return false;
+  if (fail_probability_ >= 1.0) return true;
+  std::uint64_t state = seed_ ^ (task * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(attempt + 1) *
+                         0xbf58476d1ce4e5b9ULL);
+  const std::uint64_t bits = splitmix64(state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return unit < fail_probability_;
+}
+
+double FaultPlan::straggler_delay_s(TaskId task, int attempt) const {
+  double extra = 0.0;
+  for (const auto& straggler : stragglers_) {
+    if (straggler.task == task && straggler.attempt == attempt) {
+      extra += straggler.extra_s;
+    }
+  }
+  return extra;
+}
+
+}  // namespace sstd::dist

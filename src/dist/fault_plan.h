@@ -1,0 +1,91 @@
+// Deterministic chaos schedule shared by both runtimes.
+//
+// SimCluster::schedule_worker_failure already injects worker crashes into
+// the discrete-event simulator; a FaultPlan generalizes that to a seeded,
+// reproducible schedule of worker crashes (with optional recovery),
+// transient task failures and deterministic stragglers, and injects into
+// the *threaded* WorkQueue the same way — so chaos tests run on real
+// threads, not only in simulation.
+//
+// Every decision is a pure function of (seed, task id, attempt): replaying
+// the same plan against the same submission set reproduces the same
+// failures, which is what makes the chaos tests assertable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/task.h"
+
+namespace sstd::dist {
+
+// One scheduled worker crash. The victim loses its running task (the task
+// re-queues, HTCondor eviction semantics) and leaves the pool; when
+// recover_after_s >= 0 the worker rejoins that long after the crash.
+struct WorkerCrash {
+  std::uint32_t worker = 0;
+  double at_s = 0.0;
+  double recover_after_s = -1.0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // --- schedule construction -----------------------------------------
+
+  // Every (task, attempt) execution fails with probability `p`, decided
+  // by a hash of (seed, task, attempt). Models the paper's scavenged-pool
+  // assumption that task attempts fail routinely.
+  void fail_tasks(double p) { fail_probability_ = p; }
+
+  // The first `failing_attempts` attempts of `task` always fail — a
+  // deterministic "poisoned" task (retries alone cannot save it when
+  // failing_attempts exceeds the retry budget).
+  void poison_task(TaskId task, int failing_attempts);
+
+  // Crash `worker` at time `at_s`; rejoin after `recover_after_s` (< 0 =
+  // never). Same contract as SimCluster::schedule_worker_failure.
+  void crash_worker(std::uint32_t worker, double at_s,
+                    double recover_after_s = -1.0);
+
+  // Attempt `attempt` of `task` becomes a straggler: `extra_s` seconds of
+  // artificial runtime, injected cooperatively so fast-abort can cut it
+  // short. Later attempts (and speculative copies) run at full speed.
+  void delay_task(TaskId task, double extra_s, int attempt = 0);
+
+  // --- queries the runtimes make -------------------------------------
+
+  bool empty() const {
+    return fail_probability_ <= 0.0 && poisoned_.empty() &&
+           crashes_.empty() && stragglers_.empty();
+  }
+
+  // Does attempt `attempt` (0-based) of `task` fail?
+  bool should_fail(TaskId task, int attempt) const;
+
+  // Injected extra runtime for this attempt (0 when none).
+  double straggler_delay_s(TaskId task, int attempt) const;
+
+  const std::vector<WorkerCrash>& crashes() const { return crashes_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Poisoned {
+    TaskId task;
+    int failing_attempts;
+  };
+  struct Straggler {
+    TaskId task;
+    int attempt;
+    double extra_s;
+  };
+
+  std::uint64_t seed_ = 0;
+  double fail_probability_ = 0.0;
+  std::vector<Poisoned> poisoned_;
+  std::vector<WorkerCrash> crashes_;
+  std::vector<Straggler> stragglers_;
+};
+
+}  // namespace sstd::dist

@@ -1,0 +1,36 @@
+#include "dist/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sstd::dist {
+
+double RetryPolicy::jitter_factor(TaskId task, int attempt) const {
+  if (jitter_fraction <= 0.0) return 1.0;
+  // splitmix64 over a mix of (seed, task, attempt): a fixed-point stream
+  // independent of call order and wall clock.
+  std::uint64_t state = seed ^ (task * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(attempt) << 32);
+  const std::uint64_t bits = splitmix64(state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+}
+
+double RetryPolicy::backoff_s(TaskId task, int attempt) const {
+  if (base_backoff_s <= 0.0 || attempt <= 0) return 0.0;
+  const double nominal =
+      base_backoff_s *
+      std::pow(std::max(1.0, backoff_multiplier), attempt - 1);
+  const double capped = std::min(nominal, max_backoff_s);
+  return capped * jitter_factor(task, attempt);
+}
+
+int RetryPolicy::max_attempts(int task_max_retries) const {
+  const int from_task = std::max(0, task_max_retries) + 1;
+  if (quarantine_attempts < 0) return from_task;
+  return std::min(from_task, std::max(1, quarantine_attempts));
+}
+
+}  // namespace sstd::dist

@@ -1,0 +1,56 @@
+// Retry policy of the Work Queue master: exponential backoff with
+// deterministic jitter and poisoned-task quarantine.
+//
+// The paper's runtime (HTCondor + Work Queue, §IV-A2) resubmits failed
+// task attempts because scavenged desktops fail routinely. A naive
+// immediate resubmit (the old `retry_priority_ = 1e6` jump-the-queue
+// hack) retries a transiently failing task into the same failing
+// condition and lets a poisoned task monopolize workers. This policy
+// spaces attempts out exponentially and, once a task has burned its
+// attempt budget, quarantines it so the rest of the stream keeps flowing.
+//
+// Determinism: the jitter is a pure hash of (seed, task id, attempt) —
+// no wall clock, no global RNG — so chaos experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/task.h"
+
+namespace sstd::dist {
+
+struct RetryPolicy {
+  // Nominal delay before attempt n is re-queued:
+  //   base_backoff_s * backoff_multiplier^(n-1), capped at max_backoff_s.
+  double base_backoff_s = 0.005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 0.25;
+
+  // Deterministic jitter: the nominal delay is scaled by a factor drawn
+  // uniformly from [1 - jitter_fraction, 1 + jitter_fraction] using a
+  // hash of (seed, task, attempt). Spreads correlated retries apart.
+  double jitter_fraction = 0.2;
+  std::uint64_t seed = 0x5eedfa1755ULL;
+
+  // Priority bump added to the task's original priority when re-queued;
+  // keeps retries near their original place in line instead of jumping
+  // the whole backlog.
+  double retry_priority_boost = 1.0;
+
+  // Quarantine cap: a task is declared poisoned after this many failed
+  // attempts even if Task::max_retries would allow more. < 0 defers
+  // entirely to Task::max_retries.
+  int quarantine_attempts = -1;
+
+  // Deterministic jitter factor in [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_factor(TaskId task, int attempt) const;
+
+  // Delay in seconds before re-queueing `attempt` (>= 1) of `task`.
+  double backoff_s(TaskId task, int attempt) const;
+
+  // Attempts (1 = first run) the policy allows a task with the given
+  // max_retries before it is quarantined.
+  int max_attempts(int task_max_retries) const;
+};
+
+}  // namespace sstd::dist

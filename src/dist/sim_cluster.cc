@@ -129,6 +129,17 @@ void SimCluster::schedule_worker_failure(std::uint32_t index, double at,
                                    recover_after_s});
 }
 
+void SimCluster::install_fault_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  has_plan_ = !plan_.empty();
+  for (const auto& crash : plan_.crashes()) {
+    // Skip crashes aimed at workers this pool does not have, so one plan
+    // can drive pools of different sizes.
+    if (crash.worker >= workers_.size()) continue;
+    schedule_worker_failure(crash.worker, crash.at_s, crash.recover_after_s);
+  }
+}
+
 std::size_t SimCluster::next_due_failure(double until) const {
   std::size_t next = failures_.size();
   for (std::size_t i = 0; i < failures_.size(); ++i) {
@@ -153,7 +164,8 @@ void SimCluster::apply_one_failure(std::size_t index) {
     if (running_[i].worker == event.worker &&
         running_[i].finish_at > event.at) {
       queued_.push_back(QueuedTask{running_[i].task,
-                                   running_[i].submitted_s});
+                                   running_[i].submitted_s,
+                                   running_[i].attempt});
       running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       ++evictions_;
       break;  // a worker runs at most one task at a time
@@ -211,6 +223,7 @@ void SimCluster::dispatch(double until) {
       RunningTask run;
       run.task = queued.task;
       run.submitted_s = queued.submitted_s;
+      run.attempt = queued.attempt;
       // A dispatch occupies the (serial) master for a slot; with many
       // workers this is the Amdahl term that caps speedup.
       const double dispatch_at =
@@ -222,7 +235,12 @@ void SimCluster::dispatch(double until) {
           worker.spec.speed;
       const double transfer =
           queued.task.data_size * config_.comm_per_unit_s;
-      run.finish_at = run.started_s + transfer + compute;
+      // Injected straggler: the targeted attempt runs this much longer.
+      const double straggle =
+          has_plan_
+              ? plan_.straggler_delay_s(queued.task.id, queued.attempt)
+              : 0.0;
+      run.finish_at = run.started_s + transfer + compute + straggle;
       run.worker = w;
       worker.free_at = run.finish_at;
       running_.push_back(run);
@@ -266,6 +284,24 @@ std::vector<TaskReport> SimCluster::advance_to(double t) {
     running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(next));
     now_s_ = std::max(now_s_, done.finish_at);
 
+    WorkerState& worker = workers_[done.worker];
+    if (worker.retiring) {
+      worker.active = false;
+      worker.retiring = false;
+    }
+
+    // Injected transient failure: the attempt's output is discarded at
+    // completion time and the task re-queues (until retries exhaust).
+    const bool attempt_failed =
+        has_plan_ && plan_.should_fail(done.task.id, done.attempt);
+    if (attempt_failed) ++task_failures_;
+    if (attempt_failed && done.attempt < done.task.max_retries) {
+      queued_.push_back(
+          QueuedTask{done.task, done.submitted_s, done.attempt + 1});
+      dispatch(now_s_);
+      continue;
+    }
+
     TaskReport report;
     report.task = done.task.id;
     report.job = done.task.job;
@@ -273,13 +309,11 @@ std::vector<TaskReport> SimCluster::advance_to(double t) {
     report.started_s = done.started_s;
     report.finished_s = done.finish_at;
     report.worker = done.worker;
+    report.attempts = done.attempt + 1;
+    report.failed = attempt_failed;
+    report.quarantined = attempt_failed;
     completions.push_back(report);
 
-    WorkerState& worker = workers_[done.worker];
-    if (worker.retiring) {
-      worker.active = false;
-      worker.retiring = false;
-    }
     dispatch(now_s_);
   }
 
@@ -293,6 +327,7 @@ double SimCluster::run_to_completion() {
   std::size_t stall_rounds = 0;
   while (!queued_.empty() || !running_.empty()) {
     const std::size_t queued_before = queued_.size();
+    const std::uint64_t faults_before = evictions_ + task_failures_;
     // Jump to the earliest moment anything can change.
     double horizon = std::numeric_limits<double>::infinity();
     for (const auto& run : running_) {
@@ -311,9 +346,13 @@ double SimCluster::run_to_completion() {
       makespan = std::max(makespan, report.finished_s);
     }
     // Starvation guard: tasks whose only capable worker was deactivated
-    // can never run; bail out rather than spin. Progress means either a
-    // completion happened or a queued task was dispatched.
-    stall_rounds = (queued_.size() == queued_before && completions.empty())
+    // can never run; bail out rather than spin. Progress means a
+    // completion happened, a queued task was dispatched, or a fault event
+    // (eviction / injected failure) consumed an attempt.
+    const bool fault_progress =
+        evictions_ + task_failures_ != faults_before;
+    stall_rounds = (queued_.size() == queued_before &&
+                    completions.empty() && !fault_progress)
                        ? stall_rounds + 1
                        : 0;
     if (stall_rounds > 8) break;

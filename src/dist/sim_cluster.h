@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/fault_plan.h"
 #include "dist/task.h"
 
 namespace sstd::dist {
@@ -76,8 +77,19 @@ class SimCluster {
   void schedule_worker_failure(std::uint32_t index, double at,
                                double recover_after_s = -1.0);
 
+  // Installs a chaos schedule: the plan's worker crashes are scheduled via
+  // schedule_worker_failure, its transient task failures make attempts
+  // fail at completion (the task re-queues until Task::max_retries is
+  // exhausted, then completes with failed=true), and its stragglers add
+  // extra runtime to the targeted attempt. Same FaultPlan contract as the
+  // threaded WorkQueue, so chaos scenarios port between runtimes.
+  void install_fault_plan(const FaultPlan& plan);
+
   // Total tasks that were evicted by worker crashes so far.
   std::uint64_t evictions() const { return evictions_; }
+
+  // Failed attempts injected by the installed fault plan so far.
+  std::uint64_t task_failures() const { return task_failures_; }
 
   // Advances simulated time to `t`, dispatching and completing tasks.
   // Returns the completions that occurred, in time order.
@@ -109,6 +121,7 @@ class SimCluster {
   struct QueuedTask {
     Task task;
     double submitted_s;
+    int attempt = 0;
   };
 
   struct RunningTask {
@@ -117,6 +130,7 @@ class SimCluster {
     double started_s;
     double finish_at;
     std::uint32_t worker;
+    int attempt = 0;
   };
 
   struct FailureEvent {
@@ -146,6 +160,9 @@ class SimCluster {
   std::unordered_map<JobId, double> priorities_;
   std::vector<FailureEvent> failures_;  // pending, unordered
   std::uint64_t evictions_ = 0;
+  std::uint64_t task_failures_ = 0;
+  FaultPlan plan_;
+  bool has_plan_ = false;
 };
 
 }  // namespace sstd::dist

@@ -4,8 +4,10 @@
 // run on Work Queue workers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 namespace sstd::dist {
@@ -19,6 +21,23 @@ struct ResourceSpec {
   int cores = 1;
   int memory_mb = 512;
   int disk_mb = 1024;
+};
+
+// Cooperative cancellation handle for fast-abort (Work Queue's
+// fast_abort_multiplier): the master flags a straggling attempt and a
+// cooperating payload gives up at its next checkpoint. Payloads that
+// never check still work — speculation covers them, the flag is advisory.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void request_cancel() const {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
 };
 
 struct Task {
@@ -37,6 +56,14 @@ struct Task {
   // attempts are expected to fail and the master resubmits).
   std::function<void()> work;
 
+  // Cancellation-aware payload, preferred over `work` when set. Returns
+  // true when the attempt produced its result; returning false means the
+  // payload honoured a cancel request and gave up — the master treats the
+  // attempt as aborted (re-run or covered by a speculative copy), not as
+  // a failure. Payloads may run twice concurrently under speculation, so
+  // their side effects must be idempotent or guarded.
+  std::function<bool(const CancelToken&)> cancellable_work;
+
   // How many times the runtime may re-attempt a failing task before
   // reporting it failed.
   int max_retries = 2;
@@ -50,11 +77,17 @@ struct TaskReport {
   double started_s = 0.0;
   double finished_s = 0.0;
   std::uint32_t worker = 0;
-  int attempts = 1;      // 1 = succeeded first try
-  bool failed = false;   // true when retries were exhausted
+  int attempts = 1;          // 1 = succeeded first try
+  bool failed = false;       // true when retries were exhausted
+  bool quarantined = false;  // failed *and* poisoned out of the queue
+  bool speculative = false;  // a speculative duplicate produced the result
+  int fast_aborts = 0;       // straggling attempts cancelled along the way
 
   double queue_wait_s() const { return started_s - submitted_s; }
   double execution_s() const { return finished_s - started_s; }
+  // Sojourn: submission to final completion, across retries/evictions —
+  // the recovery latency a chaos experiment cares about.
+  double sojourn_s() const { return finished_s - submitted_s; }
 };
 
 }  // namespace sstd::dist

@@ -1,95 +1,418 @@
 #include "dist/work_queue.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace sstd::dist {
 
-WorkQueue::WorkQueue(std::size_t initial_workers) {
+WorkQueue::WorkQueue(std::size_t initial_workers, RetryPolicy retry,
+                     FastAbortConfig fast_abort)
+    : retry_(retry), fast_abort_(fast_abort) {
   target_workers_.store(initial_workers);
-  for (std::size_t i = 0; i < initial_workers; ++i) spawn_worker();
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::size_t i = 0; i < initial_workers; ++i) spawn_worker_locked();
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
 }
 
 WorkQueue::~WorkQueue() { shutdown(); }
 
-void WorkQueue::spawn_worker() {
-  std::lock_guard<std::mutex> lock(threads_mutex_);
+void WorkQueue::install_fault_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashes_.clear();
+  for (const auto& crash : plan.crashes()) {
+    crashes_.push_back(PendingCrash{crash, false});
+  }
+  plan_ = std::move(plan);
+  has_plan_ = !plan_.empty();
+  monitor_cv_.notify_all();
+}
+
+void WorkQueue::spawn_worker_locked() {
+  if (shutting_down_.load()) return;
   const std::uint32_t index = next_worker_index_.fetch_add(1);
   live_workers_.fetch_add(1);
   threads_.emplace_back([this, index] { worker_loop(index); });
 }
 
+bool WorkQueue::maybe_retire() {
+  if (shutting_down_.load()) return false;
+  if (live_workers_.load() <= target_workers_.load()) return false;
+  // try_to_lock: shutdown joins workers while holding threads_mutex_, so a
+  // blocking acquire here could deadlock against the join.
+  std::unique_lock<std::mutex> lock(threads_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (!shutting_down_.load() &&
+      live_workers_.load() > target_workers_.load()) {
+    live_workers_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+bool WorkQueue::observe_crash(std::uint32_t worker_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = crashed_workers_.find(worker_index);
+  if (it == crashed_workers_.end() || !it->second) return false;
+  it->second = false;  // consumed: this worker thread is now dead
+  return true;
+}
+
+bool WorkQueue::interruptible_delay(double extra_s, const CancelToken& token,
+                                    std::uint32_t worker_index) {
+  const double until = now() + extra_s;
+  while (now() < until) {
+    if (token.cancelled()) return false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = crashed_workers_.find(worker_index);
+      if (it != crashed_workers_.end() && it->second) return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+void WorkQueue::push_instance_locked(QueuedTask item, double priority) {
+  item.priority = priority;
+  task_state_[item.key].live_instances++;
+  queue_.push(std::move(item), priority);
+}
+
+void WorkQueue::record_completion_locked(const QueuedTask& item,
+                                         TaskReport report) {
+  const auto it = task_state_.find(item.key);
+  if (it == task_state_.end()) return;
+  auto& state = it->second;
+  state.live_instances--;
+  if (state.completed) {
+    // Speculation loser: the duplicate's result is discarded.
+    if (state.live_instances <= 0) task_state_.erase(it);
+    return;
+  }
+  state.completed = true;
+  report.fast_aborts = state.fast_aborts;
+  report.speculative = item.speculative;
+  if (!report.failed) {
+    et_sum_ += report.execution_s();
+    ++et_count_;
+  }
+  if (report.quarantined) {
+    ++stats_.quarantined;
+    quarantined_.push_back(report.task);
+  }
+  reports_.push_back(report);
+  if (state.live_instances <= 0) task_state_.erase(it);
+  completed_.fetch_add(1);
+  all_done_.notify_all();
+}
+
+void WorkQueue::handle_failure_locked(std::shared_ptr<QueuedTask> item,
+                                      TaskReport report) {
+  const auto it = task_state_.find(item->key);
+  if (it == task_state_.end()) return;
+  auto& state = it->second;
+  if (state.completed) {
+    if (--state.live_instances <= 0) task_state_.erase(it);
+    return;
+  }
+  const int next_attempt = item->attempt + 1;
+  if (next_attempt < retry_.max_attempts(item->task.max_retries) &&
+      !shutting_down_.load()) {
+    state.live_instances--;
+    if (next_attempt <= state.retried_to) return;  // duplicate failure
+    state.retried_to = next_attempt;
+    ++stats_.retries;
+    QueuedTask retry = *item;
+    retry.attempt = next_attempt;
+    retry.speculative = false;
+    const double priority = retry.priority + retry_.retry_priority_boost;
+    const double delay = retry_.backoff_s(retry.task.id, next_attempt);
+    if (delay <= 0.0) {
+      push_instance_locked(std::move(retry), priority);
+    } else {
+      retry.priority = priority;
+      state.live_instances++;
+      delayed_.push_back(DelayedRetry{now() + delay, std::move(retry)});
+      monitor_cv_.notify_all();
+    }
+    return;
+  }
+  report.failed = true;
+  report.quarantined = true;
+  record_completion_locked(*item, report);
+}
+
+void WorkQueue::handle_abort_locked(const QueuedTask& item) {
+  const auto it = task_state_.find(item.key);
+  if (it == task_state_.end()) return;
+  auto& state = it->second;
+  state.live_instances--;
+  if (state.completed) {
+    if (state.live_instances <= 0) task_state_.erase(it);
+    return;
+  }
+  if (state.live_instances <= 0 && !shutting_down_.load()) {
+    // No speculative copy is coming: re-issue the attempt. Marked
+    // speculative so injected straggler delays do not re-trigger.
+    QueuedTask rerun = item;
+    rerun.speculative = true;
+    push_instance_locked(std::move(rerun),
+                         item.priority + retry_.retry_priority_boost);
+  }
+}
+
 void WorkQueue::worker_loop(std::uint32_t worker_index) {
-  QueuedTask item;
+  QueuedTask popped;
   while (true) {
     // Elastic scale-down: surplus workers retire between tasks.
-    if (live_workers_.load() > target_workers_.load() &&
-        !shutting_down_.load()) {
-      std::size_t live = live_workers_.load();
-      bool retired = false;
-      while (live > target_workers_.load()) {
-        if (live_workers_.compare_exchange_weak(live, live - 1)) {
-          retired = true;
-          break;
-        }
-      }
-      if (retired) {
-        SSTD_LOG_DEBUG("wq", "worker %u retiring (scale-down)", worker_index);
-        return;
-      }
+    if (maybe_retire()) {
+      SSTD_LOG_DEBUG("wq", "worker %u retiring (scale-down)", worker_index);
+      return;
     }
-    if (!queue_.pop(item)) break;  // queue closed and drained
+    if (observe_crash(worker_index)) {
+      SSTD_LOG_WARN("wq", "worker %u crashed while idle (fault plan)",
+                    worker_index);
+      live_workers_.fetch_sub(1);
+      return;
+    }
+    using PopResult = BlockingPriorityQueue<QueuedTask>::PopResult;
+    const PopResult pop =
+        queue_.pop_wait(popped, std::chrono::milliseconds(20));
+    if (pop == PopResult::kClosed) break;  // queue closed and drained
+    if (pop == PopResult::kTimeout) continue;
+
+    auto item = std::make_shared<QueuedTask>(std::move(popped));
+    std::uint64_t instance = 0;
+    CancelToken token;
+    const double started_s = now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = task_state_.find(item->key);
+      if (it == task_state_.end() || it->second.completed) {
+        // Stale speculation copy: the submission already resolved.
+        if (it != task_state_.end() && --it->second.live_instances <= 0 &&
+            it->second.completed) {
+          task_state_.erase(it);
+        }
+        continue;
+      }
+      instance = next_instance_++;
+      InFlight flight;
+      flight.item = item;
+      flight.started_s = started_s;
+      flight.worker = worker_index;
+      token = flight.cancel;
+      in_flight_.emplace(instance, std::move(flight));
+    }
 
     TaskReport report;
-    report.task = item.task.id;
-    report.job = item.task.job;
-    report.submitted_s = item.submitted_s;
-    report.started_s = now();
+    report.task = item->task.id;
+    report.job = item->task.job;
+    report.submitted_s = item->submitted_s;
+    report.started_s = started_s;
     report.worker = worker_index;
-    report.attempts = item.attempt + 1;
+    report.attempts = item->attempt + 1;
 
     bool attempt_failed = false;
-    if (item.task.work) {
-      try {
-        item.task.work();
-      } catch (const std::exception& error) {
-        attempt_failed = true;
-        SSTD_LOG_WARN("wq", "task %llu attempt %d failed: %s",
-                      static_cast<unsigned long long>(item.task.id),
-                      item.attempt + 1, error.what());
-      } catch (...) {
-        attempt_failed = true;
-        SSTD_LOG_WARN("wq", "task %llu attempt %d failed (non-std exception)",
-                      static_cast<unsigned long long>(item.task.id),
-                      item.attempt + 1);
+    bool aborted = false;
+    // Chaos injections apply to primary attempts only; speculative copies
+    // are the master's recovery mechanism and run clean.
+    if (has_plan_ && !item->speculative &&
+        plan_.should_fail(item->task.id, item->attempt)) {
+      attempt_failed = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.injected_failures;
+    } else {
+      const double extra =
+          has_plan_ && !item->speculative
+              ? plan_.straggler_delay_s(item->task.id, item->attempt)
+              : 0.0;
+      if (extra > 0.0) {
+        aborted = !interruptible_delay(extra, token, worker_index);
+      }
+      if (!aborted) {
+        try {
+          if (item->task.cancellable_work) {
+            aborted = !item->task.cancellable_work(token);
+          } else if (item->task.work) {
+            item->task.work();
+          }
+        } catch (const std::exception& error) {
+          attempt_failed = true;
+          SSTD_LOG_WARN("wq", "task %llu attempt %d failed: %s",
+                        static_cast<unsigned long long>(item->task.id),
+                        item->attempt + 1, error.what());
+        } catch (...) {
+          attempt_failed = true;
+          SSTD_LOG_WARN("wq", "task %llu attempt %d failed (non-std exception)",
+                        static_cast<unsigned long long>(item->task.id),
+                        item->attempt + 1);
+        }
       }
     }
 
-    if (attempt_failed && item.attempt < item.task.max_retries &&
-        !shutting_down_.load()) {
-      // Resubmit for another attempt; the original submission time is
-      // kept so queue-wait accounting covers the whole task lifetime.
-      QueuedTask retry = std::move(item);
-      ++retry.attempt;
-      queue_.push(std::move(retry), retry_priority_);
-      continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_.erase(instance);
+    }
+
+    if (observe_crash(worker_index)) {
+      // Eviction: whatever this attempt produced died with the worker;
+      // the task re-queues and the thread leaves the pool.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.evictions;
+        const auto it = task_state_.find(item->key);
+        if (it != task_state_.end()) {
+          it->second.live_instances--;
+          if (!it->second.completed && !shutting_down_.load()) {
+            QueuedTask requeue = *item;
+            requeue.speculative = false;
+            push_instance_locked(
+                std::move(requeue),
+                item->priority + retry_.retry_priority_boost);
+          } else if (it->second.completed &&
+                     it->second.live_instances <= 0) {
+            task_state_.erase(it);
+          }
+        }
+      }
+      SSTD_LOG_WARN("wq", "worker %u crashed (fault plan); task %llu evicted",
+                    worker_index,
+                    static_cast<unsigned long long>(item->task.id));
+      live_workers_.fetch_sub(1);
+      return;
     }
 
     report.finished_s = now();
-    report.failed = attempt_failed;
-
-    {
-      std::lock_guard<std::mutex> lock(completion_mutex_);
-      reports_.push_back(report);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted) {
+      handle_abort_locked(*item);
+    } else if (attempt_failed) {
+      handle_failure_locked(item, report);
+    } else {
+      record_completion_locked(*item, report);
     }
-    completed_.fetch_add(1);
-    all_done_.notify_all();
   }
   live_workers_.fetch_sub(1);
 }
 
-void WorkQueue::submit(Task task, double priority) {
+void WorkQueue::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_.load()) {
+    const double t = now();
+    double next_event = t + 0.05;  // idle poll bound
+
+    // Release retries whose backoff elapsed.
+    for (std::size_t i = 0; i < delayed_.size();) {
+      if (delayed_[i].ready_at <= t) {
+        QueuedTask item = std::move(delayed_[i].item);
+        delayed_[i] = std::move(delayed_.back());
+        delayed_.pop_back();
+        const double priority = item.priority;
+        queue_.push(std::move(item), priority);
+      } else {
+        next_event = std::min(next_event, delayed_[i].ready_at);
+        ++i;
+      }
+    }
+
+    // Apply scheduled worker crashes; queue their recoveries.
+    for (auto& crash : crashes_) {
+      if (crash.applied) continue;
+      if (crash.spec.at_s <= t) {
+        crash.applied = true;
+        crashed_workers_[crash.spec.worker] = true;
+        if (crash.spec.recover_after_s >= 0.0) {
+          recoveries_.push_back(crash.spec.at_s + crash.spec.recover_after_s);
+        }
+      } else {
+        next_event = std::min(next_event, crash.spec.at_s);
+      }
+    }
+
+    // Recovered workers rejoin as fresh threads.
+    std::size_t to_spawn = 0;
+    for (std::size_t i = 0; i < recoveries_.size();) {
+      if (recoveries_[i] <= t) {
+        ++to_spawn;
+        recoveries_[i] = recoveries_.back();
+        recoveries_.pop_back();
+      } else {
+        next_event = std::min(next_event, recoveries_[i]);
+        ++i;
+      }
+    }
+
+    // Fast-abort: flag stragglers, queue speculative duplicates.
+    if (fast_abort_.enabled && !in_flight_.empty()) {
+      if (et_count_ >=
+          static_cast<std::uint64_t>(std::max(1, fast_abort_.min_samples))) {
+        const double average = et_sum_ / static_cast<double>(et_count_);
+        const double threshold = std::max(fast_abort_.min_runtime_s,
+                                          fast_abort_.multiplier * average);
+        for (auto& [id, flight] : in_flight_) {
+          const auto it = task_state_.find(flight.item->key);
+          if (it == task_state_.end() || it->second.completed) continue;
+          if (t - flight.started_s <= threshold) continue;
+          auto& state = it->second;
+          if (!flight.abort_requested &&
+              state.fast_aborts < fast_abort_.max_aborts_per_task) {
+            flight.cancel.request_cancel();
+            flight.abort_requested = true;
+            ++state.fast_aborts;
+            ++stats_.fast_aborts;
+          }
+          if (fast_abort_.speculate && !state.speculated) {
+            state.speculated = true;
+            ++stats_.speculations;
+            QueuedTask duplicate = *flight.item;
+            duplicate.speculative = true;
+            push_instance_locked(
+                std::move(duplicate),
+                flight.item->priority + retry_.retry_priority_boost);
+          }
+        }
+      }
+      next_event = std::min(next_event, t + 0.005);
+    }
+
+    // Self-heal: with pending work and an empty pool (every worker crashed
+    // without recovery), recruit one replacement so wait_all() terminates.
+    const bool heal =
+        live_workers_.load() == 0 && completed_.load() < submitted_.load();
+    if (to_spawn > 0 || heal) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> tl(threads_mutex_);
+        for (std::size_t i = 0; i < to_spawn; ++i) spawn_worker_locked();
+        if (heal && live_workers_.load() == 0) spawn_worker_locked();
+      }
+      lock.lock();
+      continue;
+    }
+
+    const double delay = std::clamp(next_event - now(), 0.001, 0.05);
+    monitor_cv_.wait_for(lock, std::chrono::duration<double>(delay));
+  }
+}
+
+bool WorkQueue::submit(Task task, double priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_.load()) {
+    ++stats_.rejected_submits;
+    return false;
+  }
+  QueuedTask item;
+  item.task = std::move(task);
+  item.submitted_s = now();
+  item.key = next_key_++;
   submitted_.fetch_add(1);
-  queue_.push(QueuedTask{std::move(task), now()}, priority);
+  push_instance_locked(std::move(item), priority);
+  return true;
 }
 
 void WorkQueue::set_job_priority(JobId job, double priority) {
@@ -101,26 +424,34 @@ void WorkQueue::set_job_priority(JobId job, double priority) {
 
 void WorkQueue::scale_workers(std::size_t target) {
   if (target == 0) target = 1;  // a drained pool would deadlock wait_all
-  const std::size_t previous = target_workers_.exchange(target);
-  if (target > previous) {
-    std::size_t live = live_workers_.load();
-    for (std::size_t i = live; i < target; ++i) spawn_worker();
+  target_workers_.store(target);
+  // Top up under the pool lock: live_workers_ cannot be decremented by a
+  // retiring worker while we hold it, so the spawn count is exact.
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  while (!shutting_down_.load() &&
+         live_workers_.load() < target_workers_.load()) {
+    spawn_worker_locked();
   }
   // Scale-down happens cooperatively in worker_loop.
 }
 
 void WorkQueue::wait_all() {
-  std::unique_lock<std::mutex> lock(completion_mutex_);
+  std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [&] {
-    return completed_.load() >= submitted_.load();
+    return shutting_down_.load() || completed_.load() >= submitted_.load();
   });
 }
 
 void WorkQueue::shutdown() {
-  if (shutting_down_.exchange(true)) {
-    // Second call: threads may already be joined.
+  shutting_down_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delayed_.clear();  // pending retries die with the queue
+    monitor_cv_.notify_all();
+    all_done_.notify_all();
   }
   queue_.close();
+  if (monitor_.joinable()) monitor_.join();
   std::lock_guard<std::mutex> lock(threads_mutex_);
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
@@ -128,8 +459,18 @@ void WorkQueue::shutdown() {
   threads_.clear();
 }
 
+WorkQueueStats WorkQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<TaskId> WorkQueue::quarantined_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
 std::vector<TaskReport> WorkQueue::drain_reports() {
-  std::lock_guard<std::mutex> lock(completion_mutex_);
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TaskReport> out;
   out.swap(reports_);
   return out;

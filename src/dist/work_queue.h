@@ -8,44 +8,104 @@
 // On this reproduction host the workers are threads rather than HTCondor
 // processes (DESIGN.md §2); the scheduling semantics — priority pop, FIFO
 // within priority, elastic scale-up/down — match.
+//
+// Fault tolerance (DESIGN.md "Fault model"): the master runs a monitor
+// thread that
+//   * releases retried attempts after an exponential-backoff delay with
+//     deterministic jitter (RetryPolicy) instead of the old jump-the-queue
+//     immediate resubmit;
+//   * fast-aborts stragglers Work-Queue-style — an attempt whose runtime
+//     exceeds `multiplier x running-average ET` is flagged for cooperative
+//     cancellation and (optionally) a speculative duplicate is queued; the
+//     first result wins, the loser is discarded;
+//   * applies an installed FaultPlan: scheduled worker crashes (the crash
+//     evicts the running attempt, which re-queues; HTCondor semantics),
+//     recoveries, injected transient task failures and stragglers;
+//   * self-heals a fully crashed pool (spawns one replacement worker when
+//     work is pending and no worker is alive) so wait_all() cannot hang.
+// Tasks that exhaust their attempt budget are quarantined: reported
+// failed, listed in quarantined_tasks(), never re-queued.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "dist/fault_plan.h"
+#include "dist/retry_policy.h"
 #include "dist/task.h"
 #include "util/blocking_queue.h"
 #include "util/stopwatch.h"
 
 namespace sstd::dist {
 
+// Fast-abort + speculative re-execution of stragglers (the Work Queue
+// `fast_abort_multiplier` mechanism, generalized with speculation so even
+// non-cooperative payloads cannot pin the makespan to one slow node).
+struct FastAbortConfig {
+  bool enabled = false;
+  // Abort an attempt once its runtime exceeds multiplier x the running
+  // average execution time of successful attempts.
+  double multiplier = 3.0;
+  // Completions required before the average is trusted.
+  int min_samples = 3;
+  // Never abort an attempt younger than this, whatever the average says.
+  double min_runtime_s = 0.05;
+  // Queue a duplicate attempt when flagging a straggler; first result wins.
+  bool speculate = true;
+  // A task is fast-aborted at most this many times (guards against a task
+  // that is legitimately huge rather than stuck).
+  int max_aborts_per_task = 2;
+};
+
+struct WorkQueueStats {
+  std::uint64_t retries = 0;            // failing attempts re-queued
+  std::uint64_t injected_failures = 0;  // failures faked by the fault plan
+  std::uint64_t fast_aborts = 0;        // straggling attempts cancelled
+  std::uint64_t speculations = 0;       // duplicate attempts launched
+  std::uint64_t evictions = 0;          // attempts lost to worker crashes
+  std::uint64_t quarantined = 0;        // tasks poisoned out of the queue
+  std::uint64_t rejected_submits = 0;   // submits after shutdown
+};
+
 class WorkQueue {
  public:
-  explicit WorkQueue(std::size_t initial_workers);
+  explicit WorkQueue(std::size_t initial_workers, RetryPolicy retry = {},
+                     FastAbortConfig fast_abort = {});
   ~WorkQueue();
 
   WorkQueue(const WorkQueue&) = delete;
   WorkQueue& operator=(const WorkQueue&) = delete;
 
+  // Installs a chaos schedule. Call before the first submit; crash times
+  // are relative to queue construction (the master clock).
+  void install_fault_plan(FaultPlan plan);
+
   // Submits a task with the given priority (higher runs earlier).
-  void submit(Task task, double priority);
+  // Returns false — and does not count the task — once the queue has shut
+  // down (a closed queue would silently drop it and deadlock wait_all).
+  bool submit(Task task, double priority);
 
   // LCK retuning for tasks already queued: re-prices every queued task of
   // `job` to `priority` (others keep their current priority). The paper's
   // DTM adjusts priorities of live TD jobs, not just future submissions.
   void set_job_priority(JobId job, double priority);
 
-  // Elastic worker pool (GCK): grows immediately, shrinks as workers
-  // finish their current task.
+  // Elastic worker pool (GCK): grows immediately (topping live workers up
+  // to the target under the pool lock, so concurrent retirements cannot
+  // make it spawn too few), shrinks as workers finish their current task.
   void scale_workers(std::size_t target);
   std::size_t target_workers() const { return target_workers_.load(); }
   std::size_t live_workers() const { return live_workers_.load(); }
 
-  // Blocks until every submitted task has completed.
+  // Blocks until every submitted task has completed (or the queue is shut
+  // down, so a mid-run shutdown cannot strand a waiter).
   void wait_all();
 
   // Drains and joins. Called by the destructor if not called explicitly.
@@ -53,6 +113,12 @@ class WorkQueue {
 
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t completed() const { return completed_.load(); }
+
+  // Fault-tolerance counters (readable at any time).
+  WorkQueueStats stats() const;
+
+  // Tasks that exhausted their attempt budget and were quarantined.
+  std::vector<TaskId> quarantined_tasks() const;
 
   // Completion log (valid to read after wait_all / shutdown; guarded
   // internally otherwise).
@@ -66,18 +132,74 @@ class WorkQueue {
   struct QueuedTask {
     Task task;
     double submitted_s = 0.0;
+    double priority = 0.0;
     int attempt = 0;
+    bool speculative = false;
+    // Internal dedup key: unique per submit() call, shared by retries and
+    // speculative duplicates of the same submission (TaskId is caller-
+    // owned and may repeat across submissions).
+    std::uint64_t key = 0;
   };
 
-  // Priority used when re-queueing a failed attempt: slightly elevated so
-  // retries do not starve behind a deep backlog.
-  static constexpr double retry_priority_ = 1e6;
+  // Master-side bookkeeping for one submission.
+  struct TaskState {
+    bool completed = false;
+    bool speculated = false;
+    int fast_aborts = 0;
+    // Highest attempt number already re-queued by the failure path; stops
+    // a failing original and its failing speculative twin from both
+    // scheduling the same retry.
+    int retried_to = 0;
+    // Copies of this submission alive in the system (queued, delayed or
+    // executing). When an attempt is dropped (abort/loser/eviction at
+    // shutdown) and no copy remains, the master re-queues one so every
+    // submission eventually completes.
+    int live_instances = 0;
+  };
+
+  struct InFlight {
+    std::shared_ptr<QueuedTask> item;
+    double started_s = 0.0;
+    std::uint32_t worker = 0;
+    CancelToken cancel;
+    bool abort_requested = false;
+  };
+
+  struct DelayedRetry {
+    double ready_at = 0.0;
+    QueuedTask item;
+  };
+
+  struct PendingCrash {
+    WorkerCrash spec;
+    bool applied = false;
+  };
 
   void worker_loop(std::uint32_t worker_index);
-  void spawn_worker();
+  // Requires threads_mutex_ held.
+  void spawn_worker_locked();
+  void monitor_loop();
+
+  // Worker helpers.
+  bool maybe_retire();
+  bool observe_crash(std::uint32_t worker_index);
+  // Sleeps `extra_s` in slices; returns false when cancelled or the worker
+  // crashed mid-sleep (the injected-straggler path fast-abort cuts short).
+  bool interruptible_delay(double extra_s, const CancelToken& token,
+                           std::uint32_t worker_index);
+
+  // Requeue/completion paths; all require mu_ held.
+  void push_instance_locked(QueuedTask item, double priority);
+  void record_completion_locked(const QueuedTask& item, TaskReport report);
+  void handle_failure_locked(std::shared_ptr<QueuedTask> item,
+                             TaskReport report);
+  void handle_abort_locked(const QueuedTask& item);
 
   Stopwatch clock_;
   BlockingPriorityQueue<QueuedTask> queue_;
+  RetryPolicy retry_;
+  FastAbortConfig fast_abort_;
+
   std::vector<std::thread> threads_;
   mutable std::mutex threads_mutex_;
 
@@ -88,9 +210,28 @@ class WorkQueue {
   std::atomic<std::uint32_t> next_worker_index_{0};
   std::atomic<bool> shutting_down_{false};
 
-  std::mutex completion_mutex_;
+  // Master state: task bookkeeping, in-flight registry, chaos schedule,
+  // delayed retries, stats and the completion log.
+  mutable std::mutex mu_;
   std::condition_variable all_done_;
+  std::condition_variable monitor_cv_;
   std::vector<TaskReport> reports_;
+  std::unordered_map<std::uint64_t, TaskState> task_state_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::vector<DelayedRetry> delayed_;
+  std::vector<PendingCrash> crashes_;
+  std::vector<double> recoveries_;  // spawn replacement at these times
+  std::unordered_map<std::uint32_t, bool> crashed_workers_;
+  FaultPlan plan_;
+  bool has_plan_ = false;
+  WorkQueueStats stats_;
+  std::vector<TaskId> quarantined_;
+  double et_sum_ = 0.0;
+  std::uint64_t et_count_ = 0;
+  std::uint64_t next_key_ = 0;
+  std::uint64_t next_instance_ = 0;
+
+  std::thread monitor_;
 };
 
 }  // namespace sstd::dist

@@ -1,12 +1,37 @@
 #include "sstd/distributed.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "control/rto.h"
 #include "core/acs.h"
 #include "hmm/quantizer.h"
 #include "sstd/batch.h"
+
+namespace {
+
+// Graceful degradation (DESIGN.md "Fault model"): when a claim's decode
+// task exhausts its attempt budget, fall back to thresholding the raw ACS
+// stream — positive corroboration means true, contradiction means false,
+// and ambiguous intervals carry the last known estimate forward. Cheaper
+// and cruder than the HMM decode, but the claim still gets an answer.
+std::vector<std::int8_t> degraded_estimate(const std::vector<double>& acs) {
+  constexpr double kEpsilon = 1e-9;
+  std::vector<std::int8_t> row(acs.size(), sstd::kNoEstimate);
+  std::int8_t carry = sstd::kNoEstimate;
+  for (std::size_t k = 0; k < acs.size(); ++k) {
+    if (acs[k] > kEpsilon) {
+      carry = 1;
+    } else if (acs[k] < -kEpsilon) {
+      carry = 0;
+    }
+    row[k] = carry;
+  }
+  return row;
+}
+
+}  // namespace
 
 namespace sstd {
 
@@ -22,8 +47,16 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
       data.num_claims(),
       std::vector<std::int8_t>(data.intervals(), kNoEstimate));
 
-  dist::WorkQueue queue(config_.workers);
+  dist::WorkQueue queue(config_.workers, config_.retry, config_.fast_abort);
+  if (!config_.fault_plan.empty()) {
+    queue.install_fault_plan(config_.fault_plan);
+  }
   const SstdConfig sstd_config = config_.sstd;
+
+  // Speculative duplicates of one task may commit concurrently, so row
+  // writes go through a commit mutex; first commit wins per claim.
+  std::mutex commit_mu;
+  std::vector<char> committed(data.num_claims(), 0);
 
   for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
     const auto reports = data.reports_of_claim(ClaimId{u});
@@ -31,22 +64,50 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
     task.id = u;
     task.job = static_cast<dist::JobId>(u % config_.num_jobs);
     task.data_size = static_cast<double>(reports.size());
-    // Each task owns exactly one estimate row, so tasks write without
-    // synchronization.
     auto* row = &estimates[u];
-    task.work = [reports, row, &data, window, sstd_config] {
+    task.cancellable_work = [reports, row, u, &data, window, sstd_config,
+                             &commit_mu,
+                             &committed](const dist::CancelToken& token) {
+      if (token.cancelled()) return false;
       const std::vector<double> acs = build_acs_series(
           reports, data.intervals(), data.interval_ms(), window);
+      if (token.cancelled()) return false;
       const AcsQuantizer quantizer = AcsQuantizer::fit(
           {acs}, sstd_config.num_bins, sstd_config.scale_quantile);
-      *row = SstdBatch::decode_claim(acs, quantizer, sstd_config);
+      auto decoded = SstdBatch::decode_claim(acs, quantizer, sstd_config);
+      std::lock_guard<std::mutex> lock(commit_mu);
+      if (!committed[u]) {
+        committed[u] = 1;
+        *row = std::move(decoded);
+      }
+      return true;
     };
     queue.submit(std::move(task), /*priority=*/0.0);
   }
 
   queue.wait_all();
   reports_ = queue.drain_reports();
+
+  run_stats_ = DistributedRunStats{};
+  run_stats_.claims = data.num_claims();
+  run_stats_.queue = queue.stats();
   queue.shutdown();
+
+  // Graceful degradation: every claim whose task never committed a decode
+  // (retries exhausted / quarantined) still gets an estimate row.
+  for (const auto& report : reports_) {
+    if (report.failed) ++run_stats_.failed_claims;
+  }
+  if (config_.degrade_on_failure) {
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      if (committed[u]) continue;
+      const auto reports = data.reports_of_claim(ClaimId{u});
+      const std::vector<double> acs = build_acs_series(
+          reports, data.intervals(), data.interval_ms(), window);
+      estimates[u] = degraded_estimate(acs);
+      ++run_stats_.degraded_claims;
+    }
+  }
   return estimates;
 }
 
@@ -86,6 +147,9 @@ DeadlineExperimentResult run_deadline_experiment(
 
   dist::SimCluster cluster =
       dist::SimCluster::homogeneous(config.initial_workers, config.sim);
+  if (!config.fault.empty()) {
+    cluster.install_fault_plan(config.fault);
+  }
   control::DtmConfig dtm_config = config.dtm;
   // Keep the simulator and the controller's plant model consistent.
   dtm_config.wcet.task_init_s = config.sim.task_init_s;
@@ -129,8 +193,12 @@ DeadlineExperimentResult run_deadline_experiment(
                                 remaining,
                             dist::SimCluster& c) {
     if (policy == ControlPolicy::kPid) {
+      // Fault feedback: the DTM sees the cluster's cumulative eviction and
+      // failure counters and compensates lost work via the GCK (theta5).
+      const control::FaultObservation faults{c.evictions(),
+                                             c.task_failures()};
       const auto decision =
-          dtm.sample(c.now(), remaining, c.worker_count());
+          dtm.sample(c.now(), remaining, c.worker_count(), faults);
       for (const auto& [job, priority] : decision.priorities) {
         c.set_job_priority(job, priority);
       }

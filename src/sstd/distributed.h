@@ -26,6 +26,27 @@ struct DistributedConfig {
   std::size_t workers = 4;   // paper §V-B runs SSTD with 4 workers
   std::size_t num_jobs = 8;  // claims are partitioned into this many TD jobs
   SstdConfig sstd;
+
+  // Fault tolerance (DESIGN.md "Fault model"). Fast-abort is on by
+  // default: one wedged worker must not pin the interval makespan.
+  dist::RetryPolicy retry;
+  dist::FastAbortConfig fast_abort{.enabled = true};
+
+  // Chaos schedule injected into the Work Queue (empty = no faults).
+  dist::FaultPlan fault_plan;
+
+  // Graceful degradation: claims whose task exhausted its attempt budget
+  // fall back to a thresholded streaming estimate computed master-side,
+  // so run() never returns a missing row for a claim that had reports.
+  bool degrade_on_failure = true;
+};
+
+// What the fault-tolerance layer did during the last run().
+struct DistributedRunStats {
+  std::size_t claims = 0;
+  std::size_t failed_claims = 0;    // tasks that exhausted their retries
+  std::size_t degraded_claims = 0;  // rows filled by the fallback estimator
+  dist::WorkQueueStats queue;
 };
 
 class DistributedSstd final : public BatchTruthDiscovery {
@@ -44,9 +65,13 @@ class DistributedSstd final : public BatchTruthDiscovery {
     return reports_;
   }
 
+  // Fault/degradation counters of the last run.
+  const DistributedRunStats& last_run_stats() const { return run_stats_; }
+
  private:
   DistributedConfig config_;
   std::vector<dist::TaskReport> reports_;
+  DistributedRunStats run_stats_;
 };
 
 // ---------------------------------------------------------------------
@@ -84,6 +109,11 @@ struct DeadlineExperimentConfig {
   bool use_pid_control = true;
   dist::SimConfig sim;
   control::DtmConfig dtm;
+
+  // Chaos schedule installed into the simulated cluster (empty = none).
+  // Under kPid the DTM also receives the cluster's eviction/failure
+  // counters each sample and compensates via the GCK (DtmConfig::theta5).
+  dist::FaultPlan fault;
 
   ControlPolicy effective_policy() const {
     return use_pid_control ? policy : ControlPolicy::kStatic;

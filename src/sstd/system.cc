@@ -85,8 +85,14 @@ void SstdSystem::end_interval(IntervalIndex k) {
   // error is (measured - deadline) — the paper's Eq. 9 sample. The work is
   // already drained, so the WCET backlog term is zero and the signal is
   // purely timing-driven.
-  const auto decision =
-      dtm_.sample(interval_seconds, remaining, queue_.target_workers());
+  // also feeding the queue's fault counters so the GCK compensates for
+  // work lost to evictions/failed attempts (DtmConfig::theta5).
+  const auto queue_stats = queue_.stats();
+  const control::FaultObservation faults{
+      queue_stats.evictions,
+      queue_stats.retries + queue_stats.quarantined};
+  const auto decision = dtm_.sample(interval_seconds, remaining,
+                                    queue_.target_workers(), faults);
   queue_.scale_workers(decision.worker_target);
 
   std::lock_guard<std::mutex> lock(metrics_mutex_);

@@ -5,6 +5,7 @@
 // priorities (the paper's Local Control Knob).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -18,6 +19,8 @@ namespace sstd {
 template <typename T>
 class BlockingPriorityQueue {
  public:
+  enum class PopResult { kItem, kTimeout, kClosed };
+
   // Returns false once the queue is closed and drained.
   bool pop(T& out) {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -26,6 +29,20 @@ class BlockingPriorityQueue {
     out = std::move(const_cast<Entry&>(heap_.top()).value);
     heap_.pop();
     return true;
+  }
+
+  // Bounded wait: lets the caller periodically observe out-of-band state
+  // (retire targets, injected crashes) even while the queue is idle.
+  PopResult pop_wait(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !heap_.empty(); });
+    if (!heap_.empty()) {
+      out = std::move(const_cast<Entry&>(heap_.top()).value);
+      heap_.pop();
+      return PopResult::kItem;
+    }
+    return closed_ ? PopResult::kClosed : PopResult::kTimeout;
   }
 
   // Non-blocking pop; returns nullopt when empty (even if still open).

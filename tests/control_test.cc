@@ -200,5 +200,47 @@ TEST(Dtm, PriorityWeightsStayBounded) {
   EXPECT_GE(dtm.priority(1), 1e-3 - 1e-9);
 }
 
+TEST(Dtm, FaultDeltaGrowsWorkerTarget) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, /*deadline=*/1000.0);  // comfortable: no PID pressure
+  std::unordered_map<dist::JobId, double> remaining{{1, 10.0}};
+
+  // Baseline sample with no faults observed.
+  const auto calm = dtm.sample(0.0, remaining, 8, FaultObservation{0, 0});
+  EXPECT_EQ(calm.fault_compensation, 0u);
+
+  // A burst of evictions/failed attempts since the last sample: the GCK
+  // compensates with ceil(theta5 * delta) extra workers.
+  const auto stressed =
+      dtm.sample(1.0, remaining, 8, FaultObservation{3, 3});
+  EXPECT_EQ(stressed.fault_compensation, 3u);  // ceil(0.5 * 6)
+  EXPECT_GE(stressed.worker_target, calm.worker_target + 3);
+
+  // Counters are cumulative: an unchanged observation means zero delta.
+  const auto settled =
+      dtm.sample(2.0, remaining, 8, FaultObservation{3, 3});
+  EXPECT_EQ(settled.fault_compensation, 0u);
+}
+
+TEST(Dtm, FaultCompensationIsCapped) {
+  DtmConfig config = test_dtm_config();
+  config.max_fault_compensation = 2;
+  DynamicTaskManager dtm(config);
+  dtm.register_job(1, 1000.0);
+  std::unordered_map<dist::JobId, double> remaining{{1, 10.0}};
+  dtm.sample(0.0, remaining, 4, FaultObservation{0, 0});
+  const auto decision =
+      dtm.sample(1.0, remaining, 4, FaultObservation{50, 50});
+  EXPECT_EQ(decision.fault_compensation, 2u);
+}
+
+TEST(Dtm, ThreeArgSampleKeepsLegacyBehaviour) {
+  DynamicTaskManager dtm(test_dtm_config());
+  dtm.register_job(1, 1000.0);
+  std::unordered_map<dist::JobId, double> remaining{{1, 10.0}};
+  const auto decision = dtm.sample(0.0, remaining, 4);
+  EXPECT_EQ(decision.fault_compensation, 0u);
+}
+
 }  // namespace
 }  // namespace sstd::control

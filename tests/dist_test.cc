@@ -350,5 +350,31 @@ TEST(SimCluster, RejectsEmptyCluster) {
   EXPECT_THROW(SimCluster({}, SimConfig{}), std::invalid_argument);
 }
 
+TEST(WorkQueue, ScaleUpRaceStillReachesTarget) {
+  // Regression: scale_workers used to compute the spawn count outside the
+  // pool lock, so workers retiring from an earlier scale-down could absorb
+  // the delta and the pool ended up short of the target.
+  WorkQueue queue(6);
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Task task;
+      task.id = static_cast<TaskId>(round * 8 + i);
+      task.work = [&executed] { executed.fetch_add(1); };
+      queue.submit(std::move(task), 0.0);
+    }
+    // Thrash the pool: a big scale-down immediately followed by a scale-up
+    // while retirements are still in flight.
+    queue.scale_workers(1);
+    queue.scale_workers(5);
+  }
+  queue.wait_all();
+  EXPECT_EQ(executed.load(), 80);
+  // The final target must be met exactly-or-better even though workers
+  // were still retiring when the scale-up recomputed the spawn count.
+  EXPECT_GE(queue.live_workers(), 5u);
+  EXPECT_EQ(queue.target_workers(), 5u);
+}
+
 }  // namespace
 }  // namespace sstd::dist

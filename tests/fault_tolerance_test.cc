@@ -1,13 +1,21 @@
 // Fault-injection tests: Work Queue task retries (HTCondor-style scavenged
-// nodes fail routinely) and simulated worker crashes with task eviction
-// and recovery.
+// nodes fail routinely), retry backoff/quarantine policy, fast-abort with
+// speculative re-execution, deterministic FaultPlan chaos on both runtimes,
+// and graceful degradation in the distributed engine.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "dist/fault_plan.h"
+#include "dist/retry_policy.h"
 #include "dist/sim_cluster.h"
 #include "dist/work_queue.h"
+#include "sstd/distributed.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace sstd::dist {
 namespace {
@@ -177,5 +185,408 @@ TEST(SimClusterFaults, AllWorkCompletesUnderRepeatedCrashes) {
   EXPECT_GE(cluster.evictions(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Retry policy: deterministic exponential backoff with jitter.
+// ---------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsDeterministicGivenSeed) {
+  RetryPolicy a;
+  RetryPolicy b;  // identical defaults, identical seed
+  for (TaskId task = 0; task < 16; ++task) {
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+      EXPECT_DOUBLE_EQ(a.backoff_s(task, attempt), b.backoff_s(task, attempt));
+    }
+  }
+}
+
+TEST(RetryPolicy, DifferentSeedsProduceDifferentJitter) {
+  RetryPolicy a;
+  RetryPolicy b;
+  b.seed = a.seed + 1;
+  int differing = 0;
+  for (TaskId task = 0; task < 32; ++task) {
+    if (a.jitter_factor(task, 1) != b.jitter_factor(task, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 16);  // hash-quality, not all-or-nothing
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;  // isolate the deterministic core
+  EXPECT_DOUBLE_EQ(policy.backoff_s(7, 1), policy.base_backoff_s);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(7, 2), 2.0 * policy.base_backoff_s);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(7, 3), 4.0 * policy.base_backoff_s);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(7, 30), policy.max_backoff_s);
+}
+
+TEST(RetryPolicy, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.2;
+  for (TaskId task = 0; task < 64; ++task) {
+    const double factor = policy.jitter_factor(task, 3);
+    EXPECT_GE(factor, 0.8);
+    EXPECT_LE(factor, 1.2);
+  }
+}
+
+TEST(RetryPolicy, QuarantineCapsAttemptBudget) {
+  RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts(2), 3);  // defer to Task::max_retries
+  policy.quarantine_attempts = 2;
+  EXPECT_EQ(policy.max_attempts(5), 2);  // policy cap wins
+  EXPECT_EQ(policy.max_attempts(0), 1);  // never below one attempt
+}
+
+// ---------------------------------------------------------------------
+// Work Queue: quarantine, shutdown semantics, fast-abort + speculation.
+// ---------------------------------------------------------------------
+
+TEST(WorkQueueFaults, ExhaustedTaskIsQuarantined) {
+  WorkQueue queue(2);
+  Task task;
+  task.id = 42;
+  task.max_retries = 2;
+  task.work = [] { throw std::runtime_error("poisoned"); };
+  queue.submit(std::move(task), 0.0);
+  queue.wait_all();
+
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].failed);
+  EXPECT_TRUE(reports[0].quarantined);
+  const auto quarantined = queue.quarantined_tasks();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], 42u);
+  EXPECT_EQ(queue.stats().quarantined, 1u);
+  EXPECT_GE(queue.stats().retries, 2u);
+}
+
+TEST(WorkQueueFaults, SubmitAfterShutdownIsRejected) {
+  WorkQueue queue(1);
+  Task first;
+  first.id = 1;
+  first.work = [] {};
+  EXPECT_TRUE(queue.submit(std::move(first), 0.0));
+  queue.wait_all();
+  queue.shutdown();
+
+  Task late;
+  late.id = 2;
+  late.work = [] { FAIL() << "must never run"; };
+  EXPECT_FALSE(queue.submit(std::move(late), 0.0));
+  EXPECT_EQ(queue.stats().rejected_submits, 1u);
+  // The rejected task was not counted, so wait_all must return at once.
+  queue.wait_all();
+  EXPECT_EQ(queue.completed(), 1u);
+}
+
+TEST(WorkQueueFaults, FastAbortCancelsStragglerAndSpeculates) {
+  FastAbortConfig fast_abort;
+  fast_abort.enabled = true;
+  fast_abort.multiplier = 3.0;
+  fast_abort.min_samples = 3;
+  fast_abort.min_runtime_s = 0.05;
+  fast_abort.speculate = true;
+  WorkQueue queue(2, RetryPolicy{}, fast_abort);
+
+  // Quick tasks establish the running-average execution time.
+  for (int i = 0; i < 6; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.work = [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    };
+    queue.submit(std::move(task), 0.0);
+  }
+
+  // One wedged attempt: the first execution spins until cancelled (as a
+  // task stuck on a bad node would); re-executions complete immediately.
+  std::atomic<int> runs{0};
+  Task straggler;
+  straggler.id = 99;
+  straggler.cancellable_work = [&runs](const CancelToken& token) {
+    if (runs.fetch_add(1) == 0) {
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (!token.cancelled()) {
+        if (std::chrono::steady_clock::now() > give_up) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return false;  // honoured the abort
+    }
+    return true;
+  };
+  queue.submit(std::move(straggler), 0.0);
+
+  Stopwatch clock;
+  queue.wait_all();
+  EXPECT_LT(clock.elapsed_seconds(), 10.0);  // abort capped the straggler
+
+  const auto stats = queue.stats();
+  EXPECT_GE(stats.fast_aborts, 1u);
+  EXPECT_GE(stats.speculations, 1u);
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), 7u);
+  for (const auto& report : reports) {
+    EXPECT_FALSE(report.failed);
+    if (report.task == 99) {
+      EXPECT_GE(report.fast_aborts, 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan determinism and threaded chaos.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, InjectedFailuresAreDeterministic) {
+  FaultPlan a(1234);
+  FaultPlan b(1234);
+  a.fail_tasks(0.4);
+  b.fail_tasks(0.4);
+  int failures = 0;
+  for (TaskId task = 0; task < 100; ++task) {
+    EXPECT_EQ(a.should_fail(task, 0), b.should_fail(task, 0));
+    failures += a.should_fail(task, 0);
+  }
+  // Hash quality: the empirical rate lands near the configured 40%.
+  EXPECT_GT(failures, 20);
+  EXPECT_LT(failures, 60);
+}
+
+TEST(FaultPlan, PoisonedTaskFailsExactlyItsBudget) {
+  FaultPlan plan(7);
+  plan.poison_task(5, 3);
+  EXPECT_TRUE(plan.should_fail(5, 0));
+  EXPECT_TRUE(plan.should_fail(5, 2));
+  EXPECT_FALSE(plan.should_fail(5, 3));
+  EXPECT_FALSE(plan.should_fail(6, 0));
+}
+
+TEST(WorkQueueChaos, AllTasksCompleteUnderCrashesFailuresAndStragglers) {
+  FastAbortConfig fast_abort;
+  fast_abort.enabled = true;
+  fast_abort.min_runtime_s = 0.05;
+  RetryPolicy retry;
+  retry.base_backoff_s = 0.001;  // keep the test fast
+  retry.max_backoff_s = 0.01;
+  WorkQueue queue(3, retry, fast_abort);
+
+  FaultPlan plan(2026);
+  plan.fail_tasks(0.35);  // >30% transient attempt failures
+  plan.crash_worker(0, 0.03, /*recover_after_s=*/0.05);
+  plan.crash_worker(1, 0.06);       // never comes back
+  plan.delay_task(7, 5.0);          // deterministic straggler, attempt 0
+  queue.install_fault_plan(plan);
+
+  constexpr int kTasks = 40;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < kTasks; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.max_retries = 10;  // transient failures must not exhaust anyone
+    task.work = [&executed] {
+      executed.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    queue.submit(std::move(task), 0.0);
+  }
+
+  Stopwatch clock;
+  queue.wait_all();
+  // Fast-abort caps the straggler's contribution far below its 5 s delay.
+  EXPECT_LT(clock.elapsed_seconds(), 5.0);
+
+  const auto reports = queue.drain_reports();
+  ASSERT_EQ(reports.size(), static_cast<std::size_t>(kTasks));
+  for (const auto& report : reports) {
+    EXPECT_FALSE(report.failed) << "task " << report.task;
+  }
+  const auto stats = queue.stats();
+  EXPECT_GE(stats.injected_failures, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(queue.completed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(WorkQueueChaos, SameSeedSamePlanSameInjectionCounts) {
+  auto run_once = [] {
+    WorkQueue queue(2);
+    FaultPlan plan(77);
+    plan.fail_tasks(0.5);
+    queue.install_fault_plan(plan);
+    for (int i = 0; i < 20; ++i) {
+      Task task;
+      task.id = static_cast<TaskId>(i);
+      task.max_retries = 8;
+      task.work = [] {};
+      queue.submit(std::move(task), 0.0);
+    }
+    queue.wait_all();
+    return queue.stats().injected_failures;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------
+// SimCluster: recovery semantics and injected task failures.
+// ---------------------------------------------------------------------
+
+TEST(SimClusterFaults, RecoveredWorkerRunsSubsequentTasks) {
+  SimCluster cluster = SimCluster::homogeneous(1, fault_sim());
+  cluster.schedule_worker_failure(0, 0.5, /*recover_after_s=*/1.0);
+  for (int i = 0; i < 3; ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.data_size = 1000.0;  // 1.1 s each
+    ASSERT_TRUE(cluster.submit(task));
+  }
+  const double makespan = cluster.run_to_completion();
+  EXPECT_EQ(cluster.evictions(), 1u);
+  EXPECT_EQ(cluster.worker_count(), 1u);
+  EXPECT_EQ(cluster.pending(), 0u);
+  // Outage window [0.5, 1.5]: the evicted task restarts, then all three
+  // run back-to-back on the recovered worker.
+  EXPECT_NEAR(makespan, 1.5 + 3 * 1.1, 0.3);
+}
+
+TEST(SimClusterFaults, FaultPlanCrashesScheduleIntoTheSimulator) {
+  SimCluster cluster = SimCluster::homogeneous(2, fault_sim());
+  FaultPlan plan(1);
+  plan.crash_worker(0, 1.0);
+  plan.crash_worker(9, 1.0);  // no such worker: silently skipped
+  cluster.install_fault_plan(plan);
+  Task task;
+  task.id = 1;
+  task.data_size = 5000.0;
+  ASSERT_TRUE(cluster.submit(task));
+  cluster.run_to_completion();
+  EXPECT_EQ(cluster.evictions(), 1u);
+  EXPECT_EQ(cluster.worker_count(), 1u);
+}
+
+TEST(SimClusterFaults, InjectedTransientFailureRetriesThenSucceeds) {
+  SimCluster cluster = SimCluster::homogeneous(1, fault_sim());
+  FaultPlan plan(3);
+  plan.poison_task(1, 2);  // first two attempts fail
+  cluster.install_fault_plan(plan);
+  Task task;
+  task.id = 1;
+  task.data_size = 1000.0;
+  task.max_retries = 5;
+  ASSERT_TRUE(cluster.submit(task));
+  const auto completions = cluster.advance_to(60.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_FALSE(completions[0].failed);
+  EXPECT_EQ(completions[0].attempts, 3);
+  EXPECT_EQ(cluster.task_failures(), 2u);
+}
+
+TEST(SimClusterFaults, InjectedFailureExhaustsRetriesAndQuarantines) {
+  SimCluster cluster = SimCluster::homogeneous(1, fault_sim());
+  FaultPlan plan(3);
+  plan.poison_task(1, 100);  // beyond any retry budget
+  cluster.install_fault_plan(plan);
+  Task task;
+  task.id = 1;
+  task.data_size = 1000.0;
+  task.max_retries = 2;
+  ASSERT_TRUE(cluster.submit(task));
+  const auto completions = cluster.advance_to(60.0);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_TRUE(completions[0].failed);
+  EXPECT_TRUE(completions[0].quarantined);
+  EXPECT_EQ(completions[0].attempts, 3);
+  EXPECT_EQ(cluster.task_failures(), 3u);
+}
+
 }  // namespace
 }  // namespace sstd::dist
+
+// ---------------------------------------------------------------------
+// Engine-level chaos acceptance: DistributedSstd under a hostile plan
+// still returns an estimate for every claim (graceful degradation).
+// ---------------------------------------------------------------------
+
+namespace sstd {
+namespace {
+
+Dataset make_chaos_dataset(std::uint32_t claims = 8, int intervals = 12) {
+  Dataset data("chaos", intervals, claims, 10, 1000);
+  std::uint64_t state = 99;
+  for (int k = 0; k < intervals; ++k) {
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      for (std::uint32_t u = 0; u < claims; ++u) {
+        Report r;
+        r.source = SourceId{s};
+        r.claim = ClaimId{u};
+        r.time_ms = static_cast<TimestampMs>(k) * 1000 + 10 + s;
+        r.attitude = (splitmix64(state) % 10 < 8) ? 1 : -1;
+        r.uncertainty = 0.1;
+        r.independence = 0.9;
+        data.add_report(r);
+      }
+    }
+  }
+  data.finalize();
+  return data;
+}
+
+TEST(DistributedChaos, EveryClaimGetsAnEstimateUnderHostilePlan) {
+  Dataset data = make_chaos_dataset();
+
+  DistributedConfig config;
+  config.workers = 3;
+  config.retry.base_backoff_s = 0.001;
+  config.retry.max_backoff_s = 0.01;
+  config.fault_plan = dist::FaultPlan(424242);
+  config.fault_plan.fail_tasks(0.35);
+  config.fault_plan.crash_worker(0, 0.02, /*recover_after_s=*/0.05);
+  config.fault_plan.crash_worker(1, 0.04);  // permanent loss
+  config.fault_plan.delay_task(0, 5.0);     // deterministic straggler
+
+  DistributedSstd sstd(config);
+  Stopwatch clock;
+  const EstimateMatrix estimates = sstd.run(data);
+  // Fast-abort keeps the straggler from pinning the run to its 5 s delay.
+  EXPECT_LT(clock.elapsed_seconds(), 5.0);
+
+  ASSERT_EQ(estimates.size(), data.num_claims());
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    ASSERT_EQ(estimates[u].size(), data.intervals());
+    std::size_t defined = 0;
+    for (const auto value : estimates[u]) defined += value != kNoEstimate;
+    EXPECT_GT(defined, 0u) << "claim " << u << " has no estimate at all";
+  }
+
+  const auto& stats = sstd.last_run_stats();
+  EXPECT_EQ(stats.claims, data.num_claims());
+  // Claims whose tasks exhausted retries must have been degraded, never
+  // dropped.
+  EXPECT_EQ(stats.failed_claims, stats.degraded_claims);
+}
+
+TEST(DistributedChaos, DegradedFallbackCoversQuarantinedClaims) {
+  Dataset data = make_chaos_dataset(4, 10);
+
+  DistributedConfig config;
+  config.workers = 2;
+  config.retry.base_backoff_s = 0.001;
+  config.retry.max_backoff_s = 0.005;
+  config.fault_plan = dist::FaultPlan(9);
+  config.fault_plan.poison_task(2, 100);  // claim 2 can never decode
+
+  DistributedSstd sstd(config);
+  const EstimateMatrix estimates = sstd.run(data);
+
+  const auto& stats = sstd.last_run_stats();
+  EXPECT_EQ(stats.failed_claims, 1u);
+  EXPECT_EQ(stats.degraded_claims, 1u);
+  // The degraded row still reflects the (mostly corroborating) stream.
+  std::size_t defined = 0;
+  for (const auto value : estimates[2]) defined += value != kNoEstimate;
+  EXPECT_GT(defined, 0u);
+  EXPECT_GE(stats.queue.quarantined, 1u);
+}
+
+}  // namespace
+}  // namespace sstd
