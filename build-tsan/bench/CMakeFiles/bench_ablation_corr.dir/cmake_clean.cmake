@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_corr.dir/bench_ablation_corr.cc.o"
+  "CMakeFiles/bench_ablation_corr.dir/bench_ablation_corr.cc.o.d"
+  "bench_ablation_corr"
+  "bench_ablation_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cs.dir/bench_ablation_cs.cc.o"
+  "CMakeFiles/bench_ablation_cs.dir/bench_ablation_cs.cc.o.d"
+  "bench_ablation_cs"
+  "bench_ablation_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hetero.dir/bench_ablation_hetero.cc.o"
+  "CMakeFiles/bench_ablation_hetero.dir/bench_ablation_hetero.cc.o.d"
+  "bench_ablation_hetero"
+  "bench_ablation_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

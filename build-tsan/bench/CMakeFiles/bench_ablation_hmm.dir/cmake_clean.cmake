@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hmm.dir/bench_ablation_hmm.cc.o"
+  "CMakeFiles/bench_ablation_hmm.dir/bench_ablation_hmm.cc.o.d"
+  "bench_ablation_hmm"
+  "bench_ablation_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pid.dir/bench_ablation_pid.cc.o"
+  "CMakeFiles/bench_ablation_pid.dir/bench_ablation_pid.cc.o.d"
+  "bench_ablation_pid"
+  "bench_ablation_pid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_deadline.dir/bench_fig6_deadline.cc.o"
+  "CMakeFiles/bench_fig6_deadline.dir/bench_fig6_deadline.cc.o.d"
+  "bench_fig6_deadline"
+  "bench_fig6_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hmm.dir/bench_micro_hmm.cc.o"
+  "CMakeFiles/bench_micro_hmm.dir/bench_micro_hmm.cc.o.d"
+  "bench_micro_hmm"
+  "bench_micro_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

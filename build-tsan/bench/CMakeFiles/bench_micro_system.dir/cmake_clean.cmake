@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_system.dir/bench_micro_system.cc.o"
+  "CMakeFiles/bench_micro_system.dir/bench_micro_system.cc.o.d"
+  "bench_micro_system"
+  "bench_micro_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_boston.cc" "bench/CMakeFiles/bench_table3_boston.dir/bench_table3_boston.cc.o" "gcc" "bench/CMakeFiles/bench_table3_boston.dir/bench_table3_boston.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sstd/CMakeFiles/sstd_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/sstd_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/sstd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hmm/CMakeFiles/sstd_hmm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/control/CMakeFiles/sstd_control.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/sstd_dist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/sstd_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_boston.dir/bench_table3_boston.cc.o"
+  "CMakeFiles/bench_table3_boston.dir/bench_table3_boston.cc.o.d"
+  "bench_table3_boston"
+  "bench_table3_boston.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_boston.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_paris.dir/bench_table4_paris.cc.o"
+  "CMakeFiles/bench_table4_paris.dir/bench_table4_paris.cc.o.d"
+  "bench_table4_paris"
+  "bench_table4_paris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_paris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_football.dir/bench_table5_football.cc.o"
+  "CMakeFiles/bench_table5_football.dir/bench_table5_football.cc.o.d"
+  "bench_table5_football"
+  "bench_table5_football.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_football.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casualty_tracker.dir/casualty_tracker.cpp.o"
+  "CMakeFiles/casualty_tracker.dir/casualty_tracker.cpp.o.d"
+  "casualty_tracker"
+  "casualty_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casualty_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for casualty_tracker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_dashboard.dir/cluster_dashboard.cpp.o"
+  "CMakeFiles/cluster_dashboard.dir/cluster_dashboard.cpp.o.d"
+  "cluster_dashboard"
+  "cluster_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

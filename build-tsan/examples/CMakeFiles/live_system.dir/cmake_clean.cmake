@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_system.dir/live_system.cpp.o"
+  "CMakeFiles/live_system.dir/live_system.cpp.o.d"
+  "live_system"
+  "live_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsroom_pipeline.dir/newsroom_pipeline.cpp.o"
+  "CMakeFiles/newsroom_pipeline.dir/newsroom_pipeline.cpp.o.d"
+  "newsroom_pipeline"
+  "newsroom_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsroom_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_tracker.dir/sports_tracker.cpp.o"
+  "CMakeFiles/sports_tracker.dir/sports_tracker.cpp.o.d"
+  "sports_tracker"
+  "sports_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/baselines.cc.o.d"
+  "/root/repo/src/baselines/catd.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/catd.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/catd.cc.o.d"
+  "/root/repo/src/baselines/dynatd.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/dynatd.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/dynatd.cc.o.d"
+  "/root/repo/src/baselines/invest.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/invest.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/invest.cc.o.d"
+  "/root/repo/src/baselines/majority_vote.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/majority_vote.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/majority_vote.cc.o.d"
+  "/root/repo/src/baselines/rtd.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/rtd.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/rtd.cc.o.d"
+  "/root/repo/src/baselines/snapshot.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/snapshot.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/snapshot.cc.o.d"
+  "/root/repo/src/baselines/three_estimates.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/three_estimates.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/three_estimates.cc.o.d"
+  "/root/repo/src/baselines/truthfinder.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/truthfinder.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/truthfinder.cc.o.d"
+  "/root/repo/src/baselines/windowed_adapter.cc" "src/baselines/CMakeFiles/sstd_baselines.dir/windowed_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/sstd_baselines.dir/windowed_adapter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

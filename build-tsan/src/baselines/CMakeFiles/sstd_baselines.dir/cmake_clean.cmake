@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_baselines.dir/baselines.cc.o"
+  "CMakeFiles/sstd_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/catd.cc.o"
+  "CMakeFiles/sstd_baselines.dir/catd.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/dynatd.cc.o"
+  "CMakeFiles/sstd_baselines.dir/dynatd.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/invest.cc.o"
+  "CMakeFiles/sstd_baselines.dir/invest.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/majority_vote.cc.o"
+  "CMakeFiles/sstd_baselines.dir/majority_vote.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/rtd.cc.o"
+  "CMakeFiles/sstd_baselines.dir/rtd.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/snapshot.cc.o"
+  "CMakeFiles/sstd_baselines.dir/snapshot.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/three_estimates.cc.o"
+  "CMakeFiles/sstd_baselines.dir/three_estimates.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/truthfinder.cc.o"
+  "CMakeFiles/sstd_baselines.dir/truthfinder.cc.o.d"
+  "CMakeFiles/sstd_baselines.dir/windowed_adapter.cc.o"
+  "CMakeFiles/sstd_baselines.dir/windowed_adapter.cc.o.d"
+  "libsstd_baselines.a"
+  "libsstd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

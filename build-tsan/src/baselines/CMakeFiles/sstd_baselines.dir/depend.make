@@ -1,0 +1,2 @@
+# Empty dependencies file for sstd_baselines.
+# This may be replaced when dependencies are built.

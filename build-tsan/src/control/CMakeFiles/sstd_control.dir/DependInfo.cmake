@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/dtm.cc" "src/control/CMakeFiles/sstd_control.dir/dtm.cc.o" "gcc" "src/control/CMakeFiles/sstd_control.dir/dtm.cc.o.d"
+  "/root/repo/src/control/pid.cc" "src/control/CMakeFiles/sstd_control.dir/pid.cc.o" "gcc" "src/control/CMakeFiles/sstd_control.dir/pid.cc.o.d"
+  "/root/repo/src/control/rto.cc" "src/control/CMakeFiles/sstd_control.dir/rto.cc.o" "gcc" "src/control/CMakeFiles/sstd_control.dir/rto.cc.o.d"
+  "/root/repo/src/control/wcet.cc" "src/control/CMakeFiles/sstd_control.dir/wcet.cc.o" "gcc" "src/control/CMakeFiles/sstd_control.dir/wcet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dist/CMakeFiles/sstd_dist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_control.dir/dtm.cc.o"
+  "CMakeFiles/sstd_control.dir/dtm.cc.o.d"
+  "CMakeFiles/sstd_control.dir/pid.cc.o"
+  "CMakeFiles/sstd_control.dir/pid.cc.o.d"
+  "CMakeFiles/sstd_control.dir/rto.cc.o"
+  "CMakeFiles/sstd_control.dir/rto.cc.o.d"
+  "CMakeFiles/sstd_control.dir/wcet.cc.o"
+  "CMakeFiles/sstd_control.dir/wcet.cc.o.d"
+  "libsstd_control.a"
+  "libsstd_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

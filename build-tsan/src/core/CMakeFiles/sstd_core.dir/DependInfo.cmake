@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acs.cc" "src/core/CMakeFiles/sstd_core.dir/acs.cc.o" "gcc" "src/core/CMakeFiles/sstd_core.dir/acs.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/sstd_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/sstd_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/sstd_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/sstd_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/sstd_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/sstd_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_core.dir/acs.cc.o"
+  "CMakeFiles/sstd_core.dir/acs.cc.o.d"
+  "CMakeFiles/sstd_core.dir/dataset.cc.o"
+  "CMakeFiles/sstd_core.dir/dataset.cc.o.d"
+  "CMakeFiles/sstd_core.dir/metrics.cc.o"
+  "CMakeFiles/sstd_core.dir/metrics.cc.o.d"
+  "CMakeFiles/sstd_core.dir/serialize.cc.o"
+  "CMakeFiles/sstd_core.dir/serialize.cc.o.d"
+  "libsstd_core.a"
+  "libsstd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

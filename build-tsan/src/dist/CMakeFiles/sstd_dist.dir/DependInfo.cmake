@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/fault_plan.cc" "src/dist/CMakeFiles/sstd_dist.dir/fault_plan.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/fault_plan.cc.o.d"
+  "/root/repo/src/dist/retry_policy.cc" "src/dist/CMakeFiles/sstd_dist.dir/retry_policy.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/retry_policy.cc.o.d"
+  "/root/repo/src/dist/sim_cluster.cc" "src/dist/CMakeFiles/sstd_dist.dir/sim_cluster.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/sim_cluster.cc.o.d"
+  "/root/repo/src/dist/work_queue.cc" "src/dist/CMakeFiles/sstd_dist.dir/work_queue.cc.o" "gcc" "src/dist/CMakeFiles/sstd_dist.dir/work_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

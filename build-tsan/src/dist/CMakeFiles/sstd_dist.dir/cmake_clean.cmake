@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_dist.dir/fault_plan.cc.o"
+  "CMakeFiles/sstd_dist.dir/fault_plan.cc.o.d"
+  "CMakeFiles/sstd_dist.dir/retry_policy.cc.o"
+  "CMakeFiles/sstd_dist.dir/retry_policy.cc.o.d"
+  "CMakeFiles/sstd_dist.dir/sim_cluster.cc.o"
+  "CMakeFiles/sstd_dist.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/sstd_dist.dir/work_queue.cc.o"
+  "CMakeFiles/sstd_dist.dir/work_queue.cc.o.d"
+  "libsstd_dist.a"
+  "libsstd_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

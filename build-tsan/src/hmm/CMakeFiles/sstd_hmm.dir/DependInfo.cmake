@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/discrete_hmm.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/discrete_hmm.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/discrete_hmm.cc.o.d"
+  "/root/repo/src/hmm/gaussian_hmm.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/gaussian_hmm.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/gaussian_hmm.cc.o.d"
+  "/root/repo/src/hmm/hmm_core.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/hmm_core.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/hmm_core.cc.o.d"
+  "/root/repo/src/hmm/online_forward.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/online_forward.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/online_forward.cc.o.d"
+  "/root/repo/src/hmm/online_viterbi.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/online_viterbi.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/online_viterbi.cc.o.d"
+  "/root/repo/src/hmm/quantizer.cc" "src/hmm/CMakeFiles/sstd_hmm.dir/quantizer.cc.o" "gcc" "src/hmm/CMakeFiles/sstd_hmm.dir/quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

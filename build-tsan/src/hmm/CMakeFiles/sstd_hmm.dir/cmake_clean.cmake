@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_hmm.dir/discrete_hmm.cc.o"
+  "CMakeFiles/sstd_hmm.dir/discrete_hmm.cc.o.d"
+  "CMakeFiles/sstd_hmm.dir/gaussian_hmm.cc.o"
+  "CMakeFiles/sstd_hmm.dir/gaussian_hmm.cc.o.d"
+  "CMakeFiles/sstd_hmm.dir/hmm_core.cc.o"
+  "CMakeFiles/sstd_hmm.dir/hmm_core.cc.o.d"
+  "CMakeFiles/sstd_hmm.dir/online_forward.cc.o"
+  "CMakeFiles/sstd_hmm.dir/online_forward.cc.o.d"
+  "CMakeFiles/sstd_hmm.dir/online_viterbi.cc.o"
+  "CMakeFiles/sstd_hmm.dir/online_viterbi.cc.o.d"
+  "CMakeFiles/sstd_hmm.dir/quantizer.cc.o"
+  "CMakeFiles/sstd_hmm.dir/quantizer.cc.o.d"
+  "libsstd_hmm.a"
+  "libsstd_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

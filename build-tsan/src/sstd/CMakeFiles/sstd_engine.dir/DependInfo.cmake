@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstd/analytics.cc" "src/sstd/CMakeFiles/sstd_engine.dir/analytics.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/analytics.cc.o.d"
+  "/root/repo/src/sstd/batch.cc" "src/sstd/CMakeFiles/sstd_engine.dir/batch.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/batch.cc.o.d"
+  "/root/repo/src/sstd/correlated.cc" "src/sstd/CMakeFiles/sstd_engine.dir/correlated.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/correlated.cc.o.d"
+  "/root/repo/src/sstd/distributed.cc" "src/sstd/CMakeFiles/sstd_engine.dir/distributed.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/distributed.cc.o.d"
+  "/root/repo/src/sstd/multivalue.cc" "src/sstd/CMakeFiles/sstd_engine.dir/multivalue.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/multivalue.cc.o.d"
+  "/root/repo/src/sstd/streaming.cc" "src/sstd/CMakeFiles/sstd_engine.dir/streaming.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/streaming.cc.o.d"
+  "/root/repo/src/sstd/system.cc" "src/sstd/CMakeFiles/sstd_engine.dir/system.cc.o" "gcc" "src/sstd/CMakeFiles/sstd_engine.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hmm/CMakeFiles/sstd_hmm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/sstd_dist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/control/CMakeFiles/sstd_control.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_engine.dir/analytics.cc.o"
+  "CMakeFiles/sstd_engine.dir/analytics.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/batch.cc.o"
+  "CMakeFiles/sstd_engine.dir/batch.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/correlated.cc.o"
+  "CMakeFiles/sstd_engine.dir/correlated.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/distributed.cc.o"
+  "CMakeFiles/sstd_engine.dir/distributed.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/multivalue.cc.o"
+  "CMakeFiles/sstd_engine.dir/multivalue.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/streaming.cc.o"
+  "CMakeFiles/sstd_engine.dir/streaming.cc.o.d"
+  "CMakeFiles/sstd_engine.dir/system.cc.o"
+  "CMakeFiles/sstd_engine.dir/system.cc.o.d"
+  "libsstd_engine.a"
+  "libsstd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/clusterer.cc" "src/text/CMakeFiles/sstd_text.dir/clusterer.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/clusterer.cc.o.d"
+  "/root/repo/src/text/composer.cc" "src/text/CMakeFiles/sstd_text.dir/composer.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/composer.cc.o.d"
+  "/root/repo/src/text/hedge_classifier.cc" "src/text/CMakeFiles/sstd_text.dir/hedge_classifier.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/hedge_classifier.cc.o.d"
+  "/root/repo/src/text/naive_bayes.cc" "src/text/CMakeFiles/sstd_text.dir/naive_bayes.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/text/pipeline.cc" "src/text/CMakeFiles/sstd_text.dir/pipeline.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/pipeline.cc.o.d"
+  "/root/repo/src/text/scorers.cc" "src/text/CMakeFiles/sstd_text.dir/scorers.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/scorers.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/sstd_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/sstd_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/sstd_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

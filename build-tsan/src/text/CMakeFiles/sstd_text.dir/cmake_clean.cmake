@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_text.dir/clusterer.cc.o"
+  "CMakeFiles/sstd_text.dir/clusterer.cc.o.d"
+  "CMakeFiles/sstd_text.dir/composer.cc.o"
+  "CMakeFiles/sstd_text.dir/composer.cc.o.d"
+  "CMakeFiles/sstd_text.dir/hedge_classifier.cc.o"
+  "CMakeFiles/sstd_text.dir/hedge_classifier.cc.o.d"
+  "CMakeFiles/sstd_text.dir/naive_bayes.cc.o"
+  "CMakeFiles/sstd_text.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/sstd_text.dir/pipeline.cc.o"
+  "CMakeFiles/sstd_text.dir/pipeline.cc.o.d"
+  "CMakeFiles/sstd_text.dir/scorers.cc.o"
+  "CMakeFiles/sstd_text.dir/scorers.cc.o.d"
+  "CMakeFiles/sstd_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sstd_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/sstd_text.dir/vocab.cc.o"
+  "CMakeFiles/sstd_text.dir/vocab.cc.o.d"
+  "libsstd_text.a"
+  "libsstd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/sstd_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/sstd_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/scenario.cc" "src/trace/CMakeFiles/sstd_trace.dir/scenario.cc.o" "gcc" "src/trace/CMakeFiles/sstd_trace.dir/scenario.cc.o.d"
+  "/root/repo/src/trace/scenario_file.cc" "src/trace/CMakeFiles/sstd_trace.dir/scenario_file.cc.o" "gcc" "src/trace/CMakeFiles/sstd_trace.dir/scenario_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/sstd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/sstd_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/sstd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_trace.dir/generator.cc.o"
+  "CMakeFiles/sstd_trace.dir/generator.cc.o.d"
+  "CMakeFiles/sstd_trace.dir/scenario.cc.o"
+  "CMakeFiles/sstd_trace.dir/scenario.cc.o.d"
+  "CMakeFiles/sstd_trace.dir/scenario_file.cc.o"
+  "CMakeFiles/sstd_trace.dir/scenario_file.cc.o.d"
+  "libsstd_trace.a"
+  "libsstd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_util.dir/csv.cc.o"
+  "CMakeFiles/sstd_util.dir/csv.cc.o.d"
+  "CMakeFiles/sstd_util.dir/histogram.cc.o"
+  "CMakeFiles/sstd_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sstd_util.dir/log.cc.o"
+  "CMakeFiles/sstd_util.dir/log.cc.o.d"
+  "CMakeFiles/sstd_util.dir/rng.cc.o"
+  "CMakeFiles/sstd_util.dir/rng.cc.o.d"
+  "CMakeFiles/sstd_util.dir/stats.cc.o"
+  "CMakeFiles/sstd_util.dir/stats.cc.o.d"
+  "CMakeFiles/sstd_util.dir/table.cc.o"
+  "CMakeFiles/sstd_util.dir/table.cc.o.d"
+  "libsstd_util.a"
+  "libsstd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

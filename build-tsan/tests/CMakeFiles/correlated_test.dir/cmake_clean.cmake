@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_test.dir/correlated_test.cc.o"
+  "CMakeFiles/correlated_test.dir/correlated_test.cc.o.d"
+  "correlated_test"
+  "correlated_test.pdb"
+  "correlated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivalue_test.dir/multivalue_test.cc.o"
+  "CMakeFiles/multivalue_test.dir/multivalue_test.cc.o.d"
+  "multivalue_test"
+  "multivalue_test.pdb"
+  "multivalue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_bayes_test.dir/naive_bayes_test.cc.o"
+  "CMakeFiles/naive_bayes_test.dir/naive_bayes_test.cc.o.d"
+  "naive_bayes_test"
+  "naive_bayes_test.pdb"
+  "naive_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

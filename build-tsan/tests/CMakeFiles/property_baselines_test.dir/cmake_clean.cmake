@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_baselines_test.dir/property_baselines_test.cc.o"
+  "CMakeFiles/property_baselines_test.dir/property_baselines_test.cc.o.d"
+  "property_baselines_test"
+  "property_baselines_test.pdb"
+  "property_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

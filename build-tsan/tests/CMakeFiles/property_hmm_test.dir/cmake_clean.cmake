@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_hmm_test.dir/property_hmm_test.cc.o"
+  "CMakeFiles/property_hmm_test.dir/property_hmm_test.cc.o.d"
+  "property_hmm_test"
+  "property_hmm_test.pdb"
+  "property_hmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_hmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

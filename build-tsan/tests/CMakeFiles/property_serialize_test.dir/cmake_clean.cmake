@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_serialize_test.dir/property_serialize_test.cc.o"
+  "CMakeFiles/property_serialize_test.dir/property_serialize_test.cc.o.d"
+  "property_serialize_test"
+  "property_serialize_test.pdb"
+  "property_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

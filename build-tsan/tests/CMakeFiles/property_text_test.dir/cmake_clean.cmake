@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_text_test.dir/property_text_test.cc.o"
+  "CMakeFiles/property_text_test.dir/property_text_test.cc.o.d"
+  "property_text_test"
+  "property_text_test.pdb"
+  "property_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

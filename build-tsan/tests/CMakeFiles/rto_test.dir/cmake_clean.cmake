@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rto_test.dir/rto_test.cc.o"
+  "CMakeFiles/rto_test.dir/rto_test.cc.o.d"
+  "rto_test"
+  "rto_test.pdb"
+  "rto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

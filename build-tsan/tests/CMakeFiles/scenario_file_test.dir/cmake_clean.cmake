@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_file_test.dir/scenario_file_test.cc.o"
+  "CMakeFiles/scenario_file_test.dir/scenario_file_test.cc.o.d"
+  "scenario_file_test"
+  "scenario_file_test.pdb"
+  "scenario_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

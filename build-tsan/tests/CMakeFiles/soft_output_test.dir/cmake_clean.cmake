@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_output_test.dir/soft_output_test.cc.o"
+  "CMakeFiles/soft_output_test.dir/soft_output_test.cc.o.d"
+  "soft_output_test"
+  "soft_output_test.pdb"
+  "soft_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstd_engine_test.dir/sstd_engine_test.cc.o"
+  "CMakeFiles/sstd_engine_test.dir/sstd_engine_test.cc.o.d"
+  "sstd_engine_test"
+  "sstd_engine_test.pdb"
+  "sstd_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstd_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

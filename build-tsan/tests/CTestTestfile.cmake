@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hmm_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/text_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dist_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/control_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sstd_engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fault_tolerance_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/system_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_hmm_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rto_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/correlated_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_text_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/soft_output_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/naive_bayes_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/multivalue_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/regression_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/scenario_file_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_serialize_test[1]_include.cmake")
