@@ -3,12 +3,14 @@
 // series to CSV under bench_results/ for plotting.
 #pragma once
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/baselines.h"
 #include "core/metrics.h"
+#include "obs/metrics.h"
 #include "sstd/batch.h"
 #include "trace/generator.h"
 #include "util/csv.h"
@@ -37,24 +39,63 @@ struct SchemeScore {
   std::string name;
   ConfusionMatrix cm;
   double seconds = 0.0;
+  // Per-task execution latency quantiles observed during the run
+  // (wq.execution_s from the global registry); 0 for single-threaded
+  // schemes that never touch the Work Queue.
+  double task_p50_s = 0.0;
+  double task_p95_s = 0.0;
 };
 
 // Runs every scheme on `data`, scoring active intervals (one-interval ACS
-// window mask).
+// window mask). Wall times land in a bench-local `bench.scheme_seconds`
+// histogram so the JSON emitter can report run-level quantiles.
 inline std::vector<SchemeScore> score_all(const Dataset& data) {
   EvalOptions eval;
   eval.window_ms = data.interval_ms();
+  obs::MetricsRegistry bench_registry;
+  obs::Histogram* wall = bench_registry.histogram("bench.scheme_seconds");
   std::vector<SchemeScore> scores;
   for (auto& scheme : accuracy_lineup()) {
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    const obs::HistogramSnapshot* exec0 = before.histogram("wq.execution_s");
+    const std::uint64_t tasks_before = exec0 ? exec0->count : 0;
+
     Stopwatch watch;
     const EstimateMatrix estimates = scheme->run(data);
     SchemeScore score;
     score.seconds = watch.elapsed_seconds();
+    wall->observe(score.seconds);
     score.name = scheme->name();
     score.cm = evaluate(data, estimates, eval);
+
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::global().snapshot();
+    if (const obs::HistogramSnapshot* exec = after.histogram("wq.execution_s");
+        exec != nullptr && exec->count > tasks_before) {
+      score.task_p50_s = exec->quantile(0.50);
+      score.task_p95_s = exec->quantile(0.95);
+    }
     scores.push_back(std::move(score));
   }
   return scores;
+}
+
+// Machine-readable run summary: bench_results/BENCH_<name>.json with one
+// record per scheme (name, wall seconds, task-latency p50/p95).
+inline void emit_bench_json(const std::string& bench_name,
+                            const std::vector<SchemeScore>& scores) {
+  std::ofstream out(results_path("BENCH_" + bench_name + ".json"));
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"schemes\": [\n";
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const SchemeScore& s = scores[i];
+    out << "    {\"name\": \"" << s.name << "\", \"seconds\": " << s.seconds
+        << ", \"task_p50_s\": " << s.task_p50_s
+        << ", \"task_p95_s\": " << s.task_p95_s
+        << ", \"accuracy\": " << s.cm.accuracy() << ", \"f1\": " << s.cm.f1()
+        << "}" << (i + 1 < scores.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 // Emits one accuracy table (paper Tables III-V) to stdout + CSV.
@@ -77,6 +118,13 @@ inline void emit_accuracy_table(const std::string& title,
              CsvWriter::cell(score.seconds, 3)});
   }
   table.print();
+
+  // Mirror the run to machine-readable JSON next to the CSV.
+  std::string stem = csv_name;
+  if (const auto dot = stem.rfind('.'); dot != std::string::npos) {
+    stem.resize(dot);
+  }
+  emit_bench_json(stem, scores);
 }
 
 }  // namespace sstd::bench

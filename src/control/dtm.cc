@@ -6,8 +6,37 @@
 
 namespace sstd::control {
 
+namespace {
+
+// Deadline errors and PID signals are signed (negative = slack); symmetric
+// second-scale buckets.
+std::vector<double> signed_seconds_bounds() {
+  return {-30.0, -10.0, -5.0, -2.5, -1.0, -0.5, 0.0,
+          0.5,   1.0,   2.5,  5.0,  10.0, 30.0};
+}
+
+}  // namespace
+
+void DynamicTaskManager::resolve_instruments(obs::MetricsRegistry* registry) {
+  ins_.samples = registry->counter("dtm.samples");
+  ins_.lck_updates = registry->counter("dtm.lck_updates");
+  ins_.gck_moves = registry->counter("dtm.gck_moves");
+  ins_.fault_compensation_workers =
+      registry->counter("dtm.fault_compensation_workers");
+  ins_.worker_target = registry->gauge("dtm.worker_target");
+  ins_.lateness_signal = registry->gauge("dtm.lateness_signal");
+  ins_.error_s = registry->histogram("dtm.error_s", signed_seconds_bounds());
+  ins_.signal = registry->histogram("dtm.signal", signed_seconds_bounds());
+}
+
+void DynamicTaskManager::set_metrics(obs::MetricsRegistry* registry) {
+  resolve_instruments(registry);
+}
+
 DynamicTaskManager::DynamicTaskManager(DtmConfig config)
-    : config_(config), wcet_(config.wcet) {}
+    : config_(config), wcet_(config.wcet) {
+  resolve_instruments(&obs::MetricsRegistry::global());
+}
 
 void DynamicTaskManager::register_job(dist::JobId job, double deadline_s) {
   JobState state;
@@ -45,6 +74,7 @@ DtmDecision DynamicTaskManager::sample(
 
   DtmDecision decision;
   decision.worker_target = workers;
+  ins_.samples->inc();
   if (jobs_.empty()) return decision;
 
   double total_weight = 0.0;
@@ -65,6 +95,8 @@ DtmDecision DynamicTaskManager::sample(
         now + wcet_.wcet_simplified_s(remaining, share, workers);
     const double error = projected_finish - state.deadline_s;
     const double signal = state.pid.step(error, config_.sample_period_s);
+    ins_.error_s->observe(error);
+    ins_.signal->observe(signal);
     total_signal += signal;
     if (signal > 0.0) positive_signal += signal;
 
@@ -78,6 +110,7 @@ DtmDecision DynamicTaskManager::sample(
     state.weight = std::clamp(state.weight, 1e-3, 1e3);
 
     decision.priorities.emplace_back(job, state.weight);
+    ins_.lck_updates->inc();
   }
 
   // GCK — asymmetric on purpose. Missing a deadline is expensive while an
@@ -112,6 +145,7 @@ DtmDecision DynamicTaskManager::sample(
         static_cast<double>(config_.max_fault_compensation),
         std::ceil(config_.theta5 * static_cast<double>(delta))));
     decision.fault_compensation = extra;
+    ins_.fault_compensation_workers->inc(extra);
     target += static_cast<long long>(extra);
     comfortable_samples_ = 0;
   }
@@ -119,6 +153,9 @@ DtmDecision DynamicTaskManager::sample(
       target, static_cast<long long>(config_.min_workers),
       static_cast<long long>(config_.max_workers));
   decision.worker_target = static_cast<std::size_t>(target);
+  ins_.worker_target->set(static_cast<double>(decision.worker_target));
+  ins_.lateness_signal->set(total_signal);
+  if (decision.worker_target != workers) ins_.gck_moves->inc();
   return decision;
 }
 

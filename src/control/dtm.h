@@ -18,6 +18,7 @@
 #include "control/pid.h"
 #include "control/wcet.h"
 #include "dist/task.h"
+#include "obs/metrics.h"
 
 namespace sstd::control {
 
@@ -95,6 +96,10 @@ class DynamicTaskManager {
 
   const WcetModel& wcet() const { return wcet_; }
 
+  // Redirects dtm.* metrics (per-sample error/signal histograms, knob-move
+  // counters) away from the process-global registry.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct JobState {
     double deadline_s = 0.0;
@@ -102,11 +107,26 @@ class DynamicTaskManager {
     PidController pid;
   };
 
+  // Pre-resolved dtm.* instruments (obs/metrics.h).
+  struct Instruments {
+    obs::Counter* samples = nullptr;
+    obs::Counter* lck_updates = nullptr;
+    obs::Counter* gck_moves = nullptr;
+    obs::Counter* fault_compensation_workers = nullptr;
+    obs::Gauge* worker_target = nullptr;
+    obs::Gauge* lateness_signal = nullptr;
+    obs::Histogram* error_s = nullptr;
+    obs::Histogram* signal = nullptr;
+  };
+
+  void resolve_instruments(obs::MetricsRegistry* registry);
+
   DtmConfig config_;
   WcetModel wcet_;
   std::unordered_map<dist::JobId, JobState> jobs_;
   int comfortable_samples_ = 0;
   FaultObservation last_faults_;
+  Instruments ins_;
 };
 
 }  // namespace sstd::control

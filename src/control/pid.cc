@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace sstd::control {
 
 double PidController::step(double error, double dt) {
+  // Controllers are value types created per job, so the step counter is
+  // resolved once per process rather than per instance.
+  static obs::Counter* const steps =
+      obs::MetricsRegistry::global().counter("dtm.pid_steps");
+  steps->inc();
   if (dt <= 0.0) dt = 1e-6;
 
   integral_ += error * dt;

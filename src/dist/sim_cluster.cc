@@ -8,11 +8,50 @@
 
 namespace sstd::dist {
 
+void SimCluster::resolve_instruments() {
+  obs::MetricsRegistry& registry = *telemetry_.metrics;
+  ins_.submitted = registry.counter("sim.tasks_submitted");
+  ins_.completed = registry.counter("sim.tasks_completed");
+  ins_.evictions = registry.counter("sim.tasks_evicted");
+  ins_.task_failures = registry.counter("sim.task_failures");
+  ins_.quarantined = registry.counter("sim.tasks_quarantined");
+  ins_.workers = registry.gauge("sim.workers");
+  ins_.queue_wait_s = registry.histogram("sim.queue_wait_s");
+  ins_.execution_s = registry.histogram("sim.execution_s");
+}
+
+void SimCluster::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  resolve_instruments();
+}
+
+void SimCluster::record_run_span(const RunningTask& run,
+                                 obs::SpanOutcome outcome,
+                                 double end_s) const {
+  // Queued + run span per attempt, stamped in simulated seconds.
+  obs::TraceSpan span;
+  span.task = run.task.id;
+  span.job = run.task.job;
+  span.worker = run.worker;
+  span.attempt = run.attempt;
+  span.phase = obs::SpanPhase::kQueued;
+  span.outcome = obs::SpanOutcome::kDispatched;
+  span.begin_s = run.enqueued_s;
+  span.end_s = run.started_s;
+  telemetry_.tracer->record(span);
+  span.phase = obs::SpanPhase::kRun;
+  span.outcome = outcome;
+  span.begin_s = run.started_s;
+  span.end_s = end_s;
+  telemetry_.tracer->record(span);
+}
+
 SimCluster::SimCluster(std::vector<SimWorker> workers, SimConfig config)
     : config_(config) {
   if (workers.empty()) {
     throw std::invalid_argument("SimCluster: need at least one worker");
   }
+  resolve_instruments();
   workers_.reserve(workers.size());
   for (std::size_t i = 0; i < workers.size(); ++i) {
     WorkerState state;
@@ -22,6 +61,7 @@ SimCluster::SimCluster(std::vector<SimWorker> workers, SimConfig config)
     state.free_at = static_cast<double>(i) * config_.worker_stagger_s;
     workers_.push_back(state);
   }
+  ins_.workers->set(static_cast<double>(workers_.size()));
 }
 
 SimCluster SimCluster::homogeneous(std::size_t n, SimConfig config) {
@@ -42,7 +82,8 @@ bool SimCluster::submit(const Task& task) {
                w.spec.capacity.disk_mb >= task.required.disk_mb;
       });
   if (!feasible) return false;
-  queued_.push_back(QueuedTask{task, now_s_});
+  queued_.push_back(QueuedTask{task, now_s_, 0, now_s_});
+  ins_.submitted->inc();
   return true;
 }
 
@@ -98,6 +139,7 @@ void SimCluster::set_worker_count(std::size_t target) {
       state.free_at = now_s_ + config_.worker_startup_s;
       workers_.push_back(state);
     }
+    ins_.workers->set(static_cast<double>(worker_count()));
     return;
   }
 
@@ -105,19 +147,20 @@ void SimCluster::set_worker_count(std::size_t target) {
   // ones as retiring.
   std::size_t to_remove = active - target;
   for (auto& worker : workers_) {
-    if (to_remove == 0) return;
+    if (to_remove == 0) break;
     if (worker.active && !worker.retiring && worker.free_at <= now_s_) {
       worker.active = false;
       --to_remove;
     }
   }
   for (auto& worker : workers_) {
-    if (to_remove == 0) return;
+    if (to_remove == 0) break;
     if (worker.active && !worker.retiring) {
       worker.retiring = true;
       --to_remove;
     }
   }
+  ins_.workers->set(static_cast<double>(worker_count()));
 }
 
 void SimCluster::schedule_worker_failure(std::uint32_t index, double at,
@@ -163,11 +206,13 @@ void SimCluster::apply_one_failure(std::size_t index) {
   for (std::size_t i = 0; i < running_.size(); ++i) {
     if (running_[i].worker == event.worker &&
         running_[i].finish_at > event.at) {
+      record_run_span(running_[i], obs::SpanOutcome::kEvicted, event.at);
       queued_.push_back(QueuedTask{running_[i].task,
                                    running_[i].submitted_s,
-                                   running_[i].attempt});
+                                   running_[i].attempt, event.at});
       running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       ++evictions_;
+      ins_.evictions->inc();
       break;  // a worker runs at most one task at a time
     }
   }
@@ -181,6 +226,7 @@ void SimCluster::apply_one_failure(std::size_t index) {
     worker.active = false;
     worker.retiring = false;
   }
+  ins_.workers->set(static_cast<double>(worker_count()));
 }
 
 std::optional<std::size_t> SimCluster::pick_task(
@@ -224,6 +270,7 @@ void SimCluster::dispatch(double until) {
       run.task = queued.task;
       run.submitted_s = queued.submitted_s;
       run.attempt = queued.attempt;
+      run.enqueued_s = queued.enqueued_s;
       // A dispatch occupies the (serial) master for a slot; with many
       // workers this is the Amdahl term that caps speedup.
       const double dispatch_at =
@@ -288,19 +335,32 @@ std::vector<TaskReport> SimCluster::advance_to(double t) {
     if (worker.retiring) {
       worker.active = false;
       worker.retiring = false;
+      ins_.workers->set(static_cast<double>(worker_count()));
     }
 
     // Injected transient failure: the attempt's output is discarded at
     // completion time and the task re-queues (until retries exhaust).
     const bool attempt_failed =
         has_plan_ && plan_.should_fail(done.task.id, done.attempt);
-    if (attempt_failed) ++task_failures_;
+    if (attempt_failed) {
+      ++task_failures_;
+      ins_.task_failures->inc();
+    }
     if (attempt_failed && done.attempt < done.task.max_retries) {
-      queued_.push_back(
-          QueuedTask{done.task, done.submitted_s, done.attempt + 1});
+      record_run_span(done, obs::SpanOutcome::kRetried, done.finish_at);
+      queued_.push_back(QueuedTask{done.task, done.submitted_s,
+                                   done.attempt + 1, done.finish_at});
       dispatch(now_s_);
       continue;
     }
+    record_run_span(done,
+                    attempt_failed ? obs::SpanOutcome::kFailed
+                                   : obs::SpanOutcome::kDone,
+                    done.finish_at);
+    ins_.completed->inc();
+    if (attempt_failed) ins_.quarantined->inc();
+    ins_.queue_wait_s->observe(done.started_s - done.enqueued_s);
+    ins_.execution_s->observe(done.finish_at - done.started_s);
 
     TaskReport report;
     report.task = done.task.id;

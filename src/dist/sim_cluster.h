@@ -25,6 +25,7 @@
 
 #include "dist/fault_plan.h"
 #include "dist/task.h"
+#include "obs/telemetry.h"
 
 namespace sstd::dist {
 
@@ -85,6 +86,10 @@ class SimCluster {
   // threaded WorkQueue, so chaos scenarios port between runtimes.
   void install_fault_plan(const FaultPlan& plan);
 
+  // Redirects telemetry (sim.* metrics, per-attempt spans stamped in
+  // simulated time) away from the process-global registry/recorder.
+  void set_telemetry(const obs::Telemetry& telemetry);
+
   // Total tasks that were evicted by worker crashes so far.
   std::uint64_t evictions() const { return evictions_; }
 
@@ -122,6 +127,7 @@ class SimCluster {
     Task task;
     double submitted_s;
     int attempt = 0;
+    double enqueued_s = 0.0;  // when THIS attempt joined the queue
   };
 
   struct RunningTask {
@@ -131,6 +137,7 @@ class SimCluster {
     double finish_at;
     std::uint32_t worker;
     int attempt = 0;
+    double enqueued_s = 0.0;
   };
 
   struct FailureEvent {
@@ -138,6 +145,22 @@ class SimCluster {
     double at;
     double recover_after_s;
   };
+
+  // Pre-resolved sim.* instruments (obs/metrics.h).
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* task_failures = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Gauge* workers = nullptr;
+    obs::Histogram* queue_wait_s = nullptr;
+    obs::Histogram* execution_s = nullptr;
+  };
+
+  void resolve_instruments();
+  void record_run_span(const RunningTask& run, obs::SpanOutcome outcome,
+                       double end_s) const;
 
   double job_priority(JobId job) const;
   // Index of the earliest pending failure due at or before `until`, or
@@ -163,6 +186,8 @@ class SimCluster {
   std::uint64_t task_failures_ = 0;
   FaultPlan plan_;
   bool has_plan_ = false;
+  obs::Telemetry telemetry_;
+  Instruments ins_;
 };
 
 }  // namespace sstd::dist

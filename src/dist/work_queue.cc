@@ -6,9 +6,49 @@
 
 namespace sstd::dist {
 
+void WorkQueue::resolve_instruments() {
+  obs::MetricsRegistry& registry = *telemetry_.metrics;
+  ins_.submitted = registry.counter("wq.tasks_submitted");
+  ins_.completed = registry.counter("wq.tasks_completed");
+  ins_.retries = registry.counter("wq.tasks_retried");
+  ins_.injected_failures = registry.counter("wq.injected_failures");
+  ins_.fast_aborts = registry.counter("wq.tasks_fast_aborted");
+  ins_.speculations = registry.counter("wq.tasks_speculated");
+  ins_.evictions = registry.counter("wq.tasks_evicted");
+  ins_.quarantined = registry.counter("wq.tasks_quarantined");
+  ins_.rejected_submits = registry.counter("wq.rejected_submits");
+  ins_.live_workers = registry.gauge("wq.live_workers");
+  ins_.pending = registry.gauge("wq.pending_tasks");
+  ins_.queue_wait_s = registry.histogram("wq.queue_wait_s");
+  ins_.execution_s = registry.histogram("wq.execution_s");
+  ins_.sojourn_s = registry.histogram("wq.sojourn_s");
+}
+
+void WorkQueue::set_telemetry(const obs::Telemetry& telemetry) {
+  telemetry_ = telemetry;
+  resolve_instruments();
+}
+
+void WorkQueue::record_span(const QueuedTask& item, std::uint32_t worker,
+                            obs::SpanPhase phase, obs::SpanOutcome outcome,
+                            double begin_s, double end_s) const {
+  obs::TraceSpan span;
+  span.task = item.task.id;
+  span.job = item.task.job;
+  span.worker = worker;
+  span.attempt = item.attempt;
+  span.phase = phase;
+  span.outcome = outcome;
+  span.speculative = item.speculative;
+  span.begin_s = begin_s;
+  span.end_s = end_s;
+  telemetry_.tracer->record(span);
+}
+
 WorkQueue::WorkQueue(std::size_t initial_workers, RetryPolicy retry,
                      FastAbortConfig fast_abort)
     : retry_(retry), fast_abort_(fast_abort) {
+  resolve_instruments();
   target_workers_.store(initial_workers);
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
@@ -33,7 +73,8 @@ void WorkQueue::install_fault_plan(FaultPlan plan) {
 void WorkQueue::spawn_worker_locked() {
   if (shutting_down_.load()) return;
   const std::uint32_t index = next_worker_index_.fetch_add(1);
-  live_workers_.fetch_add(1);
+  ins_.live_workers->set(
+      static_cast<double>(live_workers_.fetch_add(1) + 1));
   threads_.emplace_back([this, index] { worker_loop(index); });
 }
 
@@ -46,7 +87,8 @@ bool WorkQueue::maybe_retire() {
   if (!lock.owns_lock()) return false;
   if (!shutting_down_.load() &&
       live_workers_.load() > target_workers_.load()) {
-    live_workers_.fetch_sub(1);
+    ins_.live_workers->set(
+        static_cast<double>(live_workers_.fetch_sub(1) - 1));
     return true;
   }
   return false;
@@ -77,8 +119,10 @@ bool WorkQueue::interruptible_delay(double extra_s, const CancelToken& token,
 
 void WorkQueue::push_instance_locked(QueuedTask item, double priority) {
   item.priority = priority;
+  item.enqueued_s = now();
   task_state_[item.key].live_instances++;
   queue_.push(std::move(item), priority);
+  ins_.pending->set(static_cast<double>(queue_.size()));
 }
 
 void WorkQueue::record_completion_locked(const QueuedTask& item,
@@ -101,30 +145,38 @@ void WorkQueue::record_completion_locked(const QueuedTask& item,
   }
   if (report.quarantined) {
     ++stats_.quarantined;
+    ins_.quarantined->inc();
     quarantined_.push_back(report.task);
   }
+  ins_.completed->inc();
+  ins_.queue_wait_s->observe(report.queue_wait_s());
+  ins_.execution_s->observe(report.execution_s());
+  ins_.sojourn_s->observe(report.sojourn_s());
   reports_.push_back(report);
   if (state.live_instances <= 0) task_state_.erase(it);
   completed_.fetch_add(1);
   all_done_.notify_all();
 }
 
-void WorkQueue::handle_failure_locked(std::shared_ptr<QueuedTask> item,
-                                      TaskReport report) {
+obs::SpanOutcome WorkQueue::handle_failure_locked(
+    std::shared_ptr<QueuedTask> item, TaskReport report) {
   const auto it = task_state_.find(item->key);
-  if (it == task_state_.end()) return;
+  if (it == task_state_.end()) return obs::SpanOutcome::kRetried;
   auto& state = it->second;
   if (state.completed) {
     if (--state.live_instances <= 0) task_state_.erase(it);
-    return;
+    return obs::SpanOutcome::kRetried;
   }
   const int next_attempt = item->attempt + 1;
   if (next_attempt < retry_.max_attempts(item->task.max_retries) &&
       !shutting_down_.load()) {
     state.live_instances--;
-    if (next_attempt <= state.retried_to) return;  // duplicate failure
+    if (next_attempt <= state.retried_to) {
+      return obs::SpanOutcome::kRetried;  // duplicate failure
+    }
     state.retried_to = next_attempt;
     ++stats_.retries;
+    ins_.retries->inc();
     QueuedTask retry = *item;
     retry.attempt = next_attempt;
     retry.speculative = false;
@@ -138,11 +190,12 @@ void WorkQueue::handle_failure_locked(std::shared_ptr<QueuedTask> item,
       delayed_.push_back(DelayedRetry{now() + delay, std::move(retry)});
       monitor_cv_.notify_all();
     }
-    return;
+    return obs::SpanOutcome::kRetried;
   }
   report.failed = true;
   report.quarantined = true;
   record_completion_locked(*item, report);
+  return obs::SpanOutcome::kFailed;
 }
 
 void WorkQueue::handle_abort_locked(const QueuedTask& item) {
@@ -175,7 +228,8 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
     if (observe_crash(worker_index)) {
       SSTD_LOG_WARN("wq", "worker %u crashed while idle (fault plan)",
                     worker_index);
-      live_workers_.fetch_sub(1);
+      ins_.live_workers->set(
+          static_cast<double>(live_workers_.fetch_sub(1) - 1));
       return;
     }
     using PopResult = BlockingPriorityQueue<QueuedTask>::PopResult;
@@ -206,7 +260,11 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
       flight.worker = worker_index;
       token = flight.cancel;
       in_flight_.emplace(instance, std::move(flight));
+      ins_.pending->set(static_cast<double>(queue_.size()));
     }
+    // Queue-delay span for this attempt (instance enqueue → dispatch).
+    record_span(*item, worker_index, obs::SpanPhase::kQueued,
+                obs::SpanOutcome::kDispatched, item->enqueued_s, started_s);
 
     TaskReport report;
     report.task = item->task.id;
@@ -223,6 +281,7 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
     if (has_plan_ && !item->speculative &&
         plan_.should_fail(item->task.id, item->attempt)) {
       attempt_failed = true;
+      ins_.injected_failures->inc();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.injected_failures;
     } else {
@@ -262,9 +321,12 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
     if (observe_crash(worker_index)) {
       // Eviction: whatever this attempt produced died with the worker;
       // the task re-queues and the thread leaves the pool.
+      record_span(*item, worker_index, obs::SpanPhase::kRun,
+                  obs::SpanOutcome::kEvicted, started_s, now());
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.evictions;
+        ins_.evictions->inc();
         const auto it = task_state_.find(item->key);
         if (it != task_state_.end()) {
           it->second.live_instances--;
@@ -283,21 +345,29 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
       SSTD_LOG_WARN("wq", "worker %u crashed (fault plan); task %llu evicted",
                     worker_index,
                     static_cast<unsigned long long>(item->task.id));
-      live_workers_.fetch_sub(1);
+      ins_.live_workers->set(
+          static_cast<double>(live_workers_.fetch_sub(1) - 1));
       return;
     }
 
     report.finished_s = now();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (aborted) {
-      handle_abort_locked(*item);
-    } else if (attempt_failed) {
-      handle_failure_locked(item, report);
-    } else {
-      record_completion_locked(*item, report);
+    obs::SpanOutcome outcome = obs::SpanOutcome::kDone;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (aborted) {
+        handle_abort_locked(*item);
+        outcome = obs::SpanOutcome::kAborted;
+      } else if (attempt_failed) {
+        outcome = handle_failure_locked(item, report);
+      } else {
+        record_completion_locked(*item, report);
+      }
     }
+    record_span(*item, worker_index, obs::SpanPhase::kRun, outcome,
+                started_s, report.finished_s);
   }
-  live_workers_.fetch_sub(1);
+  ins_.live_workers->set(
+      static_cast<double>(live_workers_.fetch_sub(1) - 1));
 }
 
 void WorkQueue::monitor_loop() {
@@ -313,7 +383,9 @@ void WorkQueue::monitor_loop() {
         delayed_[i] = std::move(delayed_.back());
         delayed_.pop_back();
         const double priority = item.priority;
+        item.enqueued_s = t;
         queue_.push(std::move(item), priority);
+        ins_.pending->set(static_cast<double>(queue_.size()));
       } else {
         next_event = std::min(next_event, delayed_[i].ready_at);
         ++i;
@@ -365,10 +437,12 @@ void WorkQueue::monitor_loop() {
             flight.abort_requested = true;
             ++state.fast_aborts;
             ++stats_.fast_aborts;
+            ins_.fast_aborts->inc();
           }
           if (fast_abort_.speculate && !state.speculated) {
             state.speculated = true;
             ++stats_.speculations;
+            ins_.speculations->inc();
             QueuedTask duplicate = *flight.item;
             duplicate.speculative = true;
             push_instance_locked(
@@ -404,6 +478,7 @@ bool WorkQueue::submit(Task task, double priority) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutting_down_.load()) {
     ++stats_.rejected_submits;
+    ins_.rejected_submits->inc();
     return false;
   }
   QueuedTask item;
@@ -411,6 +486,7 @@ bool WorkQueue::submit(Task task, double priority) {
   item.submitted_s = now();
   item.key = next_key_++;
   submitted_.fetch_add(1);
+  ins_.submitted->inc();
   push_instance_locked(std::move(item), priority);
   return true;
 }

@@ -40,6 +40,7 @@
 #include "dist/fault_plan.h"
 #include "dist/retry_policy.h"
 #include "dist/task.h"
+#include "obs/telemetry.h"
 #include "util/blocking_queue.h"
 #include "util/stopwatch.h"
 
@@ -87,6 +88,11 @@ class WorkQueue {
   // are relative to queue construction (the master clock).
   void install_fault_plan(FaultPlan plan);
 
+  // Redirects telemetry (wq.* metrics, per-attempt trace spans) away from
+  // the process-global registry/recorder. Call before the first submit;
+  // counters already emitted stay in the previous registry.
+  void set_telemetry(const obs::Telemetry& telemetry);
+
   // Submits a task with the given priority (higher runs earlier).
   // Returns false — and does not count the task — once the queue has shut
   // down (a closed queue would silently drop it and deadlock wait_all).
@@ -132,6 +138,7 @@ class WorkQueue {
   struct QueuedTask {
     Task task;
     double submitted_s = 0.0;
+    double enqueued_s = 0.0;  // when THIS instance entered the queue
     double priority = 0.0;
     int attempt = 0;
     bool speculative = false;
@@ -175,10 +182,34 @@ class WorkQueue {
     bool applied = false;
   };
 
+  // Pre-resolved wq.* instruments (obs/metrics.h): the hot path touches
+  // only relaxed atomics, never the registry mutex.
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* injected_failures = nullptr;
+    obs::Counter* fast_aborts = nullptr;
+    obs::Counter* speculations = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* rejected_submits = nullptr;
+    obs::Gauge* live_workers = nullptr;
+    obs::Gauge* pending = nullptr;
+    obs::Histogram* queue_wait_s = nullptr;
+    obs::Histogram* execution_s = nullptr;
+    obs::Histogram* sojourn_s = nullptr;
+  };
+
   void worker_loop(std::uint32_t worker_index);
   // Requires threads_mutex_ held.
   void spawn_worker_locked();
   void monitor_loop();
+
+  void resolve_instruments();
+  void record_span(const QueuedTask& item, std::uint32_t worker,
+                   obs::SpanPhase phase, obs::SpanOutcome outcome,
+                   double begin_s, double end_s) const;
 
   // Worker helpers.
   bool maybe_retire();
@@ -191,8 +222,10 @@ class WorkQueue {
   // Requeue/completion paths; all require mu_ held.
   void push_instance_locked(QueuedTask item, double priority);
   void record_completion_locked(const QueuedTask& item, TaskReport report);
-  void handle_failure_locked(std::shared_ptr<QueuedTask> item,
-                             TaskReport report);
+  // Returns the attempt's span outcome (kRetried when a retry was
+  // scheduled, kFailed when the task was quarantined).
+  obs::SpanOutcome handle_failure_locked(std::shared_ptr<QueuedTask> item,
+                                         TaskReport report);
   void handle_abort_locked(const QueuedTask& item);
 
   Stopwatch clock_;
@@ -230,6 +263,9 @@ class WorkQueue {
   std::uint64_t et_count_ = 0;
   std::uint64_t next_key_ = 0;
   std::uint64_t next_instance_ = 0;
+
+  obs::Telemetry telemetry_;
+  Instruments ins_;
 
   std::thread monitor_;
 };

@@ -1,0 +1,141 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace sstd::obs {
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// namespaces map onto underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string format_u64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string base = prometheus_name(name);
+    out += "# TYPE " + base + " counter\n";
+    out += base + " " + format_u64(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string base = prometheus_name(name);
+    out += "# TYPE " + base + " gauge\n";
+    out += base + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string base = prometheus_name(name);
+    out += "# TYPE " + base + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.buckets[i];
+      out += base + "_bucket{le=\"" + format_double(hist.bounds[i]) + "\"} " +
+             format_u64(cumulative) + "\n";
+    }
+    out += base + "_bucket{le=\"+Inf\"} " + format_u64(hist.count) + "\n";
+    out += base + "_sum " + format_double(hist.sum) + "\n";
+    out += base + "_count " + format_u64(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + format_u64(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + format_double(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + format_u64(hist.count) +
+           ", \"sum\": " + format_double(hist.sum) +
+           ", \"mean\": " + format_double(hist.mean()) +
+           ", \"p50\": " + format_double(hist.quantile(0.5)) +
+           ", \"p95\": " + format_double(hist.quantile(0.95)) +
+           ", \"p99\": " + format_double(hist.quantile(0.99)) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
+  // Complete events: ts/dur in microseconds. pid 1 is the runtime; tid is
+  // the worker id, so about:tracing renders one row per worker.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    const double ts_us = span.begin_s * 1e6;
+    const double dur_us = (span.end_s - span.begin_s) * 1e6;
+    out += "\n{\"name\":\"";
+    out += span_phase_name(span.phase);
+    out += "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":";
+    out += format_double(ts_us);
+    out += ",\"dur\":";
+    out += format_double(dur_us < 0.0 ? 0.0 : dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += format_u64(span.worker);
+    out += ",\"args\":{\"task\":";
+    out += format_u64(span.task);
+    out += ",\"job\":";
+    out += format_u64(span.job);
+    out += ",\"attempt\":";
+    out += format_u64(static_cast<std::uint64_t>(span.attempt));
+    out += ",\"outcome\":\"";
+    out += span_outcome_name(span.outcome);
+    out += "\",\"speculative\":";
+    out += span.speculative ? "true" : "false";
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+}  // namespace sstd::obs

@@ -1,0 +1,29 @@
+// Exporters (ISSUE 2, DESIGN.md §5b): turn metric snapshots and trace
+// spans into the three wire formats the tooling around this repo speaks —
+//
+//   * Prometheus text exposition (counters as `_total`, histograms as
+//     cumulative `_bucket{le=...}` + `_sum` + `_count`; dots in metric
+//     names become underscores),
+//   * a JSON snapshot (names kept verbatim, quantiles precomputed),
+//   * Chrome `trace_event` JSON — one complete ("ph":"X") event per span,
+//     rows keyed by worker id — that opens in about:tracing / Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sstd::obs {
+
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+std::string to_json(const MetricsSnapshot& snapshot);
+
+std::string to_chrome_trace(const std::vector<TraceSpan>& spans);
+
+// Writes `content` to `path` (truncating); returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace sstd::obs

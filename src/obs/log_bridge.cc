@@ -1,0 +1,22 @@
+#include "obs/log_bridge.h"
+
+#include "util/log.h"
+
+namespace sstd::obs {
+
+void install_log_metrics_bridge(MetricsRegistry* registry) {
+  Counter* messages = registry->counter("log.messages_total");
+  Counter* warns = registry->counter("log.warn_total");
+  Counter* errors = registry->counter("log.error_total");
+  set_log_observer(
+      [messages, warns, errors](LogLevel level, std::string_view,
+                                std::string_view) {
+        messages->inc();
+        if (level == LogLevel::kWarn) warns->inc();
+        if (level == LogLevel::kError) errors->inc();
+      });
+}
+
+void uninstall_log_metrics_bridge() { set_log_observer({}); }
+
+}  // namespace sstd::obs

@@ -1,0 +1,21 @@
+// Bridges util/log.h into the metrics registry: every emitted message
+// increments `log.messages_total`, and WARN/ERROR additionally increment
+// `log.warn_total` / `log.error_total`. Error counters are the cheapest
+// health signal a dashboard can scrape, and tests use them to assert "this
+// chaos run warned at least once" without scraping process output.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+
+// Installs the log observer (util/log.h set_log_observer); counters are
+// registered in `registry` (default: the global registry). Replaces any
+// previously installed observer.
+void install_log_metrics_bridge(
+    MetricsRegistry* registry = &MetricsRegistry::global());
+
+// Removes the observer again (tests that want a clean slate).
+void uninstall_log_metrics_bridge();
+
+}  // namespace sstd::obs

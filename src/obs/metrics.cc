@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sstd::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() → overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 30.0};
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (static_cast<double>(cumulative + in_bucket) >= rank &&
+        in_bucket > 0) {
+      // Interpolate inside [lo, hi); the overflow bucket has no upper
+      // bound, so report its lower edge.
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lo;
+      const double hi = bounds[i];
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [key, value] : histograms) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge || entry.histogram) {
+    throw std::logic_error("metric '" + name + "' is not a counter");
+  }
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.histogram) {
+    throw std::logic_error("metric '" + name + "' is not a gauge");
+  }
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.gauge) {
+    throw std::logic_error("metric '" + name + "' is not a histogram");
+  }
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(
+        upper_bounds.empty() ? Histogram::default_latency_bounds()
+                             : std::move(upper_bounds));
+  }
+  return entry.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
+    if (entry.counter) {
+      out.counters.emplace_back(name, entry.counter->value());
+    } else if (entry.gauge) {
+      out.gauges.emplace_back(name, entry.gauge->value());
+    } else if (entry.histogram) {
+      HistogramSnapshot snap;
+      snap.bounds = entry.histogram->bounds();
+      snap.buckets.resize(snap.bounds.size() + 1);
+      for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+        snap.buckets[i] = entry.histogram->bucket_count(i);
+      }
+      snap.count = entry.histogram->count();
+      snap.sum = entry.histogram->sum();
+      out.histograms.emplace_back(name, std::move(snap));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+}  // namespace sstd::obs

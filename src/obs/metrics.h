@@ -1,0 +1,147 @@
+// Metrics registry for the runtime (ISSUE 2, DESIGN.md §5b): named
+// counters, gauges and fixed-bucket histograms behind a lock-light API.
+//
+// Hot path (inc/observe/set) is a handful of relaxed atomic operations on
+// a pre-resolved instrument pointer — no locks, no allocation, safe from
+// worker threads. Registration (name → instrument lookup) takes the
+// registry mutex and is meant to happen once, at construction time of the
+// instrumented component; instrument pointers stay valid for the registry's
+// lifetime (reset() zeroes values but never invalidates pointers).
+//
+// Metric names use a dotted namespace — `wq.*` (Work Queue runtime),
+// `sim.*` (discrete-event cluster), `dtm.*` (controller), `stream.*`
+// (streaming/distributed engine), `log.*` (log bridge), `bench.*`
+// (benches). Exporters sanitize the dots where the wire format demands it
+// (Prometheus: `wq.tasks_retried` → `wq_tasks_retried`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sstd::obs {
+
+// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (pool size, backlog, signal level).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: cumulative-style export, atomic per-bucket
+// counts. Bucket i counts observations <= bounds[i]; one implicit
+// overflow bucket catches the rest.
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+  // Default bucket ladder for second-scale latencies (1 ms … 30 s).
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of one histogram, with quantile estimation by linear
+// interpolation inside the containing bucket (the usual Prometheus
+// histogram_quantile approximation).
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // upper bounds, ascending
+  std::vector<std::uint64_t> buckets;  // per-bucket counts, + overflow last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double quantile(double q) const;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+// Point-in-time copy of every instrument, sorted by name (deterministic
+// exporter output).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  // Lookup helpers for tests/benches; 0 / nullptr when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name. Pointers remain valid for the registry's
+  // lifetime. Requesting an existing name with a different instrument kind
+  // throws std::logic_error (a name means one thing).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every instrument, keeping registrations (and pointers) intact.
+  void reset();
+
+  // Process-wide default registry the runtime instruments against.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sstd::obs

@@ -1,0 +1,17 @@
+// Telemetry handle threaded through the runtime: which metrics registry
+// and trace recorder an instrumented component reports into. Defaults to
+// the process-wide globals; tests and benches swap in private instances
+// to make assertions without cross-test interference.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sstd::obs {
+
+struct Telemetry {
+  MetricsRegistry* metrics = &MetricsRegistry::global();
+  TraceRecorder* tracer = &TraceRecorder::global();
+};
+
+}  // namespace sstd::obs

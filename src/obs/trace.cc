@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sstd::obs {
+
+const char* span_phase_name(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kQueued: return "queued";
+    case SpanPhase::kRun: return "run";
+  }
+  return "?";
+}
+
+const char* span_outcome_name(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kDispatched: return "dispatched";
+    case SpanOutcome::kDone: return "done";
+    case SpanOutcome::kFailed: return "failed";
+    case SpanOutcome::kRetried: return "retried";
+    case SpanOutcome::kAborted: return "aborted";
+    case SpanOutcome::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::record(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring is full, `next_` points at the oldest retained span.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never dies
+  return *recorder;
+}
+
+}  // namespace sstd::obs

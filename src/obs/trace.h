@@ -1,0 +1,77 @@
+// Per-task trace spans (ISSUE 2, DESIGN.md §5b): every task attempt leaves
+// two spans — a `queued` span (submission → dispatch) and a `run` span
+// (dispatch → terminal state) — tagged with worker id, attempt number and
+// outcome. Spans land in a bounded ring buffer that overwrites its oldest
+// entries, so a long-lived process keeps the most recent window of
+// activity at fixed memory cost.
+//
+// Timestamps are runtime-relative seconds (the emitting clock: WorkQueue's
+// master stopwatch or SimCluster's simulated clock). The Chrome exporter
+// (obs/export.h) turns the spans into `trace_event` JSON that loads in
+// about:tracing / Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sstd::obs {
+
+enum class SpanPhase : std::uint8_t { kQueued, kRun };
+
+enum class SpanOutcome : std::uint8_t {
+  kDispatched,  // queued span: left the queue onto a worker
+  kDone,        // run span: attempt produced the result
+  kFailed,      // run span: attempt failed, retries exhausted (quarantine)
+  kRetried,     // run span: attempt failed, a retry was scheduled
+  kAborted,     // run span: fast-abort cancelled the attempt
+  kEvicted,     // run span: worker crash took the attempt down
+};
+
+const char* span_phase_name(SpanPhase phase);
+const char* span_outcome_name(SpanOutcome outcome);
+
+struct TraceSpan {
+  std::uint64_t task = 0;
+  std::uint32_t job = 0;
+  std::uint32_t worker = 0;
+  int attempt = 0;  // 0-based attempt index
+  SpanPhase phase = SpanPhase::kRun;
+  SpanOutcome outcome = SpanOutcome::kDone;
+  bool speculative = false;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+// Bounded, thread-safe span sink. Recording is a short critical section
+// (copy into a preallocated slot); recording happens at task state
+// transitions, orders of magnitude rarer than counter increments.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 8192);
+
+  void record(const TraceSpan& span);
+
+  // Retained spans, oldest first.
+  std::vector<TraceSpan> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  // Total spans ever recorded / overwritten by ring wrap-around.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  // Process-wide default recorder the runtime records into.
+  static TraceRecorder& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;
+  std::size_t next_ = 0;  // slot the next span lands in once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sstd::obs

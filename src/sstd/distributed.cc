@@ -48,6 +48,7 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
       std::vector<std::int8_t>(data.intervals(), kNoEstimate));
 
   dist::WorkQueue queue(config_.workers, config_.retry, config_.fast_abort);
+  queue.set_telemetry(config_.telemetry);
   if (!config_.fault_plan.empty()) {
     queue.install_fault_plan(config_.fault_plan);
   }
@@ -99,6 +100,8 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
     if (report.failed) ++run_stats_.failed_claims;
   }
   if (config_.degrade_on_failure) {
+    obs::Counter* fallbacks =
+        config_.telemetry.metrics->counter("stream.acs_fallback_activations");
     for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
       if (committed[u]) continue;
       const auto reports = data.reports_of_claim(ClaimId{u});
@@ -106,6 +109,7 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
           reports, data.intervals(), data.interval_ms(), window);
       estimates[u] = degraded_estimate(acs);
       ++run_stats_.degraded_claims;
+      fallbacks->inc();
     }
   }
   return estimates;

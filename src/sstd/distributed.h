@@ -14,6 +14,7 @@
 #include "core/truth_discovery.h"
 #include "dist/sim_cluster.h"
 #include "dist/work_queue.h"
+#include "obs/telemetry.h"
 #include "sstd/config.h"
 
 namespace sstd {
@@ -39,6 +40,10 @@ struct DistributedConfig {
   // fall back to a thresholded streaming estimate computed master-side,
   // so run() never returns a missing row for a claim that had reports.
   bool degrade_on_failure = true;
+
+  // Where the run's wq.*/stream.* metrics and task spans land (defaults
+  // to the process-global registry/recorder).
+  obs::Telemetry telemetry;
 };
 
 // What the fault-tolerance layer did during the last run().

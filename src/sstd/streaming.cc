@@ -1,5 +1,7 @@
 #include "sstd/streaming.h"
 
+#include "util/stopwatch.h"
+
 namespace sstd {
 
 namespace {
@@ -12,7 +14,15 @@ SstdStreaming::SstdStreaming(SstdConfig config, TimestampMs interval_ms)
     : config_(config),
       interval_ms_(interval_ms),
       window_ms_(config.window_ms > 0 ? config.window_ms : interval_ms),
-      quantizer_(config.num_bins, kDefaultScale) {}
+      quantizer_(config.num_bins, kDefaultScale) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  ins_.reports_ingested = registry.counter("stream.reports_ingested");
+  ins_.intervals_closed = registry.counter("stream.intervals_closed");
+  ins_.refits = registry.counter("stream.refits");
+  ins_.claims_evicted = registry.counter("stream.claims_evicted");
+  ins_.active_claims = registry.gauge("stream.active_claims");
+  ins_.refit_s = registry.histogram("stream.refit_s");
+}
 
 SstdStreaming::ClaimPipeline& SstdStreaming::pipeline_for(
     std::uint32_t claim) {
@@ -30,6 +40,7 @@ SstdStreaming::ClaimPipeline& SstdStreaming::pipeline_for(
 }
 
 void SstdStreaming::offer(const Report& report) {
+  ins_.reports_ingested->inc();
   latest_time_ = std::max(latest_time_, report.time_ms);
   ClaimPipeline& pipeline = pipeline_for(report.claim.value);
   pipeline.acs.add(report);
@@ -38,11 +49,13 @@ void SstdStreaming::offer(const Report& report) {
 }
 
 void SstdStreaming::refit(ClaimPipeline& pipeline) {
+  const Stopwatch watch;
   const std::vector<int> symbols =
       quantizer_.quantize_series(pipeline.history);
   pipeline.model.fit({symbols}, config_.train);
   pipeline.model.canonicalize_truth_states();
   ++refits_;
+  ins_.refits->inc();
 
   // Rebuild the online decoder and filter by replaying the (short)
   // symbol history through the refit model.
@@ -57,6 +70,7 @@ void SstdStreaming::refit(ClaimPipeline& pipeline) {
     pipeline.decoder->step(log_emit);
     pipeline.filter->step(log_emit);
   }
+  ins_.refit_s->observe(watch.elapsed_seconds());
 }
 
 void SstdStreaming::end_interval(IntervalIndex k) {
@@ -86,6 +100,7 @@ void SstdStreaming::end_interval(IntervalIndex k) {
           config_.evict_after_idle_intervals) {
         it = pipelines_.erase(it);
         ++evictions_;
+        ins_.claims_evicted->inc();
       } else {
         ++it;
       }
@@ -112,6 +127,8 @@ void SstdStreaming::end_interval(IntervalIndex k) {
     pipeline.estimate =
         static_cast<std::int8_t>(pipeline.decoder->current_state());
   }
+  ins_.intervals_closed->inc();
+  ins_.active_claims->set(static_cast<double>(pipelines_.size()));
 }
 
 std::int8_t SstdStreaming::current_estimate(ClaimId claim) const {

@@ -15,6 +15,7 @@
 #include "hmm/online_forward.h"
 #include "hmm/online_viterbi.h"
 #include "hmm/quantizer.h"
+#include "obs/metrics.h"
 #include "sstd/config.h"
 
 namespace sstd {
@@ -66,9 +67,20 @@ class SstdStreaming final : public StreamingTruthDiscovery {
     explicit ClaimPipeline(TimestampMs window_ms) : acs(window_ms) {}
   };
 
+  // Pre-resolved stream.* instruments (obs/metrics.h).
+  struct Instruments {
+    obs::Counter* reports_ingested = nullptr;
+    obs::Counter* intervals_closed = nullptr;
+    obs::Counter* refits = nullptr;
+    obs::Counter* claims_evicted = nullptr;
+    obs::Gauge* active_claims = nullptr;
+    obs::Histogram* refit_s = nullptr;
+  };
+
   ClaimPipeline& pipeline_for(std::uint32_t claim);
   void refit(ClaimPipeline& pipeline);
 
+  Instruments ins_;
   SstdConfig config_;
   TimestampMs interval_ms_;
   TimestampMs window_ms_;

@@ -1,15 +1,29 @@
 #include "util/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace sstd {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_emit_mutex;
+
+// Guarded by g_emit_mutex (emission is already serialized, and sink swaps
+// are rare configuration events).
+LogSink& sink_slot() {
+  static LogSink* sink = new LogSink();  // empty = stderr default
+  return *sink;
+}
+
+LogSink& observer_slot() {
+  static LogSink* observer = new LogSink();
+  return *observer;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,24 +40,48 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  sink_slot() = std::move(sink);
+}
+
+void set_log_observer(LogSink observer) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  observer_slot() = std::move(observer);
+}
+
+void log_to_stderr(LogLevel level, std::string_view tag,
+                   std::string_view body) {
+  using namespace std::chrono;
+  const auto now =
+      duration_cast<milliseconds>(steady_clock::now().time_since_epoch());
+  std::fprintf(stderr, "[%10lld.%03lld] %s [%.*s] %.*s\n",
+               static_cast<long long>(now.count() / 1000),
+               static_cast<long long>(now.count() % 1000), level_name(level),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(body.size()), body.data());
+}
+
 void log_message(LogLevel level, std::string_view tag, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
 
   char body[1024];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(body, sizeof(body), fmt, args);
+  const int written = std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
-
-  using namespace std::chrono;
-  const auto now =
-      duration_cast<milliseconds>(steady_clock::now().time_since_epoch());
+  const std::string_view text(
+      body, written < 0 ? 0
+                        : std::min(static_cast<std::size_t>(written),
+                                   sizeof(body) - 1));
 
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%10lld.%03lld] %s [%.*s] %s\n",
-               static_cast<long long>(now.count() / 1000),
-               static_cast<long long>(now.count() % 1000), level_name(level),
-               static_cast<int>(tag.size()), tag.data(), body);
+  if (sink_slot()) {
+    sink_slot()(level, tag, text);
+  } else {
+    log_to_stderr(level, tag, text);
+  }
+  if (observer_slot()) observer_slot()(level, tag, text);
 }
 
 }  // namespace sstd

@@ -1,9 +1,17 @@
 // Leveled, thread-safe logging. The distributed runtime logs from worker
 // threads, so emission is serialized behind a mutex; everything else is
 // static configuration.
+//
+// Emission is pluggable: a LogSink receives every formatted message (the
+// default sink writes to stderr; tests install a capturing sink to assert
+// on emitted warnings), and an independent observer sees every message
+// regardless of the sink — that is how the telemetry bridge
+// (obs/log_bridge.h) counts WARN/ERROR emissions without hijacking the
+// output channel.
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string_view>
 
 namespace sstd {
@@ -13,6 +21,24 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Global threshold; messages below it are dropped. Defaults to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Receives (level, subsystem tag, formatted message body).
+using LogSink =
+    std::function<void(LogLevel, std::string_view, std::string_view)>;
+
+// Replaces the output sink; an empty function restores the stderr default.
+// Called under the emission mutex, so sinks need no locking of their own.
+void set_log_sink(LogSink sink);
+
+// The built-in stderr sink (timestamped, aligned level names) — handy for
+// tee-style sinks that want to keep console output.
+void log_to_stderr(LogLevel level, std::string_view tag,
+                   std::string_view body);
+
+// Observer invoked after the sink for every emitted message. Independent
+// of the sink so swapping the sink (tests) keeps telemetry flowing, and
+// vice versa. Empty function uninstalls.
+void set_log_observer(LogSink observer);
 
 // printf-style logging. `tag` names the emitting subsystem ("dist", "pid").
 void log_message(LogLevel level, std::string_view tag, const char* fmt, ...)

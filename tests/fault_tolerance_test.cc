@@ -13,6 +13,9 @@
 #include "dist/retry_policy.h"
 #include "dist/sim_cluster.h"
 #include "dist/work_queue.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sstd/distributed.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -586,6 +589,85 @@ TEST(DistributedChaos, DegradedFallbackCoversQuarantinedClaims) {
   for (const auto value : estimates[2]) defined += value != kNoEstimate;
   EXPECT_GT(defined, 0u);
   EXPECT_GE(stats.queue.quarantined, 1u);
+}
+
+// Telemetry acceptance (ISSUE 2): a chaos run against a private
+// registry/recorder must export retry/abort counts consistent with the
+// queue's own stats, and a complete pair of spans per task attempt.
+TEST(DistributedChaos, TelemetryExportsMatchRunStats) {
+  Dataset data = make_chaos_dataset();
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(1 << 16);
+
+  DistributedConfig config;
+  config.workers = 3;
+  config.retry.base_backoff_s = 0.001;
+  config.retry.max_backoff_s = 0.01;
+  config.fast_abort.multiplier = 3.0;
+  config.fast_abort.min_samples = 3;
+  config.fast_abort.min_runtime_s = 0.05;
+  // Same seed/straggler as WorkQueueChaos: task 7 escapes injection at
+  // attempt 0, so its 5 s delay reliably trips the fast-abort.
+  config.fault_plan = dist::FaultPlan(2026);
+  config.fault_plan.fail_tasks(0.35);
+  config.fault_plan.delay_task(7, 5.0);
+  config.telemetry.metrics = &registry;
+  config.telemetry.tracer = &recorder;
+
+  DistributedSstd sstd(config);
+  sstd.run(data);
+  const auto& stats = sstd.last_run_stats();
+
+  // Counters mirror the queue's internal accounting exactly.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("wq.tasks_retried"), stats.queue.retries);
+  EXPECT_EQ(snap.counter_value("wq.injected_failures"),
+            stats.queue.injected_failures);
+  EXPECT_EQ(snap.counter_value("wq.tasks_fast_aborted"),
+            stats.queue.fast_aborts);
+  EXPECT_EQ(snap.counter_value("wq.tasks_quarantined"),
+            stats.queue.quarantined);
+  EXPECT_GE(stats.queue.retries, 1u);
+  EXPECT_GE(stats.queue.fast_aborts, 1u);
+
+  // The Prometheus export carries the same (non-zero) retry/abort counts.
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("wq_tasks_retried"), std::string::npos);
+  EXPECT_EQ(prom.find("wq_tasks_retried 0\n"), std::string::npos);
+  EXPECT_EQ(prom.find("wq_tasks_fast_aborted 0\n"), std::string::npos);
+
+  // Span accounting: every dispatched attempt leaves exactly one queued
+  // span and one run span; retry/eviction spans match the stats.
+  ASSERT_EQ(recorder.dropped(), 0u);
+  const auto spans = recorder.snapshot();
+  std::size_t queued = 0;
+  std::size_t runs = 0;
+  std::size_t retried = 0;
+  std::size_t evicted = 0;
+  for (const auto& span : spans) {
+    if (span.phase == obs::SpanPhase::kQueued) {
+      ++queued;
+      continue;
+    }
+    ++runs;
+    if (span.outcome == obs::SpanOutcome::kRetried) ++retried;
+    if (span.outcome == obs::SpanOutcome::kEvicted) ++evicted;
+  }
+  EXPECT_EQ(queued, runs);
+  // Duplicate twin failures can record extra kRetried spans, but never
+  // fewer than the retries the queue actually scheduled.
+  EXPECT_GE(retried, stats.queue.retries);
+  EXPECT_EQ(evicted, stats.queue.evictions);
+
+  // The Chrome exporter emits one complete ("ph":"X") event per span.
+  const std::string trace = obs::to_chrome_trace(spans);
+  std::size_t events = 0;
+  for (std::size_t at = trace.find("\"ph\":\"X\""); at != std::string::npos;
+       at = trace.find("\"ph\":\"X\"", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, spans.size());
 }
 
 }  // namespace

@@ -1,0 +1,398 @@
+// Telemetry subsystem tests (ISSUE 2): registry concurrency, histogram
+// quantiles, trace ring-buffer overwrite semantics, exporter golden
+// outputs, the pluggable log sink, and end-to-end instrumentation of the
+// Work Queue and the simulated cluster against a private registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/sim_cluster.h"
+#include "dist/work_queue.h"
+#include "obs/export.h"
+#include "obs/log_bridge.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/log.h"
+
+namespace sstd::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x.hits");
+  Counter* b = registry.counter("x.hits");
+  EXPECT_EQ(a, b);
+  a->inc(5);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsRegistry, NameKindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x.dup");
+  EXPECT_THROW(registry.gauge("x.dup"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x.dup"), std::logic_error);
+  registry.histogram("x.lat");
+  EXPECT_THROW(registry.counter("x.lat"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("x.hits");
+  Gauge* gauge = registry.gauge("x.level");
+  Histogram* hist = registry.histogram("x.lat", {1.0});
+  counter->inc(7);
+  gauge->set(3.5);
+  hist->observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(hist->count(), 0u);
+  // Same pointers keep working after reset.
+  counter->inc();
+  EXPECT_EQ(registry.snapshot().counter_value("x.hits"), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentHammeringMatchesSerialTotals) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("t.hits");
+  Gauge* gauge = registry.gauge("t.level");
+  Histogram* hist = registry.histogram("t.lat", {0.5, 1.0, 2.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        counter->inc();
+        gauge->add(1.0);
+        // Exactly representable values, so the expected sum is exact.
+        hist->observe(static_cast<double>(i % 4) * 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(counter->value(), kTotal);
+  EXPECT_DOUBLE_EQ(gauge->value(), static_cast<double>(kTotal));
+  EXPECT_EQ(hist->count(), kTotal);
+  // Per thread: kIters/4 observations each of {0, 0.5, 1.0, 1.5}.
+  EXPECT_DOUBLE_EQ(hist->sum(), static_cast<double>(kTotal) / 4.0 * 3.0);
+  EXPECT_EQ(hist->bucket_count(0), kTotal / 2);  // 0 and 0.5 land <= 0.5
+  EXPECT_EQ(hist->bucket_count(1), kTotal / 4);  // 1.0
+  EXPECT_EQ(hist->bucket_count(2), kTotal / 4);  // 1.5
+  EXPECT_EQ(hist->bucket_count(3), 0u);          // overflow stays empty
+}
+
+// ---------------------------------------------------------------------
+// Histogram quantiles.
+// ---------------------------------------------------------------------
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("q.lat", {1.0, 2.0, 4.0});
+  hist->observe(0.5);
+  hist->observe(1.5);
+  hist->observe(3.0);
+  const MetricsSnapshot all = registry.snapshot();
+  const HistogramSnapshot* snap = all.histogram("q.lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(snap->quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap->mean(), 5.0 / 3.0);
+}
+
+TEST(Histogram, OverflowBucketReportsItsLowerEdge) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("q.lat", {1.0, 4.0});
+  hist->observe(100.0);
+  const MetricsSnapshot all = registry.snapshot();
+  const HistogramSnapshot* snap = all.histogram("q.lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->quantile(0.99), 4.0);
+}
+
+TEST(Histogram, DefaultLatencyLadderIsUsedWhenNoBoundsGiven) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("q.lat");
+  EXPECT_EQ(hist->bounds(), Histogram::default_latency_bounds());
+}
+
+// ---------------------------------------------------------------------
+// Trace ring buffer.
+// ---------------------------------------------------------------------
+
+TEST(TraceRecorder, KeepsEverythingWhileUnderCapacity) {
+  TraceRecorder recorder(8);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    TraceSpan span;
+    span.task = i;
+    recorder.record(span);
+  }
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(spans[i].task, i);
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceRecorder, OverwritesOldestWhenFull) {
+  TraceRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TraceSpan span;
+    span.task = i;
+    recorder.record(span);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const auto spans = recorder.snapshot();  // oldest first
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].task, 6 + i);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Exporters: golden outputs.
+// ---------------------------------------------------------------------
+
+TEST(Exporters, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.counter("wq.tasks_retried")->inc(3);
+  registry.gauge("wq.pending_tasks")->set(2.5);
+  Histogram* lat = registry.histogram("lat", {1.0, 2.0});
+  lat->observe(0.5);
+  lat->observe(1.5);
+  lat->observe(5.0);
+
+  const std::string expected =
+      "# TYPE wq_tasks_retried counter\n"
+      "wq_tasks_retried 3\n"
+      "# TYPE wq_pending_tasks gauge\n"
+      "wq_pending_tasks 2.5\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 7\n"
+      "lat_count 3\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), expected);
+}
+
+TEST(Exporters, JsonKeepsDottedNamesAndPrecomputesQuantiles) {
+  MetricsRegistry registry;
+  registry.counter("wq.tasks_completed")->inc(2);
+  registry.histogram("wq.queue_wait_s", {1.0})->observe(0.25);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"wq.tasks_completed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"wq.queue_wait_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Exporters, ChromeTraceGolden) {
+  TraceSpan span;
+  span.task = 7;
+  span.job = 1;
+  span.worker = 2;
+  span.attempt = 1;
+  span.phase = SpanPhase::kRun;
+  span.outcome = SpanOutcome::kRetried;
+  span.begin_s = 1.0;
+  span.end_s = 2.5;
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"run\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":1000000,"
+      "\"dur\":1500000,\"pid\":1,\"tid\":2,\"args\":{\"task\":7,\"job\":1,"
+      "\"attempt\":1,\"outcome\":\"retried\",\"speculative\":false}}\n"
+      "]}\n";
+  EXPECT_EQ(to_chrome_trace({span}), expected);
+}
+
+TEST(Exporters, ChromeTraceClampsNegativeDurations) {
+  TraceSpan span;
+  span.begin_s = 2.0;
+  span.end_s = 1.0;  // clock skew must not produce a negative dur
+  EXPECT_NE(to_chrome_trace({span}).find("\"dur\":0"), std::string::npos);
+}
+
+TEST(Exporters, WriteTextFileRoundTrips) {
+  const std::string path = "obs_test_export.txt";
+  ASSERT_TRUE(write_text_file(path, "hello telemetry\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello telemetry\n");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Log sink + telemetry bridge.
+// ---------------------------------------------------------------------
+
+TEST(LogSink, CapturingSinkSeesEmittedWarnings) {
+  std::vector<std::string> captured;
+  set_log_sink([&captured](LogLevel level, std::string_view tag,
+                           std::string_view body) {
+    if (level >= LogLevel::kWarn) {
+      captured.push_back(std::string(tag) + ": " + std::string(body));
+    }
+  });
+  SSTD_LOG_WARN("obs", "disk %d%% full", 93);
+  SSTD_LOG_INFO("obs", "routine message");
+  SSTD_LOG_DEBUG("obs", "dropped below threshold");  // default level: info
+  set_log_sink({});  // restore stderr default
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "obs: disk 93% full");
+}
+
+TEST(LogBridge, WarnAndErrorEmissionsIncrementCounters) {
+  MetricsRegistry registry;
+  set_log_sink([](LogLevel, std::string_view, std::string_view) {});
+  install_log_metrics_bridge(&registry);
+
+  SSTD_LOG_INFO("obs", "info");
+  SSTD_LOG_WARN("obs", "warn");
+  SSTD_LOG_ERROR("obs", "error");
+  SSTD_LOG_DEBUG("obs", "filtered out entirely");
+
+  uninstall_log_metrics_bridge();
+  set_log_sink({});
+  SSTD_LOG_WARN("obs", "after uninstall: not counted");
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("log.messages_total"), 3u);
+  EXPECT_EQ(snap.counter_value("log.warn_total"), 1u);
+  EXPECT_EQ(snap.counter_value("log.error_total"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Runtime instrumentation against a private registry/recorder.
+// ---------------------------------------------------------------------
+
+TEST(WorkQueueTelemetry, CountersAndSpansMirrorQueueStats) {
+  MetricsRegistry registry;
+  TraceRecorder recorder(4096);
+  dist::RetryPolicy retry;
+  retry.base_backoff_s = 0.001;
+  retry.max_backoff_s = 0.01;
+  dist::WorkQueue queue(2, retry);
+  queue.set_telemetry({&registry, &recorder});
+
+  std::atomic<int> flaky_attempts{0};
+  for (int i = 0; i < 6; ++i) {
+    dist::Task task;
+    task.id = static_cast<dist::TaskId>(i);
+    task.max_retries = 5;
+    if (i == 0) {
+      task.work = [&flaky_attempts] {
+        if (flaky_attempts.fetch_add(1) < 2) {
+          throw std::runtime_error("transient");
+        }
+      };
+    } else {
+      task.work = [] {};
+    }
+    queue.submit(std::move(task), 0.0);
+  }
+  queue.wait_all();
+  // Workers record the terminal run span after bumping the completion
+  // counter wait_all() watches; join them before snapshotting spans.
+  queue.shutdown();
+  const auto stats = queue.stats();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("wq.tasks_submitted"), 6u);
+  EXPECT_EQ(snap.counter_value("wq.tasks_completed"), 6u);
+  EXPECT_EQ(snap.counter_value("wq.tasks_retried"), 2u);
+  EXPECT_EQ(snap.counter_value("wq.tasks_retried"), stats.retries);
+  const HistogramSnapshot* sojourn = snap.histogram("wq.sojourn_s");
+  ASSERT_NE(sojourn, nullptr);
+  EXPECT_EQ(sojourn->count, 6u);
+
+  // One queued + one run span per dispatched attempt: 6 first attempts
+  // plus 2 retries of the flaky task.
+  std::size_t queued = 0;
+  std::size_t done = 0;
+  std::size_t retried = 0;
+  for (const auto& span : recorder.snapshot()) {
+    if (span.phase == SpanPhase::kQueued) {
+      ++queued;
+      EXPECT_EQ(span.outcome, SpanOutcome::kDispatched);
+      EXPECT_LE(span.begin_s, span.end_s);
+    } else if (span.outcome == SpanOutcome::kDone) {
+      ++done;
+    } else if (span.outcome == SpanOutcome::kRetried) {
+      ++retried;
+    }
+  }
+  EXPECT_EQ(queued, 8u);
+  EXPECT_EQ(done, 6u);
+  EXPECT_EQ(retried, 2u);
+}
+
+TEST(SimClusterTelemetry, SimulatedSpansUseSimulatedTime) {
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  dist::SimConfig sim;
+  sim.task_init_s = 0.1;
+  sim.theta1 = 1e-3;
+  sim.comm_per_unit_s = 0.0;
+  sim.worker_stagger_s = 0.0;
+  sim.master_dispatch_s = 0.0;
+  sim.worker_startup_s = 0.0;
+  dist::SimCluster cluster = dist::SimCluster::homogeneous(2, sim);
+  cluster.set_telemetry({&registry, &recorder});
+
+  for (int i = 0; i < 3; ++i) {
+    dist::Task task;
+    task.id = static_cast<dist::TaskId>(i);
+    task.data_size = 1000.0;  // 1.1 s of simulated work
+    ASSERT_TRUE(cluster.submit(task));
+  }
+  const double makespan = cluster.run_to_completion();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("sim.tasks_submitted"), 3u);
+  EXPECT_EQ(snap.counter_value("sim.tasks_completed"), 3u);
+
+  std::size_t runs = 0;
+  for (const auto& span : recorder.snapshot()) {
+    if (span.phase != SpanPhase::kRun) continue;
+    ++runs;
+    EXPECT_EQ(span.outcome, SpanOutcome::kDone);
+    // Simulated clock: spans end within the makespan, not wall time.
+    EXPECT_LE(span.end_s, makespan + 1e-9);
+    EXPECT_GT(span.end_s, span.begin_s);
+  }
+  EXPECT_EQ(runs, 3u);
+}
+
+}  // namespace
+}  // namespace sstd::obs
