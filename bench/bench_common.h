@@ -3,9 +3,11 @@
 // series to CSV under bench_results/ for plotting.
 #pragma once
 
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/baselines.h"
@@ -81,12 +83,46 @@ inline std::vector<SchemeScore> score_all(const Dataset& data) {
   return scores;
 }
 
-// Machine-readable run summary: bench_results/BENCH_<name>.json with one
-// record per scheme (name, wall seconds, task-latency p50/p95).
+// Run provenance: git SHA and build type are baked in at configure time
+// (top-level CMakeLists), timestamp and thread count are read at run
+// time. Embedded in every BENCH_*.json so the bench trajectory stays
+// comparable across PRs and machines.
+inline std::string run_metadata_json() {
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+#ifdef SSTD_GIT_SHA
+  const char* git_sha = SSTD_GIT_SHA;
+#else
+  const char* git_sha = "unknown";
+#endif
+#ifdef SSTD_BUILD_TYPE
+  const char* build_type = SSTD_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+  std::string out = "{\"git_sha\": \"";
+  out += git_sha;
+  out += "\", \"utc_time\": \"";
+  out += timestamp;
+  out += "\", \"hardware_threads\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"build_type\": \"";
+  out += build_type;
+  out += "\"}";
+  return out;
+}
+
+// Machine-readable run summary: bench_results/BENCH_<name>.json with run
+// metadata plus one record per scheme (name, wall seconds, task-latency
+// p50/p95).
 inline void emit_bench_json(const std::string& bench_name,
                             const std::vector<SchemeScore>& scores) {
   std::ofstream out(results_path("BENCH_" + bench_name + ".json"));
-  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"schemes\": [\n";
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"meta\": "
+      << run_metadata_json() << ",\n  \"schemes\": [\n";
   for (std::size_t i = 0; i < scores.size(); ++i) {
     const SchemeScore& s = scores[i];
     out << "    {\"name\": \"" << s.name << "\", \"seconds\": " << s.seconds

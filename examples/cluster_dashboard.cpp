@@ -8,14 +8,37 @@
 //
 //   $ ./cluster_dashboard
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "core/metrics.h"
+#include "obs/http_exposition.h"
 #include "sstd/distributed.h"
 #include "trace/generator.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace sstd;
+
+namespace {
+
+// Print the exposition lines an operator would care about from a real
+// scrape — the dashboard polls the endpoint over the socket rather than
+// reading the registry directly, so what it shows is what Prometheus sees.
+void print_scrape_lines(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("wq_tasks", 0) == 0 || line.rfind("wq_retries", 0) == 0 ||
+        line.rfind("wq_workers", 0) == 0 ||
+        line.rfind("stream_decision_staleness_s_count", 0) == 0) {
+      std::printf("    %s\n", line.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   auto config = trace::tiny(trace::boston_bombing(), 60'000, 48);
@@ -24,11 +47,29 @@ int main() {
   std::printf("trace: %zu reports, %u claims\n\n", data.num_reports(),
               data.num_claims());
 
+  // Serve the global registry while the engine runs; the dashboard then
+  // scrapes its own endpoint exactly like an external poller would.
+  obs::HttpExposition server;
+  if (!server.start()) {
+    std::fprintf(stderr, "warning: telemetry endpoint failed to bind\n");
+  }
+
   // ---- Part 1: threaded Work Queue execution -------------------------
   DistributedConfig dist_config;
   dist_config.workers = 4;
   DistributedSstd engine(dist_config);
   const EstimateMatrix estimates = engine.run(data);
+
+  if (server.running()) {
+    obs::HttpGetResult scrape;
+    if (obs::http_get("127.0.0.1", server.port(), "/metrics", &scrape) &&
+        scrape.status == 200) {
+      std::printf("live scrape of 127.0.0.1:%d/metrics (%zu bytes):\n",
+                  server.port(), scrape.body.size());
+      print_scrape_lines(scrape.body);
+      std::printf("\n");
+    }
+  }
 
   EvalOptions eval;
   eval.window_ms = data.interval_ms();

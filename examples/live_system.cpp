@@ -1,22 +1,36 @@
 // live_system: the complete Figure-2 runtime (SstdSystem) fed by a
-// simulated crawler, with the PID control loop live. Prints a periodic
-// operations view — estimates in flight, deadline hit rate, pool size —
-// the way an operator would watch the real deployment.
+// simulated crawler, with the PID control loop live — and observable the
+// way a production deployment would be (DESIGN.md §5c): a telemetry HTTP
+// endpoint serves /metrics, /healthz, /readyz, /varz, /snapshot.json,
+// /trace.json and /timeseries.csv while the run is in flight, a
+// time-series sampler retains the metric history, and the deadline SLO
+// tracker scores every interval against its soft deadline.
 //
-//   $ ./live_system
+//   $ ./live_system                # serve on an ephemeral port
+//   $ ./live_system 9114          # serve on a fixed port
+//   $ ./live_system 9114 30      # ...and keep serving 30 s after the run
+//   $ curl localhost:9114/metrics
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "core/metrics.h"
+#include "obs/http_exposition.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "sstd/system.h"
 #include "trace/generator.h"
 
 using namespace sstd;
 
-int main() {
+int main(int argc, char** argv) {
+  const int port = argc > 1 ? std::atoi(argv[1]) : 0;
+  const int linger_s = argc > 2 ? std::atoi(argv[2]) : 0;
+
   auto config = trace::tiny(trace::boston_bombing(), 80'000, 32);
   trace::TraceGenerator generator(config);
   const Dataset data = generator.generate();
-  std::printf("crawler feed ready: %zu reports over %d intervals\n\n",
+  std::printf("crawler feed ready: %zu reports over %d intervals\n",
               data.num_reports(), data.intervals());
 
   SstdSystem::Config system_config;
@@ -25,6 +39,47 @@ int main() {
   system_config.interval_deadline_s = 0.02;
   system_config.dtm.max_workers = 8;
   SstdSystem system(system_config, data.interval_ms());
+
+  // Live exposition over the process-global registry the runtime
+  // instruments against. Readiness is keyed on the Work Queue: alive,
+  // at least one live worker, backlog under control.
+  obs::HttpExpositionConfig http_config;
+  http_config.port = port;
+  obs::HttpExposition server(http_config);
+  server.set_health_check([&system] {
+    return std::make_pair(system.queue().alive(),
+                          std::string("work queue shut down"));
+  });
+  server.set_ready_check([&system] {
+    if (!system.queue().alive()) {
+      return std::make_pair(false, std::string("work queue shut down"));
+    }
+    if (system.queue().live_workers() == 0) {
+      return std::make_pair(false, std::string("no live workers"));
+    }
+    if (system.queue().pending() > 10'000) {
+      return std::make_pair(false, std::string("backlog too deep"));
+    }
+    return std::make_pair(true, std::string());
+  });
+  server.set_varz("example", "live_system");
+
+  obs::TimeSeriesConfig sampler_config;
+  sampler_config.interval_s = 0.025;
+  sampler_config.capacity = 4096;
+  obs::TimeSeriesSampler sampler(&obs::MetricsRegistry::global(),
+                                 sampler_config);
+  server.set_sampler(&sampler);
+
+  if (!server.start()) {
+    std::fprintf(stderr, "failed to bind telemetry endpoint on port %d\n",
+                 port);
+    return 1;
+  }
+  sampler.start();
+  std::printf("telemetry live: curl localhost:%d/metrics   (also /healthz "
+              "/readyz /varz /snapshot.json /trace.json /timeseries.csv)\n\n",
+              server.port());
 
   EstimateMatrix estimates(
       data.num_claims(),
@@ -40,6 +95,7 @@ int main() {
       ++next;
     }
     system.end_interval(k);
+    sampler.sample_now();  // one deterministic sample per closed interval
     for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
       estimates[u][k] = system.estimate(ClaimId{u});
     }
@@ -62,14 +118,58 @@ int main() {
     }
   }
 
+  // Scrape our own endpoint mid-flight, the way an external Prometheus
+  // would, and check the series the paper's Fig. 6 analysis needs.
+  obs::HttpGetResult scrape;
+  if (obs::http_get("127.0.0.1", server.port(), "/metrics", &scrape) &&
+      scrape.status == 200) {
+    const bool has_wq = scrape.body.find("wq_") != std::string::npos;
+    const bool has_dtm = scrape.body.find("dtm_") != std::string::npos;
+    const bool has_staleness =
+        scrape.body.find("stream_decision_staleness_s") != std::string::npos;
+    std::printf("\nself-scrape of /metrics: %zu bytes | wq.*: %s | dtm.*: "
+                "%s | stream.decision_staleness_s: %s\n",
+                scrape.body.size(), has_wq ? "yes" : "MISSING",
+                has_dtm ? "yes" : "MISSING",
+                has_staleness ? "yes" : "MISSING");
+  } else {
+    std::printf("\nself-scrape of /metrics FAILED\n");
+  }
+
+  // Persist the retained metric history for offline plotting (the Fig. 6
+  // shape: hit rate, pool size and task rates over time).
+  const char* csv_path = "live_system_timeseries.csv";
+  if (sampler.dump_csv(csv_path)) {
+    std::printf("wrote %zu sampler rows to %s\n", sampler.size(), csv_path);
+  }
+
   EvalOptions eval;
   eval.window_ms = data.interval_ms();
   const auto cm = evaluate(data, estimates, eval);
   const auto m = system.metrics();
+  const auto slo = system.slo().stats();
+  const auto dtm_stats = system.dtm().deadline_stats();
   std::printf("\nfinal: %s | deadline hit rate %.2f | %llu task failures | "
               "pool ended at %zu workers\n",
               cm.summary().c_str(), m.hit_rate(),
               static_cast<unsigned long long>(m.task_failures),
               m.current_workers);
+  std::printf("SLO: %llu hits / %llu misses (ratio %.3f) | DTM internal: "
+              "%llu/%llu — %s\n",
+              static_cast<unsigned long long>(slo.hits),
+              static_cast<unsigned long long>(slo.misses), slo.hit_ratio(),
+              static_cast<unsigned long long>(dtm_stats.hits),
+              static_cast<unsigned long long>(dtm_stats.misses),
+              slo.hits == dtm_stats.hits && slo.misses == dtm_stats.misses
+                  ? "in agreement"
+                  : "DISAGREE");
+
+  if (linger_s > 0) {
+    std::printf("\nserving for another %d s — curl localhost:%d/metrics\n",
+                linger_s, server.port());
+    std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+  }
+  sampler.stop();
+  server.stop();
   return 0;
 }

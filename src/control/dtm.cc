@@ -43,6 +43,27 @@ void DynamicTaskManager::register_job(dist::JobId job, double deadline_s) {
   state.deadline_s = deadline_s;
   state.pid = PidController(config_.gains);
   jobs_.insert_or_assign(job, std::move(state));
+  if (slo_ != nullptr) slo_->register_job(job, deadline_s);
+}
+
+void DynamicTaskManager::set_slo_tracker(obs::SloTracker* tracker) {
+  slo_ = tracker;
+  if (slo_ == nullptr) return;
+  for (const auto& [job, state] : jobs_) {
+    slo_->register_job(job, state.deadline_s);
+  }
+}
+
+void DynamicTaskManager::observe_completion(dist::JobId job,
+                                            double elapsed_s) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  if (elapsed_s <= it->second.deadline_s) {
+    ++deadline_stats_.hits;
+  } else {
+    ++deadline_stats_.misses;
+  }
+  if (slo_ != nullptr) slo_->record_completion(job, elapsed_s);
 }
 
 void DynamicTaskManager::complete_job(dist::JobId job) { jobs_.erase(job); }

@@ -19,6 +19,7 @@
 #include "control/wcet.h"
 #include "dist/task.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace sstd::control {
 
@@ -100,6 +101,33 @@ class DynamicTaskManager {
   // counters) away from the process-global registry.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  // --- Deadline-SLO accounting (ISSUE 3, DESIGN.md §5c) ---------------
+
+  // Records that one unit of `job`'s work (e.g. one interval batch) took
+  // `elapsed_s` against the job's registered deadline budget: a hit iff
+  // elapsed_s <= deadline. Counted internally (deadline_stats()) and
+  // forwarded to the attached SloTracker, so the exported hit ratio and
+  // the controller's own view agree exactly. Unregistered jobs are
+  // ignored.
+  void observe_completion(dist::JobId job, double elapsed_s);
+
+  // Internal hit/miss tally across every observe_completion() call.
+  struct DeadlineStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double hit_ratio() const {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+  DeadlineStats deadline_stats() const { return deadline_stats_; }
+
+  // Attaches an SLO tracker: jobs already registered (and all future
+  // registrations) are mirrored into it, and observe_completion() feeds
+  // it. Pass nullptr to detach.
+  void set_slo_tracker(obs::SloTracker* tracker);
+
  private:
   struct JobState {
     double deadline_s = 0.0;
@@ -127,6 +155,8 @@ class DynamicTaskManager {
   int comfortable_samples_ = 0;
   FaultObservation last_faults_;
   Instruments ins_;
+  DeadlineStats deadline_stats_;
+  obs::SloTracker* slo_ = nullptr;
 };
 
 }  // namespace sstd::control

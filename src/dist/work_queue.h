@@ -120,6 +120,11 @@ class WorkQueue {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t completed() const { return completed_.load(); }
 
+  // Liveness for /healthz-style probes: true until shutdown begins. A
+  // readiness check typically also wants live_workers() > 0 and a
+  // pending() backlog below some bound.
+  bool alive() const { return !shutting_down_.load(); }
+
   // Fault-tolerance counters (readable at any time).
   WorkQueueStats stats() const;
 

@@ -33,7 +33,39 @@ std::string format_u64(std::uint64_t value) {
   return buffer;
 }
 
+// JSON numbers admit neither NaN nor Inf; a "no data" quantile (empty
+// histogram → NaN, see HistogramSnapshot::quantile) becomes null.
+std::string json_number(double value) {
+  return std::isfinite(value) ? format_double(value) : "null";
+}
+
 }  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
@@ -68,7 +100,7 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + name + "\": " + format_u64(value);
+    out += "    \"" + json_escape(name) + "\": " + format_u64(value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -76,7 +108,7 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + name + "\": " + format_double(value);
+    out += "    \"" + json_escape(name) + "\": " + json_number(value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -84,12 +116,13 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   first = true;
   for (const auto& [name, hist] : snapshot.histograms) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + name + "\": {\"count\": " + format_u64(hist.count) +
+    out += "    \"" + json_escape(name) +
+           "\": {\"count\": " + format_u64(hist.count) +
            ", \"sum\": " + format_double(hist.sum) +
            ", \"mean\": " + format_double(hist.mean()) +
-           ", \"p50\": " + format_double(hist.quantile(0.5)) +
-           ", \"p95\": " + format_double(hist.quantile(0.95)) +
-           ", \"p99\": " + format_double(hist.quantile(0.99)) + "}";
+           ", \"p50\": " + json_number(hist.quantile(0.5)) +
+           ", \"p95\": " + json_number(hist.quantile(0.95)) +
+           ", \"p99\": " + json_number(hist.quantile(0.99)) + "}";
     first = false;
   }
   out += first ? "}\n" : "\n  }\n";
@@ -108,7 +141,7 @@ std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
     const double ts_us = span.begin_s * 1e6;
     const double dur_us = (span.end_s - span.begin_s) * 1e6;
     out += "\n{\"name\":\"";
-    out += span_phase_name(span.phase);
+    out += json_escape(span_phase_name(span.phase));
     out += "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":";
     out += format_double(ts_us);
     out += ",\"dur\":";
@@ -122,7 +155,7 @@ std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
     out += ",\"attempt\":";
     out += format_u64(static_cast<std::uint64_t>(span.attempt));
     out += ",\"outcome\":\"";
-    out += span_outcome_name(span.outcome);
+    out += json_escape(span_outcome_name(span.outcome));
     out += "\",\"speculative\":";
     out += span.speculative ? "true" : "false";
     out += "}}";

@@ -23,6 +23,11 @@ std::string to_json(const MetricsSnapshot& snapshot);
 
 std::string to_chrome_trace(const std::vector<TraceSpan>& spans);
 
+// Escapes `s` for splicing between JSON double quotes: quotes,
+// backslashes and control characters become their \-sequences. Every
+// exporter that embeds a caller-chosen name must go through this.
+std::string json_escape(const std::string& s);
+
 // Writes `content` to `path` (truncating); returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 

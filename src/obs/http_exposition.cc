@@ -1,0 +1,329 @@
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/export.h"
+#include "util/log.h"
+
+namespace sstd::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+// Reads from `fd` until the end of the request head (or the buffer cap);
+// scrape requests have no body, so the head is the whole request.
+std::string read_request_head(int fd) {
+  std::string request;
+  char buffer[2048];
+  while (request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return request;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpExposition::HttpExposition(HttpExpositionConfig config)
+    : config_(std::move(config)) {}
+
+HttpExposition::~HttpExposition() { stop(); }
+
+bool HttpExposition::start() {
+  if (running_.load()) return true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  // Port 0: learn the ephemeral port the kernel picked.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+
+  listen_fd_ = fd;
+  port_.store(static_cast<int>(ntohs(bound.sin_port)));
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  SSTD_LOG_INFO("obs", "telemetry endpoint listening on %s:%d",
+                config_.bind_address.c_str(), port_.load());
+  return true;
+}
+
+void HttpExposition::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock the accept: poll() in the loop notices the flag within its
+  // timeout even if shutdown() is a no-op on this platform.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(0);
+}
+
+void HttpExposition::set_health_check(Check check) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  health_check_ = std::move(check);
+}
+
+void HttpExposition::set_ready_check(Check check) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ready_check_ = std::move(check);
+}
+
+void HttpExposition::set_varz(const std::string& key,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  varz_[key] = value;
+}
+
+void HttpExposition::set_sampler(TimeSeriesSampler* sampler) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  sampler_ = sampler;
+}
+
+HttpExposition::Response HttpExposition::handle(
+    const std::string& path) const {
+  Response response;
+
+  if (path == "/metrics") {
+    response.body = to_prometheus(config_.metrics->snapshot());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  }
+  if (path == "/snapshot.json") {
+    response.body = to_json(config_.metrics->snapshot());
+    response.content_type = "application/json";
+    return response;
+  }
+  if (path == "/trace.json") {
+    response.body = to_chrome_trace(config_.tracer->snapshot());
+    response.content_type = "application/json";
+    return response;
+  }
+  if (path == "/healthz" || path == "/readyz") {
+    Check check;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      check = path == "/healthz" ? health_check_ : ready_check_;
+    }
+    auto [good, detail] = check ? check() : std::make_pair(true, std::string());
+    response.status = good ? 200 : 503;
+    response.body = good ? "ok\n" : detail + "\n";
+    return response;
+  }
+  if (path == "/varz") {
+    std::map<std::string, std::string> extra;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      extra = varz_;
+    }
+    char buffer[128];
+    std::string body = "{\n";
+#ifdef SSTD_GIT_SHA
+    body += "  \"git_sha\": \"" + json_escape(SSTD_GIT_SHA) + "\",\n";
+#endif
+#ifdef SSTD_BUILD_TYPE
+    body += "  \"build_type\": \"" + json_escape(SSTD_BUILD_TYPE) + "\",\n";
+#endif
+    std::snprintf(buffer, sizeof(buffer), "  \"uptime_s\": %.3f,\n",
+                  uptime_.elapsed_seconds());
+    body += buffer;
+    std::snprintf(buffer, sizeof(buffer), "  \"hardware_threads\": %u,\n",
+                  std::thread::hardware_concurrency());
+    body += buffer;
+    for (const auto& [key, value] : extra) {
+      body += "  \"" + json_escape(key) + "\": \"" + json_escape(value) +
+              "\",\n";
+    }
+    std::snprintf(buffer, sizeof(buffer), "  \"port\": %d\n}\n", port());
+    body += buffer;
+    response.body = std::move(body);
+    response.content_type = "application/json";
+    return response;
+  }
+  if (path == "/timeseries.csv") {
+    TimeSeriesSampler* sampler;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      sampler = sampler_;
+    }
+    if (sampler == nullptr) {
+      response.status = 404;
+      response.body = "no sampler attached\n";
+      return response;
+    }
+    response.body = sampler->to_csv();
+    response.content_type = "text/csv";
+    return response;
+  }
+
+  response.status = 404;
+  response.body = "not found: " + path + "\n" +
+                  "try /metrics /snapshot.json /trace.json /healthz /readyz "
+                  "/varz /timeseries.csv\n";
+  return response;
+}
+
+void HttpExposition::serve_loop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    const std::string head = read_request_head(client);
+    // Request line: "GET /path HTTP/1.1".
+    std::string method;
+    std::string target = "/";
+    if (const auto space = head.find(' '); space != std::string::npos) {
+      method = head.substr(0, space);
+      const auto end = head.find(' ', space + 1);
+      if (end != std::string::npos) {
+        target = head.substr(space + 1, end - space - 1);
+      }
+    }
+    if (const auto query = target.find('?'); query != std::string::npos) {
+      target.resize(query);  // endpoints take no parameters
+    }
+
+    Response response;
+    if (method != "GET") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      response = handle(target);
+    }
+    requests_.fetch_add(1);
+
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n"
+                  "\r\n",
+                  response.status, status_text(response.status),
+                  response.content_type.c_str(), response.body.size());
+    send_all(client, std::string(header) + response.body);
+    ::close(client);
+  }
+}
+
+bool http_get(const std::string& host, int port, const std::string& path,
+              HttpGetResult* out, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  timeval timeout{};
+  timeout.tv_sec = static_cast<long>(timeout_s);
+  timeout.tv_usec =
+      static_cast<long>((timeout_s - static_cast<double>(timeout.tv_sec)) *
+                        1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return false;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const auto head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  const std::string head = raw.substr(0, head_end);
+
+  // Status line: "HTTP/1.1 200 OK".
+  const auto space = head.find(' ');
+  if (space == std::string::npos) return false;
+  if (out != nullptr) {
+    out->status = std::atoi(head.c_str() + space + 1);
+    out->body = raw.substr(head_end + 4);
+    out->content_type.clear();
+    // Headers are case-insensitive per RFC, but we only talk to our own
+    // server, which emits exactly "Content-Type".
+    const auto content_type = head.find("Content-Type: ");
+    if (content_type != std::string::npos) {
+      const auto eol = head.find("\r\n", content_type);
+      const auto begin = content_type + 14;
+      out->content_type = head.substr(begin, eol - begin);
+    }
+  }
+  return true;
+}
+
+}  // namespace sstd::obs

@@ -1,0 +1,123 @@
+// Live HTTP exposition (ISSUE 3, DESIGN.md §5c): a minimal,
+// dependency-free POSIX-socket HTTP/1.1 server that makes a running
+// process scrapeable — the pull model Prometheus and nodeos-style plugin
+// stacks use — instead of snapshot-at-exit only. One background thread
+// accepts connections serially (scrape traffic is one poller every few
+// seconds, not user traffic) and serves:
+//
+//   GET /metrics         Prometheus text exposition of the registry
+//   GET /snapshot.json   JSON snapshot (names verbatim, quantiles)
+//   GET /trace.json      Chrome trace_event JSON of the span ring
+//   GET /healthz         200 "ok" while the liveness check passes, 503 + why
+//   GET /readyz          200/503 from the readiness check (e.g. Work Queue
+//                        has live workers and a sane backlog)
+//   GET /varz            build + config info (git SHA, build type, uptime,
+//                        hardware threads, caller-set key/values)
+//   GET /timeseries.csv  retained sampler window (when a sampler is set)
+//
+// Binding port 0 picks a free ephemeral port (`port()` reports it), which
+// is how tests run against a real socket without colliding. stop() is
+// graceful — in-flight response finishes, the listener closes, the thread
+// joins — and a stopped server can start() again, so two serve cycles in
+// one process leak nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace sstd::obs {
+
+struct HttpExpositionConfig {
+  // 0 picks a free port; port() reports the bound one.
+  int port = 0;
+  // Loopback by default: this is an operator/scraper endpoint.
+  std::string bind_address = "127.0.0.1";
+  MetricsRegistry* metrics = &MetricsRegistry::global();
+  TraceRecorder* tracer = &TraceRecorder::global();
+};
+
+class HttpExposition {
+ public:
+  // (healthy/ready, human-readable detail for the 503 body).
+  using Check = std::function<std::pair<bool, std::string>()>;
+
+  explicit HttpExposition(HttpExpositionConfig config = {});
+  ~HttpExposition();
+
+  HttpExposition(const HttpExposition&) = delete;
+  HttpExposition& operator=(const HttpExposition&) = delete;
+
+  // Binds, listens and spawns the serving thread. Returns false (and
+  // stays stopped) when the bind/listen fails. Idempotent while running.
+  bool start();
+  // Graceful shutdown: closes the listener, joins the thread. Idempotent;
+  // also run by the destructor. The server can start() again afterwards.
+  void stop();
+  bool running() const { return running_.load(); }
+
+  // Bound port (useful with port 0); 0 while stopped.
+  int port() const { return port_.load(); }
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+  // Liveness/readiness probes. Unset checks report 200 "ok". Callable at
+  // any time, including while serving.
+  void set_health_check(Check check);
+  void set_ready_check(Check check);
+
+  // Adds a key/value to /varz (build info, config echoes).
+  void set_varz(const std::string& key, const std::string& value);
+
+  // Attaches a sampler; /timeseries.csv serves its retained window.
+  // Pass nullptr to detach. The sampler must outlive the server (or be
+  // detached first).
+  void set_sampler(TimeSeriesSampler* sampler);
+
+  // One response, as served (tests exercise routing without a socket).
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response handle(const std::string& path) const;
+
+ private:
+  void serve_loop();
+
+  HttpExpositionConfig config_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::thread thread_;
+  Stopwatch uptime_;
+
+  mutable std::mutex state_mu_;  // checks, varz, sampler
+  Check health_check_;
+  Check ready_check_;
+  std::map<std::string, std::string> varz_;
+  TimeSeriesSampler* sampler_ = nullptr;
+};
+
+// Minimal blocking HTTP/1.0-style GET for tests and in-repo tooling (the
+// cluster dashboard polls the real endpoint with it). Returns false on
+// connect/IO failure or timeout.
+struct HttpGetResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+bool http_get(const std::string& host, int port, const std::string& path,
+              HttpGetResult* out, double timeout_s = 5.0);
+
+}  // namespace sstd::obs

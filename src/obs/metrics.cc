@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace sstd::obs {
@@ -46,7 +47,9 @@ std::vector<double> Histogram::default_latency_bounds() {
 }
 
 double HistogramSnapshot::quantile(double q) const {
-  if (count == 0) return 0.0;
+  // No observations → no quantile. NaN, not 0: a 0 would read as "every
+  // observation was instant". JSON exporters map it to null.
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;

@@ -95,6 +95,9 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
 
+  // Returns NaN when the histogram is empty (count == 0): there is no
+  // q-th observation, and 0 would masquerade as a real latency. JSON
+  // exporters render the NaN as null.
   double quantile(double q) const;
   double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
 };

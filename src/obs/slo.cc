@@ -1,0 +1,117 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace sstd::obs {
+
+SloTracker::SloTracker(MetricsRegistry* registry) {
+  ins_.hits = registry->counter("slo.deadline_hits");
+  ins_.misses = registry->counter("slo.deadline_misses");
+  ins_.alerts = registry->counter("slo.alerts_fired");
+  ins_.hit_ratio = registry->gauge("slo.deadline_hit_ratio");
+  ins_.staleness_s = registry->histogram("stream.decision_staleness_s");
+}
+
+void SloTracker::register_job(std::uint32_t job, double deadline_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_[job].deadline_s = deadline_s;
+}
+
+void SloTracker::forget_job(std::uint32_t job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.erase(job);
+}
+
+void SloTracker::record_completion(std::uint32_t job, double elapsed_s) {
+  // Alerts fire outside the lock: a callback may read the tracker back.
+  std::vector<std::pair<std::function<void(const SloAlert&)>, SloAlert>>
+      to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end()) return;
+    const bool hit = elapsed_s <= it->second.deadline_s;
+
+    if (hit) {
+      ++it->second.stats.hits;
+      ++total_.hits;
+      ins_.hits->inc();
+    } else {
+      ++it->second.stats.misses;
+      ++total_.misses;
+      ins_.misses->inc();
+    }
+    ins_.hit_ratio->set(total_.hit_ratio());
+
+    if (recent_capacity_ > 0) {
+      recent_.push_back(hit);
+      while (recent_.size() > recent_capacity_) recent_.pop_front();
+    }
+
+    for (RuleState& state : rules_) {
+      const std::size_t window = std::min(recent_.size(), state.rule.window);
+      if (window < state.rule.min_samples || window == 0) continue;
+      std::uint64_t window_misses = 0;
+      for (std::size_t i = recent_.size() - window; i < recent_.size(); ++i) {
+        window_misses += recent_[i] ? 0 : 1;
+      }
+      const double miss_ratio =
+          static_cast<double>(window_misses) / static_cast<double>(window);
+      if (miss_ratio > state.rule.max_miss_ratio) {
+        if (!state.firing) {
+          state.firing = true;
+          ++alerts_fired_;
+          ins_.alerts->inc();
+          SloAlert alert;
+          alert.rule = state.rule.name;
+          alert.miss_ratio = miss_ratio;
+          alert.window_misses = window_misses;
+          alert.window_hits = window - window_misses;
+          to_fire.emplace_back(state.rule.on_fire, std::move(alert));
+        }
+      } else {
+        state.firing = false;  // burn rate recovered: re-arm
+      }
+    }
+  }
+
+  for (auto& [callback, alert] : to_fire) {
+    SSTD_LOG_WARN("slo",
+                  "SLO burn: rule '%s' miss ratio %.2f over last %llu "
+                  "completions exceeds threshold",
+                  alert.rule.c_str(), alert.miss_ratio,
+                  static_cast<unsigned long long>(alert.window_hits +
+                                                  alert.window_misses));
+    if (callback) callback(alert);
+  }
+}
+
+void SloTracker::record_decision_staleness(double staleness_s) {
+  ins_.staleness_s->observe(staleness_s);
+}
+
+void SloTracker::add_alert_rule(SloAlertRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_capacity_ = std::max(recent_capacity_, rule.window);
+  rules_.push_back(RuleState{std::move(rule), false});
+}
+
+SloTracker::Stats SloTracker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+SloTracker::Stats SloTracker::job_stats(std::uint32_t job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job);
+  return it != jobs_.end() ? it->second.stats : Stats{};
+}
+
+std::uint64_t SloTracker::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_fired_;
+}
+
+}  // namespace sstd::obs

@@ -1,0 +1,121 @@
+// Deadline-SLO tracker (ISSUE 3, DESIGN.md §5c): turns the paper's §IV-C
+// soft deadlines into live service-level objectives. The DTM forwards
+// every job registration (job id + deadline budget) and every completed
+// work unit here; the tracker counts hits and misses, exports
+//
+//   slo.deadline_hits / slo.deadline_misses   (counters)
+//   slo.deadline_hit_ratio                    (gauge, hits / total)
+//   stream.decision_staleness_s               (histogram, ingest→decision)
+//   slo.alerts_fired                          (counter)
+//
+// and evaluates threshold alert rules over a sliding window of recent
+// outcomes: when the windowed miss ratio (the burn rate) exceeds a rule's
+// threshold the rule fires a callback and a WARN log line, which the
+// log-metrics bridge (obs/log_bridge.h) turns into `log.*` counters. A
+// rule re-arms once the window drops back under the threshold, so a
+// sustained burn produces one alert, not one per completion.
+//
+// Job ids are plain integers (dist::JobId is std::uint32_t) so this layer
+// keeps obs/ depending only on util/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+
+struct SloAlert {
+  std::string rule;
+  double miss_ratio = 0.0;  // windowed burn rate at fire time
+  std::uint64_t window_hits = 0;
+  std::uint64_t window_misses = 0;
+};
+
+struct SloAlertRule {
+  std::string name = "deadline-burn";
+  // Fire when the miss ratio over the sliding window exceeds this.
+  double max_miss_ratio = 0.1;
+  // Completions considered by the sliding window.
+  std::size_t window = 20;
+  // Don't judge before this many completions have been seen.
+  std::size_t min_samples = 10;
+  // Invoked (under no tracker lock) when the rule trips.
+  std::function<void(const SloAlert&)> on_fire;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(MetricsRegistry* registry = &MetricsRegistry::global());
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Registers (or re-arms) a job's deadline budget in seconds. Units are
+  // whatever the caller measures completions in — wall-clock for the
+  // threaded runtime, simulated seconds for SimCluster drivers.
+  void register_job(std::uint32_t job, double deadline_s);
+  void forget_job(std::uint32_t job);
+
+  // Records one completed unit of work for `job` that took `elapsed_s`;
+  // a hit iff elapsed_s <= the registered deadline. Completions for
+  // unregistered jobs are ignored (nothing to judge against).
+  void record_completion(std::uint32_t job, double elapsed_s);
+
+  // Per-claim freshness: seconds between a claim's oldest undigested
+  // report arriving and the decision that consumed it. Observed into the
+  // stream.decision_staleness_s histogram.
+  void record_decision_staleness(double staleness_s);
+
+  void add_alert_rule(SloAlertRule rule);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double hit_ratio() const {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+  // Aggregate across every job / for one job (zeroes when unknown).
+  Stats stats() const;
+  Stats job_stats(std::uint32_t job) const;
+  std::uint64_t alerts_fired() const;
+
+ private:
+  struct JobSlo {
+    double deadline_s = 0.0;
+    Stats stats;
+  };
+  struct RuleState {
+    SloAlertRule rule;
+    bool firing = false;  // armed again once the burn rate recovers
+  };
+
+  // Pre-resolved slo.* instruments (obs/metrics.h).
+  struct Instruments {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* alerts = nullptr;
+    Gauge* hit_ratio = nullptr;
+    Histogram* staleness_s = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  Instruments ins_;
+  std::unordered_map<std::uint32_t, JobSlo> jobs_;
+  Stats total_;
+  std::deque<bool> recent_;  // sliding outcome window (true = hit)
+  std::size_t recent_capacity_ = 0;
+  std::vector<RuleState> rules_;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace sstd::obs

@@ -1,0 +1,228 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace sstd::obs {
+
+namespace {
+
+std::string csv_num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string csv_u64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// Rate between two retained samples; 0 on zero-dt or counter reset.
+double rate_between(const TimeSeriesPoint& prev, const TimeSeriesPoint& cur,
+                    const std::string& name) {
+  const double dt = cur.t_s - prev.t_s;
+  const std::uint64_t before = prev.metrics.counter_value(name);
+  const std::uint64_t after = cur.metrics.counter_value(name);
+  if (dt <= 0.0 || after < before) return 0.0;
+  return static_cast<double>(after - before) / dt;
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry* registry,
+                                     TimeSeriesConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.interval_s <= 0.0) config_.interval_s = 1.0;
+  ring_.reserve(config_.capacity);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_running_) return;
+  stop_requested_ = false;
+  thread_running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void TimeSeriesSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+}
+
+bool TimeSeriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_running_;
+}
+
+void TimeSeriesSampler::run_loop() {
+  const auto interval = std::chrono::duration<double>(config_.interval_s);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_now();
+    lock.lock();
+    cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+  }
+}
+
+void TimeSeriesSampler::sample_now() { sample_at(clock_.elapsed_seconds()); }
+
+void TimeSeriesSampler::sample_at(double t_s) {
+  TimeSeriesPoint point;
+  point.t_s = t_s;
+  point.metrics = registry_->snapshot();  // taken outside our own lock
+  push(std::move(point));
+}
+
+void TimeSeriesSampler::push(TimeSeriesPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(point));
+  } else {
+    ring_[next_] = std::move(point);
+    next_ = (next_ + 1) % config_.capacity;
+  }
+  ++total_;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesSampler::window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesSampler::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeriesSampler::sampled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TimeSeriesSampler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::vector<std::pair<double, double>> TimeSeriesSampler::counter_rate(
+    const std::string& name) const {
+  const auto points = window();
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    out.emplace_back(points[i].t_s,
+                     rate_between(points[i - 1], points[i], name));
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  const auto points = window();
+  std::string out = "t_s";
+  if (points.empty()) return out + "\n";
+
+  // Registrations never disappear, so the newest sample names the
+  // superset of columns; older samples read absent names as 0.
+  const MetricsSnapshot& latest = points.back().metrics;
+  for (const auto& [name, _] : latest.counters) {
+    out += "," + name + "," + name + "/s";
+  }
+  for (const auto& [name, _] : latest.gauges) out += "," + name;
+  for (const auto& [name, _] : latest.histograms) {
+    out += "," + name + ".count," + name + ".mean";
+  }
+  out += "\n";
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const TimeSeriesPoint& point = points[i];
+    out += csv_num(point.t_s);
+    for (const auto& [name, _] : latest.counters) {
+      out += "," + csv_u64(point.metrics.counter_value(name));
+      const double rate =
+          i > 0 ? rate_between(points[i - 1], point, name) : 0.0;
+      out += "," + csv_num(rate);
+    }
+    for (const auto& [name, _] : latest.gauges) {
+      double value = 0.0;
+      for (const auto& [key, v] : point.metrics.gauges) {
+        if (key == name) {
+          value = v;
+          break;
+        }
+      }
+      out += "," + csv_num(value);
+    }
+    for (const auto& [name, _] : latest.histograms) {
+      const HistogramSnapshot* hist = point.metrics.histogram(name);
+      out += "," + csv_u64(hist ? hist->count : 0);
+      out += "," + csv_num(hist ? hist->mean() : 0.0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json() const {
+  const auto points = window();
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const TimeSeriesPoint& point = points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"t_s\": " + csv_num(point.t_s) + ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : point.metrics.counters) {
+      out += first ? "" : ", ";
+      out += "\"" + json_escape(name) + "\": " + csv_u64(value);
+      first = false;
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : point.metrics.gauges) {
+      out += first ? "" : ", ";
+      out += "\"" + json_escape(name) + "\": " + csv_num(value);
+      first = false;
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, hist] : point.metrics.histograms) {
+      out += first ? "" : ", ";
+      out += "\"" + json_escape(name) +
+             "\": {\"count\": " + csv_u64(hist.count) +
+             ", \"mean\": " + csv_num(hist.mean()) + "}";
+      first = false;
+    }
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool TimeSeriesSampler::dump_csv(const std::string& path) const {
+  return write_text_file(path, to_csv());
+}
+
+bool TimeSeriesSampler::dump_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+}  // namespace sstd::obs

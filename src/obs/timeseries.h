@@ -1,0 +1,109 @@
+// Time-series sampler (ISSUE 3, DESIGN.md §5c): snapshots a
+// MetricsRegistry at a fixed cadence into a bounded ring of timestamped
+// snapshots, so a long-running process retains a sliding window of its
+// own metric history at fixed memory cost. From the retained window it
+// derives per-second counter rates (e.g. `wq.tasks_completed/s`) and
+// dumps everything to CSV/JSON, which is how the paper's Fig. 6-shaped
+// PID/DTM-over-time behaviour gets plotted from any live run.
+//
+// Sampling can run on a background thread (`start()`/`stop()`) or be
+// driven explicitly (`sample_now()` / `sample_at()`), and the two modes
+// compose: an example may tick once per processed interval while the
+// background thread keeps wall-clock cadence.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace sstd::obs {
+
+struct TimeSeriesConfig {
+  // Background sampling cadence.
+  double interval_s = 1.0;
+  // Retained window: the ring keeps the most recent `capacity` samples
+  // and overwrites its oldest entries beyond that.
+  std::size_t capacity = 600;
+};
+
+// One retained sample: registry contents at sampler-relative time `t_s`
+// (seconds since the sampler was constructed).
+struct TimeSeriesPoint {
+  double t_s = 0.0;
+  MetricsSnapshot metrics;
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(
+      MetricsRegistry* registry = &MetricsRegistry::global(),
+      TimeSeriesConfig config = {});
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  // Spawns the background sampling thread (idempotent).
+  void start();
+  // Stops and joins the background thread (idempotent; also run by the
+  // destructor). Retained samples survive stop() and remain readable.
+  void stop();
+  bool running() const;
+
+  // Takes one sample immediately, stamped with the sampler clock. Safe
+  // concurrently with the background thread.
+  void sample_now();
+  // Deterministic variant for tests: takes one sample stamped `t_s`.
+  // Callers must keep timestamps non-decreasing for rate math to hold.
+  void sample_at(double t_s);
+
+  // Retained samples, oldest first.
+  std::vector<TimeSeriesPoint> window() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return config_.capacity; }
+  // Total samples ever taken / overwritten by ring wrap-around.
+  std::uint64_t sampled() const;
+  std::uint64_t dropped() const;
+
+  // Per-second rate of counter `name` between consecutive retained
+  // samples: (t of the later sample, delta/dt). One entry fewer than the
+  // window; zero-dt and counter-reset (negative delta) pairs yield 0.
+  std::vector<std::pair<double, double>> counter_rate(
+      const std::string& name) const;
+
+  // Wide CSV of the whole retained window: one row per sample; columns
+  // are t_s, every counter (raw and `/s` rate), every gauge, and each
+  // histogram's count + mean. Column set comes from the newest sample
+  // (registrations only grow, so it is the superset).
+  std::string to_csv() const;
+  // JSON array of {t_s, counters, gauges, histograms:{count,mean}}.
+  std::string to_json() const;
+  bool dump_csv(const std::string& path) const;
+  bool dump_json(const std::string& path) const;
+
+ private:
+  void push(TimeSeriesPoint point);
+  void run_loop();
+
+  MetricsRegistry* registry_;
+  TimeSeriesConfig config_;
+  Stopwatch clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<TimeSeriesPoint> ring_;
+  std::size_t next_ = 0;  // slot the next sample lands in once full
+  std::uint64_t total_ = 0;
+  bool stop_requested_ = false;
+  bool thread_running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sstd::obs

@@ -1,6 +1,7 @@
 #include "sstd/distributed.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -8,6 +9,7 @@
 #include "core/acs.h"
 #include "hmm/quantizer.h"
 #include "sstd/batch.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -59,6 +61,12 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
   std::mutex commit_mu;
   std::vector<char> committed(data.num_claims(), 0);
 
+  // Per-claim ingest→decision staleness (DESIGN.md §5c): a claim's batch
+  // "ingests" at submit and "decides" at first row commit.
+  obs::Histogram* staleness_hist =
+      config_.telemetry.metrics->histogram("stream.decision_staleness_s");
+  const auto wall = std::make_shared<Stopwatch>();
+
   for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
     const auto reports = data.reports_of_claim(ClaimId{u});
     dist::Task task;
@@ -66,9 +74,10 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
     task.job = static_cast<dist::JobId>(u % config_.num_jobs);
     task.data_size = static_cast<double>(reports.size());
     auto* row = &estimates[u];
+    const double ingested_s = wall->elapsed_seconds();
     task.cancellable_work = [reports, row, u, &data, window, sstd_config,
-                             &commit_mu,
-                             &committed](const dist::CancelToken& token) {
+                             &commit_mu, &committed, staleness_hist, wall,
+                             ingested_s](const dist::CancelToken& token) {
       if (token.cancelled()) return false;
       const std::vector<double> acs = build_acs_series(
           reports, data.intervals(), data.interval_ms(), window);
@@ -80,6 +89,7 @@ EstimateMatrix DistributedSstd::run(const Dataset& data) {
       if (!committed[u]) {
         committed[u] = 1;
         *row = std::move(decoded);
+        staleness_hist->observe(wall->elapsed_seconds() - ingested_s);
       }
       return true;
     };
@@ -255,6 +265,9 @@ DeadlineExperimentResult run_deadline_experiment(
       auto& track = tracking.at(report.job);
       if (--track.outstanding == 0) {
         track.finished_at = report.finished_s;
+        // Deadlines here are absolute sim times, so the "elapsed" the
+        // SLO tally judges is the absolute finish time.
+        dtm.observe_completion(report.job, track.finished_at);
         dtm.complete_job(report.job);
       }
     }

@@ -22,6 +22,8 @@ SstdStreaming::SstdStreaming(SstdConfig config, TimestampMs interval_ms)
   ins_.claims_evicted = registry.counter("stream.claims_evicted");
   ins_.active_claims = registry.gauge("stream.active_claims");
   ins_.refit_s = registry.histogram("stream.refit_s");
+  ins_.decision_staleness_s =
+      registry.histogram("stream.decision_staleness_s");
 }
 
 SstdStreaming::ClaimPipeline& SstdStreaming::pipeline_for(
@@ -46,6 +48,9 @@ void SstdStreaming::offer(const Report& report) {
   pipeline.acs.add(report);
   pipeline.last_report_interval =
       static_cast<IntervalIndex>(report.time_ms / interval_ms_);
+  if (pipeline.pending_ingest_wall_s < 0.0) {
+    pipeline.pending_ingest_wall_s = wall_clock_.elapsed_seconds();
+  }
 }
 
 void SstdStreaming::refit(ClaimPipeline& pipeline) {
@@ -126,6 +131,14 @@ void SstdStreaming::end_interval(IntervalIndex k) {
     }
     pipeline.estimate =
         static_cast<std::int8_t>(pipeline.decoder->current_state());
+
+    // Freshness: this decision just consumed every report offered so far;
+    // staleness is how long the oldest of them waited for it.
+    if (pipeline.pending_ingest_wall_s >= 0.0) {
+      ins_.decision_staleness_s->observe(wall_clock_.elapsed_seconds() -
+                                         pipeline.pending_ingest_wall_s);
+      pipeline.pending_ingest_wall_s = -1.0;
+    }
   }
   ins_.intervals_closed->inc();
   ins_.active_claims->set(static_cast<double>(pipelines_.size()));

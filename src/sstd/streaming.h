@@ -17,6 +17,7 @@
 #include "hmm/quantizer.h"
 #include "obs/metrics.h"
 #include "sstd/config.h"
+#include "util/stopwatch.h"
 
 namespace sstd {
 
@@ -63,6 +64,10 @@ class SstdStreaming final : public StreamingTruthDiscovery {
     std::int8_t estimate = kNoEstimate;
     IntervalIndex intervals_seen = 0;
     IntervalIndex last_report_interval = 0;
+    // Wall-clock arrival of the oldest report not yet reflected in the
+    // estimate; < 0 when the claim has no undigested evidence. Feeds the
+    // stream.decision_staleness_s freshness histogram (DESIGN.md §5c).
+    double pending_ingest_wall_s = -1.0;
 
     explicit ClaimPipeline(TimestampMs window_ms) : acs(window_ms) {}
   };
@@ -75,6 +80,7 @@ class SstdStreaming final : public StreamingTruthDiscovery {
     obs::Counter* claims_evicted = nullptr;
     obs::Gauge* active_claims = nullptr;
     obs::Histogram* refit_s = nullptr;
+    obs::Histogram* decision_staleness_s = nullptr;
   };
 
   ClaimPipeline& pipeline_for(std::uint32_t claim);
@@ -82,6 +88,7 @@ class SstdStreaming final : public StreamingTruthDiscovery {
 
   Instruments ins_;
   SstdConfig config_;
+  Stopwatch wall_clock_;  // ingest→decision staleness timestamps
   TimestampMs interval_ms_;
   TimestampMs window_ms_;
   AcsQuantizer quantizer_;

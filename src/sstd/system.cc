@@ -19,7 +19,10 @@ SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
     shards_.push_back(std::move(shard));
   }
   // Every shard is a long-lived TD job; its deadline is re-armed per
-  // interval inside end_interval().
+  // interval inside end_interval(). The SLO tracker mirrors each
+  // registration so the exported deadline hit ratio and the DTM's
+  // internal tally count the same events.
+  dtm_.set_slo_tracker(&slo_);
   for (std::size_t i = 0; i < config_.num_jobs; ++i) {
     dtm_.register_job(static_cast<dist::JobId>(i), config_.interval_deadline_s);
   }
@@ -94,6 +97,12 @@ void SstdSystem::end_interval(IntervalIndex k) {
   const auto decision = dtm_.sample(interval_seconds, remaining,
                                     queue_.target_workers(), faults);
   queue_.scale_workers(decision.worker_target);
+
+  // Deadline SLO: every shard job shared this interval's wall-clock, so
+  // each gets one completion observation against its deadline budget.
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) {
+    dtm_.observe_completion(static_cast<dist::JobId>(i), interval_seconds);
+  }
 
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_.tasks_completed += reports.size();

@@ -23,6 +23,7 @@
 #include "control/dtm.h"
 #include "core/truth_discovery.h"
 #include "dist/work_queue.h"
+#include "obs/slo.h"
 #include "sstd/streaming.h"
 
 namespace sstd {
@@ -74,6 +75,14 @@ class SstdSystem {
 
   Metrics metrics() const;
 
+  // Live-observability hooks (ISSUE 3, DESIGN.md §5c): the runtime's
+  // Work Queue (liveness/backlog for /healthz and /readyz probes), the
+  // deadline-SLO tracker fed by the DTM, and the DTM itself.
+  const dist::WorkQueue& queue() const { return queue_; }
+  const obs::SloTracker& slo() const { return slo_; }
+  obs::SloTracker& slo() { return slo_; }
+  const control::DynamicTaskManager& dtm() const { return dtm_; }
+
  private:
   struct Shard {
     std::unique_ptr<SstdStreaming> engine;
@@ -84,6 +93,7 @@ class SstdSystem {
   Config config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   dist::WorkQueue queue_;
+  obs::SloTracker slo_;
   control::DynamicTaskManager dtm_;
   std::uint64_t next_task_id_ = 0;
   Metrics metrics_;

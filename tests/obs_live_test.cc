@@ -1,0 +1,404 @@
+// Live observability serving layer (ISSUE 3, DESIGN.md §5c): the HTTP
+// exposition endpoint exercised over a real socket (port 0 → ephemeral),
+// the time-series sampler's ring/rate math, and the deadline-SLO tracker
+// — including the acceptance check that the exported hit ratio agrees
+// exactly with the DTM's internal tally.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/dtm.h"
+#include "core/report.h"
+#include "obs/http_exposition.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "sstd/streaming.h"
+
+namespace sstd::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HTTP exposition over a real socket.
+// ---------------------------------------------------------------------------
+
+TEST(HttpExposition, ServesPrometheusMetricsOverRealSocket) {
+  MetricsRegistry registry;
+  registry.counter("wq.tasks_completed")->inc(42);
+  registry.gauge("wq.workers")->set(3.0);
+  registry.histogram("wq.execution_s", {0.1, 1.0})->observe(0.05);
+
+  HttpExpositionConfig config;
+  config.port = 0;
+  config.metrics = &registry;
+  HttpExposition server(config);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  HttpGetResult result;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/metrics", &result));
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(result.body.find("wq_tasks_completed 42"), std::string::npos);
+  EXPECT_NE(result.body.find("wq_workers 3"), std::string::npos);
+  EXPECT_NE(result.body.find("wq_execution_s_bucket"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(HttpExposition, SnapshotJsonVarzAndUnknownRoutes) {
+  MetricsRegistry registry;
+  registry.counter("stream.reports_ingested")->inc(7);
+
+  HttpExpositionConfig config;
+  config.metrics = &registry;
+  HttpExposition server(config);
+  server.set_varz("example", "obs_live_test");
+  ASSERT_TRUE(server.start());
+
+  HttpGetResult snapshot;
+  ASSERT_TRUE(
+      http_get("127.0.0.1", server.port(), "/snapshot.json", &snapshot));
+  EXPECT_EQ(snapshot.status, 200);
+  EXPECT_NE(snapshot.content_type.find("application/json"),
+            std::string::npos);
+  // JSON keeps dotted names verbatim.
+  EXPECT_NE(snapshot.body.find("\"stream.reports_ingested\": 7"),
+            std::string::npos);
+
+  HttpGetResult varz;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/varz", &varz));
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.body.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(varz.body.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(varz.body.find("\"example\": \"obs_live_test\""),
+            std::string::npos);
+
+  HttpGetResult missing;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/nope", &missing));
+  EXPECT_EQ(missing.status, 404);
+  server.stop();
+}
+
+TEST(HttpExposition, HealthAndReadyChecksDriveStatusCodes) {
+  MetricsRegistry registry;
+  HttpExpositionConfig config;
+  config.metrics = &registry;
+  HttpExposition server(config);
+  ASSERT_TRUE(server.start());
+
+  // Unset checks default to healthy/ready.
+  HttpGetResult health;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/healthz", &health));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  std::atomic<bool> ready{false};
+  server.set_ready_check([&ready] {
+    return std::make_pair(ready.load(), std::string("pool still warming"));
+  });
+  HttpGetResult not_ready;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/readyz", &not_ready));
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_NE(not_ready.body.find("pool still warming"), std::string::npos);
+
+  ready = true;
+  HttpGetResult now_ready;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/readyz", &now_ready));
+  EXPECT_EQ(now_ready.status, 200);
+  server.stop();
+}
+
+TEST(HttpExposition, StartServeStopTwiceInOneProcess) {
+  MetricsRegistry registry;
+  registry.counter("wq.tasks_completed")->inc();
+  HttpExpositionConfig config;
+  config.metrics = &registry;
+  HttpExposition server(config);
+
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(server.start()) << "round " << round;
+    ASSERT_TRUE(server.running());
+    HttpGetResult result;
+    ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/metrics", &result))
+        << "round " << round;
+    EXPECT_EQ(result.status, 200);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.port(), 0);
+  }
+}
+
+TEST(HttpExposition, TimeseriesCsvRouteServesAttachedSampler) {
+  MetricsRegistry registry;
+  Counter* tasks = registry.counter("wq.tasks_completed");
+  TimeSeriesSampler sampler(&registry);
+
+  HttpExpositionConfig config;
+  config.metrics = &registry;
+  HttpExposition server(config);
+  ASSERT_TRUE(server.start());
+
+  // No sampler attached yet → 404.
+  HttpGetResult missing;
+  ASSERT_TRUE(
+      http_get("127.0.0.1", server.port(), "/timeseries.csv", &missing));
+  EXPECT_EQ(missing.status, 404);
+
+  tasks->inc(5);
+  sampler.sample_at(1.0);
+  tasks->inc(5);
+  sampler.sample_at(2.0);
+  server.set_sampler(&sampler);
+
+  HttpGetResult csv;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/timeseries.csv", &csv));
+  EXPECT_EQ(csv.status, 200);
+  EXPECT_NE(csv.content_type.find("text/csv"), std::string::npos);
+  EXPECT_NE(csv.body.find("t_s"), std::string::npos);
+  EXPECT_NE(csv.body.find("wq.tasks_completed"), std::string::npos);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Time-series sampler: ring retention and rate math.
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesSampler, RingKeepsNewestSamplesAndCountsDrops) {
+  MetricsRegistry registry;
+  Counter* ticks = registry.counter("test.ticks");
+  TimeSeriesConfig config;
+  config.capacity = 4;
+  TimeSeriesSampler sampler(&registry, config);
+
+  for (int i = 0; i < 10; ++i) {
+    ticks->inc();
+    sampler.sample_at(static_cast<double>(i));
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_EQ(sampler.sampled(), 10u);
+  EXPECT_EQ(sampler.dropped(), 6u);
+
+  const auto window = sampler.window();
+  ASSERT_EQ(window.size(), 4u);
+  // Oldest first, and only the newest four survive the wrap-around.
+  EXPECT_DOUBLE_EQ(window[0].t_s, 6.0);
+  EXPECT_DOUBLE_EQ(window[3].t_s, 9.0);
+  EXPECT_EQ(window[3].metrics.counter_value("test.ticks"), 10u);
+}
+
+TEST(TimeSeriesSampler, CounterRateIsDeltaOverDt) {
+  MetricsRegistry registry;
+  Counter* tasks = registry.counter("wq.tasks_completed");
+  TimeSeriesSampler sampler(&registry);
+
+  sampler.sample_at(0.0);        // 0 tasks
+  tasks->inc(10);
+  sampler.sample_at(2.0);        // 10 tasks → 5/s over 2 s
+  tasks->inc(30);
+  sampler.sample_at(4.0);        // 40 tasks → 15/s over 2 s
+
+  const auto rate = sampler.counter_rate("wq.tasks_completed");
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate[0].first, 2.0);
+  EXPECT_DOUBLE_EQ(rate[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(rate[1].first, 4.0);
+  EXPECT_DOUBLE_EQ(rate[1].second, 15.0);
+}
+
+TEST(TimeSeriesSampler, RateHandlesZeroDtAndCounterReset) {
+  MetricsRegistry registry;
+  Counter* ticks = registry.counter("test.ticks");
+  TimeSeriesSampler sampler(&registry);
+
+  ticks->inc(8);
+  sampler.sample_at(1.0);
+  ticks->inc(2);
+  sampler.sample_at(1.0);  // zero dt → rate 0, not inf
+  registry.reset();        // counter reset → negative delta → rate 0
+  sampler.sample_at(2.0);
+
+  const auto rate = sampler.counter_rate("test.ticks");
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(rate[1].second, 0.0);
+}
+
+TEST(TimeSeriesSampler, CsvHasOneRowPerSampleWithRateColumns) {
+  MetricsRegistry registry;
+  Counter* tasks = registry.counter("wq.tasks_completed");
+  registry.gauge("wq.workers")->set(4.0);
+  TimeSeriesSampler sampler(&registry);
+
+  for (int i = 1; i <= 12; ++i) {
+    tasks->inc(3);
+    sampler.sample_at(static_cast<double>(i));
+  }
+  const std::string csv = sampler.to_csv();
+  EXPECT_NE(csv.find("wq.tasks_completed"), std::string::npos);
+  EXPECT_NE(csv.find("wq.tasks_completed/s"), std::string::npos);
+  EXPECT_NE(csv.find("wq.workers"), std::string::npos);
+  // Header plus one row per retained sample.
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(rows, 13);
+}
+
+TEST(TimeSeriesSampler, BackgroundThreadSamplesUntilStopped) {
+  MetricsRegistry registry;
+  TimeSeriesConfig config;
+  config.interval_s = 0.001;
+  TimeSeriesSampler sampler(&registry, config);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  for (int i = 0; i < 500 && sampler.size() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.size(), 3u);
+  // Retained samples survive stop().
+  EXPECT_EQ(sampler.window().size(), sampler.size());
+}
+
+// ---------------------------------------------------------------------------
+// SLO tracker, alone and fed by the DTM.
+// ---------------------------------------------------------------------------
+
+TEST(SloTracker, CountsHitsAndMissesAgainstRegisteredDeadline) {
+  MetricsRegistry registry;
+  SloTracker tracker(&registry);
+  tracker.register_job(1, 1.0);
+  tracker.record_completion(1, 0.5);   // hit
+  tracker.record_completion(1, 1.0);   // boundary: hit
+  tracker.record_completion(1, 1.5);   // miss
+  tracker.record_completion(99, 0.1);  // unregistered: ignored
+
+  const auto stats = tracker.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.hit_ratio(), 2.0 / 3.0, 1e-12);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("slo.deadline_hits"), 2u);
+  EXPECT_EQ(snap.counter_value("slo.deadline_misses"), 1u);
+}
+
+TEST(SloTracker, ExportedHitRatioMatchesDtmInternalStatsExactly) {
+  MetricsRegistry registry;
+  SloTracker tracker(&registry);
+
+  control::DynamicTaskManager dtm;
+  dtm.set_metrics(&registry);
+  dtm.set_slo_tracker(&tracker);
+  dtm.register_job(0, 1.0);
+  dtm.register_job(1, 2.0);
+
+  // A deterministic mixed run: job 0 alternates hit/miss, job 1 all hits.
+  for (int i = 0; i < 20; ++i) {
+    dtm.observe_completion(0, i % 2 == 0 ? 0.5 : 3.0);
+    dtm.observe_completion(1, 1.0);
+  }
+
+  const auto internal = dtm.deadline_stats();
+  const auto exported = tracker.stats();
+  // The acceptance criterion: exact agreement, not approximate.
+  EXPECT_EQ(internal.hits, exported.hits);
+  EXPECT_EQ(internal.misses, exported.misses);
+  EXPECT_EQ(internal.hits, 30u);
+  EXPECT_EQ(internal.misses, 10u);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("slo.deadline_hits"), internal.hits);
+  EXPECT_EQ(snap.counter_value("slo.deadline_misses"), internal.misses);
+  double gauge = 0.0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "slo.deadline_hit_ratio") gauge = value;
+  }
+  EXPECT_DOUBLE_EQ(gauge, internal.hit_ratio());
+
+  // Per-job view: job 1 never missed.
+  EXPECT_EQ(tracker.job_stats(1).misses, 0u);
+  EXPECT_EQ(tracker.job_stats(0).misses, 10u);
+}
+
+TEST(SloTracker, JobsRegisteredBeforeAttachAreMirrored) {
+  MetricsRegistry registry;
+  control::DynamicTaskManager dtm;
+  dtm.set_metrics(&registry);
+  dtm.register_job(5, 1.0);  // registered before the tracker exists
+
+  SloTracker tracker(&registry);
+  dtm.set_slo_tracker(&tracker);
+  dtm.observe_completion(5, 0.2);
+  EXPECT_EQ(tracker.stats().hits, 1u);
+}
+
+TEST(SloTracker, BurnAlertFiresOnceThenRearmsAfterRecovery) {
+  MetricsRegistry registry;
+  SloTracker tracker(&registry);
+  tracker.register_job(0, 1.0);
+
+  std::vector<SloAlert> fired;
+  SloAlertRule rule;
+  rule.name = "test-burn";
+  rule.max_miss_ratio = 0.5;
+  rule.window = 4;
+  rule.min_samples = 4;
+  rule.on_fire = [&fired](const SloAlert& alert) { fired.push_back(alert); };
+  tracker.add_alert_rule(rule);
+
+  // Build up a fully-missing window: fires once, not once per miss.
+  for (int i = 0; i < 6; ++i) tracker.record_completion(0, 5.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "test-burn");
+  EXPECT_DOUBLE_EQ(fired[0].miss_ratio, 1.0);
+  EXPECT_EQ(tracker.alerts_fired(), 1u);
+
+  // Recover: window fills with hits, the rule re-arms...
+  for (int i = 0; i < 6; ++i) tracker.record_completion(0, 0.1);
+  EXPECT_EQ(fired.size(), 1u);
+  // ...and a second burn fires a second alert.
+  for (int i = 0; i < 6; ++i) tracker.record_completion(0, 5.0);
+  EXPECT_EQ(fired.size(), 2u);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("slo.alerts_fired"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming engine exports ingest→decision staleness.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingStaleness, DecisionStalenessObservedPerDigestedClaim) {
+  // SstdStreaming instruments against the process-global registry, so
+  // assert on deltas.
+  const auto before = MetricsRegistry::global().snapshot();
+  const HistogramSnapshot* hist0 =
+      before.histogram("stream.decision_staleness_s");
+  const std::uint64_t count0 = hist0 ? hist0->count : 0;
+
+  SstdStreaming engine(SstdConfig{}, /*interval_ms=*/1000);
+  Report report;
+  report.source = SourceId{0};
+  report.claim = ClaimId{0};
+  report.time_ms = 100;
+  report.attitude = 1;
+  engine.offer(report);
+  engine.end_interval(0);
+
+  const auto after = MetricsRegistry::global().snapshot();
+  const HistogramSnapshot* hist =
+      after.histogram("stream.decision_staleness_s");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, count0 + 1);
+  // Staleness is a wall-clock offer→decision gap: tiny but non-negative.
+  EXPECT_GE(hist->sum, 0.0);
+}
+
+}  // namespace
+}  // namespace sstd::obs

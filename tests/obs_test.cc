@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -138,6 +139,20 @@ TEST(Histogram, DefaultLatencyLadderIsUsedWhenNoBoundsGiven) {
   EXPECT_EQ(hist->bounds(), Histogram::default_latency_bounds());
 }
 
+TEST(Histogram, EmptyHistogramQuantileIsNaN) {
+  // There is no q-th observation of zero observations; 0 would read as a
+  // real (excellent) latency, so the defined answer is NaN.
+  MetricsRegistry registry;
+  registry.histogram("q.lat", {1.0, 2.0});
+  const MetricsSnapshot all = registry.snapshot();
+  const HistogramSnapshot* snap = all.histogram("q.lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(std::isnan(snap->quantile(0.5)));
+  EXPECT_TRUE(std::isnan(snap->quantile(0.0)));
+  EXPECT_TRUE(std::isnan(snap->quantile(1.0)));
+  EXPECT_DOUBLE_EQ(snap->mean(), 0.0);
+}
+
 // ---------------------------------------------------------------------
 // Trace ring buffer.
 // ---------------------------------------------------------------------
@@ -212,6 +227,27 @@ TEST(Exporters, JsonKeepsDottedNamesAndPrecomputesQuantiles) {
   EXPECT_NE(json.find("\"p50\":"), std::string::npos);
   EXPECT_NE(json.find("\"p95\":"), std::string::npos);
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapesMetricNamesAndRendersNaNAsNull) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\ncontrol")->inc(1);
+  registry.histogram("empty.lat", {1.0});  // never observed → NaN quantiles
+  const std::string json = to_json(registry.snapshot());
+  // The raw quote/backslash/newline must not survive unescaped.
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\ncontrol\": 1"),
+            std::string::npos);
+  // NaN is not valid JSON; empty-histogram quantiles come out as null.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": null"), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapeGolden) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
 }
 
 TEST(Exporters, ChromeTraceGolden) {
