@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "hmm/logspace.h"
+#include "hmm/scaled_kernel.h"
 
 namespace sstd {
 
@@ -63,47 +64,89 @@ std::vector<int> DiscreteHmm::decode(const std::vector<int>& obs) const {
 
 TrainStats DiscreteHmm::fit_from_current(
     const std::vector<std::vector<int>>& sequences,
-    const BaumWelchOptions& options) {
+    const BaumWelchOptions& options, HmmWorkspace& ws) {
   const int X = core_.num_states;
   const int Y = num_symbols_;
+  const HmmEngine engine = resolve_hmm_engine(options.engine);
   TrainStats stats;
   double prev_ll = kLogZero;
   std::size_t total_steps = 0;
   for (const auto& seq : sequences) total_steps += seq.size();
   if (total_steps == 0) return stats;
 
+  // Per-sequence E-step through the log-space oracle: exps the log-space
+  // gamma/xi into the workspace so the accumulation below is shared with
+  // the scaled path. Also the underflow fallback for kScaled.
+  auto logspace_estep = [&](const std::vector<int>& obs) -> double {
+    const std::size_t T = obs.size();
+    const LogMatrix log_emit = emission_log_probs(obs);
+    const ForwardBackwardResult fb =
+        forward_backward(core_, log_emit, T, HmmEngine::kLogSpace);
+    if (fb.log_likelihood == kLogZero) return kLogZero;
+    const LogMatrix log_gamma = posterior_log_gamma(core_, fb, T);
+    const LogMatrix log_xi = expected_log_transitions(core_, log_emit, fb, T);
+    ws.prepare(T, X);
+    for (std::size_t k = 0; k < T * static_cast<std::size_t>(X); ++k) {
+      ws.gamma[k] = std::exp(log_gamma[k]);
+    }
+    for (std::size_t k = 0; k < static_cast<std::size_t>(X) * X; ++k) {
+      ws.xi[k] = std::exp(log_xi[k]);
+    }
+    return fb.log_likelihood;
+  };
+
+  const std::size_t emission_cells = static_cast<std::size_t>(X) * Y;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (engine == HmmEngine::kScaled) {
+      // Linear parameters for this iteration's sweeps; the discrete
+      // emission table lets the scaled path fill ws.emit by lookup with
+      // zero transcendentals per trellis cell.
+      load_core(core_, ws);
+      if (ws.b_lin.size() < emission_cells) ws.b_lin.resize(emission_cells);
+      for (std::size_t k = 0; k < emission_cells; ++k) {
+        ws.b_lin[k] = std::exp(log_b_[k]);
+      }
+    }
+
     // E-step accumulators (linear space; counts are well-scaled).
-    std::vector<double> a_num(static_cast<std::size_t>(X) * X, 0.0);
-    std::vector<double> a_den(X, 0.0);
-    std::vector<double> b_num(static_cast<std::size_t>(X) * Y, 0.0);
-    std::vector<double> b_den(X, 0.0);
-    std::vector<double> pi_acc(X, 0.0);
+    // acc_e0 = emission numerators (X x Y), acc_e1 = denominators (X).
+    ws.prepare_em(X, emission_cells);
     double total_ll = 0.0;
 
     for (const auto& obs : sequences) {
       const std::size_t T = obs.size();
       if (T == 0) continue;
-      const LogMatrix log_emit = emission_log_probs(obs);
-      const ForwardBackwardResult fb = forward_backward(core_, log_emit, T);
-      if (fb.log_likelihood == kLogZero) continue;  // impossible sequence
-      total_ll += fb.log_likelihood;
 
-      const LogMatrix log_gamma = posterior_log_gamma(core_, fb, T);
-      const LogMatrix log_xi = expected_log_transitions(core_, log_emit, fb, T);
+      double seq_ll;
+      if (engine == HmmEngine::kScaled) {
+        ws.prepare(T, X);
+        for (std::size_t t = 0; t < T; ++t) {
+          const int y = obs[t];
+          assert(y >= 0 && y < Y);
+          for (int i = 0; i < X; ++i) {
+            ws.emit[t * X + i] = ws.b_lin[i * Y + y];
+          }
+        }
+        seq_ll = scaled_estep(T, X, ws);
+        if (seq_ll == kLogZero) seq_ll = logspace_estep(obs);
+      } else {
+        seq_ll = logspace_estep(obs);
+      }
+      if (seq_ll == kLogZero) continue;  // impossible sequence
+      total_ll += seq_ll;
 
       for (int i = 0; i < X; ++i) {
-        pi_acc[i] += std::exp(log_gamma[i]);
+        ws.acc_pi[i] += ws.gamma[i];
         for (int j = 0; j < X; ++j) {
-          a_num[i * X + j] += std::exp(log_xi[i * X + j]);
+          ws.acc_a_num[i * X + j] += ws.xi[i * X + j];
         }
       }
       for (std::size_t t = 0; t < T; ++t) {
         for (int i = 0; i < X; ++i) {
-          const double g = std::exp(log_gamma[t * X + i]);
-          if (t + 1 < T) a_den[i] += g;
-          b_num[i * Y + obs[t]] += g;
-          b_den[i] += g;
+          const double g = ws.gamma[t * X + i];
+          if (t + 1 < T) ws.acc_a_den[i] += g;
+          ws.acc_e0[i * Y + obs[t]] += g;
+          ws.acc_e1[i] += g;
         }
       }
     }
@@ -113,24 +156,25 @@ TrainStats DiscreteHmm::fit_from_current(
     const double eps = options.smoothing;
     for (int i = 0; i < X; ++i) {
       if (options.update_transitions) {
-        const double row_den = a_den[i] + eps * X;
+        const double row_den = ws.acc_a_den[i] + eps * X;
         for (int j = 0; j < X; ++j) {
           core_.log_a[i * X + j] =
-              safe_log((a_num[i * X + j] + eps) / row_den);
+              safe_log((ws.acc_a_num[i * X + j] + eps) / row_den);
         }
       }
       if (options.update_emissions) {
-        const double b_row_den = b_den[i] + eps * Y;
+        const double b_row_den = ws.acc_e1[i] + eps * Y;
         for (int y = 0; y < Y; ++y) {
-          log_b_[i * Y + y] = safe_log((b_num[i * Y + y] + eps) / b_row_den);
+          log_b_[i * Y + y] =
+              safe_log((ws.acc_e0[i * Y + y] + eps) / b_row_den);
         }
       }
     }
     if (options.update_pi) {
       double pi_total = 0.0;
-      for (int i = 0; i < X; ++i) pi_total += pi_acc[i] + eps;
+      for (int i = 0; i < X; ++i) pi_total += ws.acc_pi[i] + eps;
       for (int i = 0; i < X; ++i) {
-        core_.log_pi[i] = safe_log((pi_acc[i] + eps) / pi_total);
+        core_.log_pi[i] = safe_log((ws.acc_pi[i] + eps) / pi_total);
       }
     }
 
@@ -148,12 +192,15 @@ TrainStats DiscreteHmm::fit_from_current(
 }
 
 TrainStats DiscreteHmm::fit(const std::vector<std::vector<int>>& sequences,
-                            const BaumWelchOptions& options) {
+                            const BaumWelchOptions& options,
+                            HmmWorkspace* workspace) {
+  HmmWorkspace& ws =
+      workspace != nullptr ? *workspace : thread_local_hmm_workspace();
   Rng rng(options.seed);
 
   // Candidate 0: the current (possibly informed) parameters.
   DiscreteHmm best = *this;
-  TrainStats best_stats = best.fit_from_current(sequences, options);
+  TrainStats best_stats = best.fit_from_current(sequences, options, ws);
 
   // Random restarts only make sense when every block is free to move;
   // with frozen emissions the informed start is the only valid one.
@@ -163,7 +210,7 @@ TrainStats DiscreteHmm::fit(const std::vector<std::vector<int>>& sequences,
     Rng child = rng.fork();
     DiscreteHmm candidate(core_.num_states, num_symbols_, child);
     const TrainStats stats =
-        candidate.fit_from_current(sequences, options);
+        candidate.fit_from_current(sequences, options, ws);
     if (stats.log_likelihood > best_stats.log_likelihood) {
       best = candidate;
       best_stats = stats;

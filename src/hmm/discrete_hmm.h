@@ -12,6 +12,8 @@
 
 namespace sstd {
 
+class HmmWorkspace;
+
 struct BaumWelchOptions {
   int max_iterations = 80;
   double tolerance = 1e-5;      // stop when LL improvement / T drops below
@@ -28,6 +30,11 @@ struct BaumWelchOptions {
   bool update_transitions = true;
   bool update_emissions = true;
   bool update_pi = true;
+
+  // Arithmetic engine for the E-step kernels; kDefault resolves to the
+  // process-wide default (scaled) at fit time. kLogSpace re-runs training
+  // through the reference log-space kernels (differential oracle).
+  HmmEngine engine = HmmEngine::kDefault;
 };
 
 struct TrainStats {
@@ -66,8 +73,14 @@ class DiscreteHmm {
   // from random parameters `options.restarts` times and keeps the model
   // with the best likelihood; the current parameters are also tried as one
   // starting point so training never degrades an informed initialization.
+  //
+  // `workspace` is an optional reusable buffer arena: callers that refit
+  // many models back to back (a streaming shard's per-claim batch) pass
+  // one so every E-step after warm-up allocates nothing. Without one the
+  // calling thread's shared workspace is used.
   TrainStats fit(const std::vector<std::vector<int>>& sequences,
-                 const BaumWelchOptions& options = {});
+                 const BaumWelchOptions& options = {},
+                 HmmWorkspace* workspace = nullptr);
 
   // Enforces the truth-state convention used by the decoder: state 1 is the
   // state whose emission distribution has the larger mean symbol index
@@ -78,7 +91,8 @@ class DiscreteHmm {
 
  private:
   TrainStats fit_from_current(const std::vector<std::vector<int>>& sequences,
-                              const BaumWelchOptions& options);
+                              const BaumWelchOptions& options,
+                              HmmWorkspace& workspace);
 
   HmmCore core_;
   int num_symbols_ = 0;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "hmm/logspace.h"
+#include "hmm/scaled_kernel.h"
 
 namespace sstd {
 namespace {
@@ -69,47 +70,92 @@ std::vector<int> GaussianHmm::decode(const std::vector<double>& obs) const {
 
 TrainStats GaussianHmm::fit_from_current(
     const std::vector<std::vector<double>>& sequences,
-    const BaumWelchOptions& options) {
+    const BaumWelchOptions& options, HmmWorkspace& ws) {
   const int X = core_.num_states;
+  const HmmEngine engine = resolve_hmm_engine(options.engine);
   TrainStats stats;
   double prev_ll = kLogZero;
   std::size_t total_steps = 0;
   for (const auto& seq : sequences) total_steps += seq.size();
   if (total_steps == 0) return stats;
 
+  // Log-space per-sequence E-step: oracle path and underflow fallback
+  // (far-tail Gaussian densities underflow linear arithmetic long before
+  // they hit log-space limits). Writes linear gamma/xi into the workspace
+  // so accumulation is shared with the scaled path.
+  auto logspace_estep = [&](const std::vector<double>& obs) -> double {
+    const std::size_t T = obs.size();
+    const LogMatrix log_emit = emission_log_probs(obs);
+    const ForwardBackwardResult fb =
+        forward_backward(core_, log_emit, T, HmmEngine::kLogSpace);
+    if (fb.log_likelihood == kLogZero) return kLogZero;
+    const LogMatrix log_gamma = posterior_log_gamma(core_, fb, T);
+    const LogMatrix log_xi = expected_log_transitions(core_, log_emit, fb, T);
+    ws.prepare(T, X);
+    for (std::size_t k = 0; k < T * static_cast<std::size_t>(X); ++k) {
+      ws.gamma[k] = std::exp(log_gamma[k]);
+    }
+    for (std::size_t k = 0; k < static_cast<std::size_t>(X) * X; ++k) {
+      ws.xi[k] = std::exp(log_xi[k]);
+    }
+    return fb.log_likelihood;
+  };
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    std::vector<double> a_num(static_cast<std::size_t>(X) * X, 0.0);
-    std::vector<double> a_den(X, 0.0);
-    std::vector<double> weight(X, 0.0);
-    std::vector<double> weighted_sum(X, 0.0);
-    std::vector<double> weighted_sq(X, 0.0);
-    std::vector<double> pi_acc(X, 0.0);
+    if (engine == HmmEngine::kScaled) {
+      load_core(core_, ws);
+      // Per-state density factors: b_i(x) = norm_i * exp(-(x-mean_i)^2 *
+      // inv2v_i). Stashed in b_lin as [norm_0..norm_{X-1}, inv2v_0..].
+      if (ws.b_lin.size() < 2 * static_cast<std::size_t>(X)) {
+        ws.b_lin.resize(2 * static_cast<std::size_t>(X));
+      }
+      for (int i = 0; i < X; ++i) {
+        ws.b_lin[i] =
+            1.0 / std::sqrt(2.0 * std::numbers::pi * variances_[i]);
+        ws.b_lin[X + i] = 0.5 / variances_[i];
+      }
+    }
+
+    // acc_e0 = gamma weight, acc_e1 = weighted sum, acc_e2 = weighted
+    // square sum (per-state Gaussian moment accumulators).
+    ws.prepare_em(X, X);
     double total_ll = 0.0;
 
     for (const auto& obs : sequences) {
       const std::size_t T = obs.size();
       if (T == 0) continue;
-      const LogMatrix log_emit = emission_log_probs(obs);
-      const ForwardBackwardResult fb = forward_backward(core_, log_emit, T);
-      if (fb.log_likelihood == kLogZero) continue;
-      total_ll += fb.log_likelihood;
 
-      const LogMatrix log_gamma = posterior_log_gamma(core_, fb, T);
-      const LogMatrix log_xi = expected_log_transitions(core_, log_emit, fb, T);
+      double seq_ll;
+      if (engine == HmmEngine::kScaled) {
+        ws.prepare(T, X);
+        for (std::size_t t = 0; t < T; ++t) {
+          for (int i = 0; i < X; ++i) {
+            const double d = obs[t] - means_[i];
+            ws.emit[t * X + i] =
+                ws.b_lin[i] * std::exp(-d * d * ws.b_lin[X + i]);
+          }
+        }
+        seq_ll = scaled_estep(T, X, ws);
+        if (seq_ll == kLogZero) seq_ll = logspace_estep(obs);
+      } else {
+        seq_ll = logspace_estep(obs);
+      }
+      if (seq_ll == kLogZero) continue;
+      total_ll += seq_ll;
 
       for (int i = 0; i < X; ++i) {
-        pi_acc[i] += std::exp(log_gamma[i]);
+        ws.acc_pi[i] += ws.gamma[i];
         for (int j = 0; j < X; ++j) {
-          a_num[i * X + j] += std::exp(log_xi[i * X + j]);
+          ws.acc_a_num[i * X + j] += ws.xi[i * X + j];
         }
       }
       for (std::size_t t = 0; t < T; ++t) {
         for (int i = 0; i < X; ++i) {
-          const double g = std::exp(log_gamma[t * X + i]);
-          if (t + 1 < T) a_den[i] += g;
-          weight[i] += g;
-          weighted_sum[i] += g * obs[t];
-          weighted_sq[i] += g * obs[t] * obs[t];
+          const double g = ws.gamma[t * X + i];
+          if (t + 1 < T) ws.acc_a_den[i] += g;
+          ws.acc_e0[i] += g;
+          ws.acc_e1[i] += g * obs[t];
+          ws.acc_e2[i] += g * obs[t] * obs[t];
         }
       }
     }
@@ -117,25 +163,25 @@ TrainStats GaussianHmm::fit_from_current(
     const double eps = options.smoothing;
     for (int i = 0; i < X; ++i) {
       if (options.update_transitions) {
-        const double row_den = a_den[i] + eps * X;
+        const double row_den = ws.acc_a_den[i] + eps * X;
         for (int j = 0; j < X; ++j) {
           core_.log_a[i * X + j] =
-              safe_log((a_num[i * X + j] + eps) / row_den);
+              safe_log((ws.acc_a_num[i * X + j] + eps) / row_den);
         }
       }
-      if (options.update_emissions && weight[i] > 1e-12) {
-        const double mean = weighted_sum[i] / weight[i];
-        const double var =
-            std::max(weighted_sq[i] / weight[i] - mean * mean, kMinVariance);
+      if (options.update_emissions && ws.acc_e0[i] > 1e-12) {
+        const double mean = ws.acc_e1[i] / ws.acc_e0[i];
+        const double var = std::max(
+            ws.acc_e2[i] / ws.acc_e0[i] - mean * mean, kMinVariance);
         means_[i] = mean;
         variances_[i] = var;
       }
     }
     if (options.update_pi) {
       double pi_total = 0.0;
-      for (int i = 0; i < X; ++i) pi_total += pi_acc[i] + eps;
+      for (int i = 0; i < X; ++i) pi_total += ws.acc_pi[i] + eps;
       for (int i = 0; i < X; ++i) {
-        core_.log_pi[i] = safe_log((pi_acc[i] + eps) / pi_total);
+        core_.log_pi[i] = safe_log((ws.acc_pi[i] + eps) / pi_total);
       }
     }
 
@@ -153,16 +199,20 @@ TrainStats GaussianHmm::fit_from_current(
 }
 
 TrainStats GaussianHmm::fit(const std::vector<std::vector<double>>& sequences,
-                            const BaumWelchOptions& options) {
+                            const BaumWelchOptions& options,
+                            HmmWorkspace* workspace) {
+  HmmWorkspace& ws =
+      workspace != nullptr ? *workspace : thread_local_hmm_workspace();
   Rng rng(options.seed);
   GaussianHmm best = *this;
-  TrainStats best_stats = best.fit_from_current(sequences, options);
+  TrainStats best_stats = best.fit_from_current(sequences, options, ws);
 
   const int restarts = options.update_emissions ? options.restarts : 0;
   for (int r = 0; r < restarts; ++r) {
     Rng child = rng.fork();
     GaussianHmm candidate(core_.num_states, child);
-    const TrainStats stats = candidate.fit_from_current(sequences, options);
+    const TrainStats stats =
+        candidate.fit_from_current(sequences, options, ws);
     if (stats.log_likelihood > best_stats.log_likelihood) {
       best = candidate;
       best_stats = stats;

@@ -28,8 +28,11 @@ class GaussianHmm {
   double sequence_log_likelihood(const std::vector<double>& obs) const;
   std::vector<int> decode(const std::vector<double>& obs) const;
 
+  // `workspace` as in DiscreteHmm::fit — optional reusable arena; nullptr
+  // borrows the calling thread's shared workspace.
   TrainStats fit(const std::vector<std::vector<double>>& sequences,
-                 const BaumWelchOptions& options = {});
+                 const BaumWelchOptions& options = {},
+                 HmmWorkspace* workspace = nullptr);
 
   // Same convention as DiscreteHmm::canonicalize_truth_states: state 1 must
   // be the higher-mean ("claim true") state.
@@ -37,7 +40,8 @@ class GaussianHmm {
 
  private:
   TrainStats fit_from_current(const std::vector<std::vector<double>>& sequences,
-                              const BaumWelchOptions& options);
+                              const BaumWelchOptions& options,
+                              HmmWorkspace& workspace);
 
   HmmCore core_;
   std::vector<double> means_;

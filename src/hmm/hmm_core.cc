@@ -1,11 +1,34 @@
 #include "hmm/hmm_core.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
 
 #include "hmm/logspace.h"
+#include "hmm/scaled_kernel.h"
 
 namespace sstd {
+
+namespace {
+
+std::atomic<HmmEngine> g_default_engine{HmmEngine::kScaled};
+
+}  // namespace
+
+HmmEngine default_hmm_engine() {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+void set_default_hmm_engine(HmmEngine engine) {
+  g_default_engine.store(
+      engine == HmmEngine::kDefault ? HmmEngine::kScaled : engine,
+      std::memory_order_relaxed);
+}
+
+HmmEngine resolve_hmm_engine(HmmEngine engine) {
+  return engine == HmmEngine::kDefault ? default_hmm_engine() : engine;
+}
 
 HmmCore random_core(int num_states, Rng& rng, double concentration) {
   assert(num_states > 0);
@@ -30,9 +53,12 @@ HmmCore random_core(int num_states, Rng& rng, double concentration) {
   return core;
 }
 
-ForwardBackwardResult forward_backward(const HmmCore& core,
-                                       const LogMatrix& log_emit,
-                                       std::size_t T) {
+namespace {
+
+// Reference log-space sweep (the kLogSpace oracle).
+ForwardBackwardResult logspace_forward_backward(const HmmCore& core,
+                                                const LogMatrix& log_emit,
+                                                std::size_t T) {
   const int X = core.num_states;
   assert(log_emit.size() >= T * static_cast<std::size_t>(X));
   ForwardBackwardResult fb;
@@ -73,8 +99,8 @@ ForwardBackwardResult forward_backward(const HmmCore& core,
   return fb;
 }
 
-double log_likelihood(const HmmCore& core, const LogMatrix& log_emit,
-                      std::size_t T) {
+double logspace_log_likelihood(const HmmCore& core, const LogMatrix& log_emit,
+                               std::size_t T) {
   const int X = core.num_states;
   if (T == 0) return 0.0;
   std::vector<double> alpha(X);
@@ -95,8 +121,8 @@ double log_likelihood(const HmmCore& core, const LogMatrix& log_emit,
   return ll;
 }
 
-std::vector<int> viterbi(const HmmCore& core, const LogMatrix& log_emit,
-                         std::size_t T) {
+std::vector<int> logspace_viterbi(const HmmCore& core,
+                                  const LogMatrix& log_emit, std::size_t T) {
   const int X = core.num_states;
   if (T == 0) return {};
   std::vector<double> delta(static_cast<std::size_t>(T) * X, kLogZero);
@@ -133,6 +159,68 @@ std::vector<int> viterbi(const HmmCore& core, const LogMatrix& log_emit,
     path[t] = back[(t + 1) * X + path[t + 1]];
   }
   return path;
+}
+
+}  // namespace
+
+ForwardBackwardResult forward_backward(const HmmCore& core,
+                                       const LogMatrix& log_emit,
+                                       std::size_t T, HmmEngine engine) {
+  if (resolve_hmm_engine(engine) == HmmEngine::kLogSpace || T == 0) {
+    return logspace_forward_backward(core, log_emit, T);
+  }
+  const int X = core.num_states;
+  assert(log_emit.size() >= T * static_cast<std::size_t>(X));
+  HmmWorkspace& ws = thread_local_hmm_workspace();
+  load_core(core, ws);
+  load_log_emissions(log_emit, T, X, ws);
+  const double ll = scaled_forward(T, X, ws);
+  if (ll == kLogZero) {
+    // Linear per-step mass underflowed (or the observation really is
+    // impossible): the oracle handles both with log-space semantics.
+    return logspace_forward_backward(core, log_emit, T);
+  }
+  scaled_backward(T, X, ws);
+
+  // Convert back to the API's log alpha/beta:
+  //   log alpha_t(i) = log alphahat_t(i) + sum_{s<=t} log c_s
+  //   log beta_t(i)  = log betahat_t(i)  + (LL - sum_{s<=t} log c_s)
+  ForwardBackwardResult fb;
+  fb.log_alpha.resize(T * X);
+  fb.log_beta.resize(T * X);
+  fb.log_likelihood = ll;
+  double cum = 0.0;
+  for (std::size_t t = 0; t < T; ++t) {
+    cum += std::log(ws.scale[t]);
+    const double beta_shift = ll - cum;
+    for (int i = 0; i < X; ++i) {
+      fb.log_alpha[t * X + i] = safe_log(ws.alpha[t * X + i]) + cum;
+      fb.log_beta[t * X + i] = safe_log(ws.beta[t * X + i]) + beta_shift;
+    }
+  }
+  return fb;
+}
+
+double log_likelihood(const HmmCore& core, const LogMatrix& log_emit,
+                      std::size_t T, HmmEngine engine) {
+  if (resolve_hmm_engine(engine) == HmmEngine::kLogSpace || T == 0) {
+    return logspace_log_likelihood(core, log_emit, T);
+  }
+  const int X = core.num_states;
+  HmmWorkspace& ws = thread_local_hmm_workspace();
+  load_core(core, ws);
+  load_log_emissions(log_emit, T, X, ws);
+  const double ll = scaled_forward(T, X, ws);
+  if (ll == kLogZero) return logspace_log_likelihood(core, log_emit, T);
+  return ll;
+}
+
+std::vector<int> viterbi(const HmmCore& core, const LogMatrix& log_emit,
+                         std::size_t T, HmmEngine engine) {
+  if (resolve_hmm_engine(engine) == HmmEngine::kLogSpace) {
+    return logspace_viterbi(core, log_emit, T);
+  }
+  return workspace_viterbi(core, log_emit, T, thread_local_hmm_workspace());
 }
 
 LogMatrix posterior_log_gamma(const HmmCore& core,

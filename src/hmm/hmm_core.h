@@ -29,6 +29,26 @@ struct HmmCore {
 // perturbation around uniform; used for Baum-Welch restarts.
 HmmCore random_core(int num_states, Rng& rng, double concentration = 1.0);
 
+// Arithmetic engine behind the inference kernels (DESIGN.md §6).
+//
+//   kScaled   — linear-space recursions with per-step scaling constants
+//               (Rabiner-style; src/hmm/scaled_kernel.h). The production
+//               default: mathematically equivalent likelihoods with no
+//               transcendental per trellis cell.
+//   kLogSpace — the original per-element log-sum-exp kernels, kept
+//               compiled as the reference oracle for differential testing
+//               and as the fallback when linear arithmetic underflows.
+//   kDefault  — resolve to the process-wide default at call time.
+enum class HmmEngine { kDefault = 0, kScaled, kLogSpace };
+
+// Process-wide default engine (kScaled unless overridden). Setting
+// kDefault restores the built-in default. Thread-safe.
+HmmEngine default_hmm_engine();
+void set_default_hmm_engine(HmmEngine engine);
+
+// kDefault -> default_hmm_engine(), anything else passes through.
+HmmEngine resolve_hmm_engine(HmmEngine engine);
+
 struct ForwardBackwardResult {
   LogMatrix log_alpha;  // T x X
   LogMatrix log_beta;   // T x X
@@ -36,17 +56,27 @@ struct ForwardBackwardResult {
 };
 
 // `log_emit` is T x X: log_emit[t*X + i] = log P(obs_t | s_t = i).
+//
+// Under kScaled the sweep runs in linear space with per-step scaling and
+// the result is converted back to log alpha/beta, so the API contract is
+// engine-independent; a sequence whose linear per-step mass underflows to
+// zero silently falls back to the log-space oracle.
 ForwardBackwardResult forward_backward(const HmmCore& core,
                                        const LogMatrix& log_emit,
-                                       std::size_t T);
+                                       std::size_t T,
+                                       HmmEngine engine = HmmEngine::kDefault);
 
 // Total observation log-likelihood (forward pass only).
 double log_likelihood(const HmmCore& core, const LogMatrix& log_emit,
-                      std::size_t T);
+                      std::size_t T, HmmEngine engine = HmmEngine::kDefault);
 
-// Most likely hidden state sequence (paper Eq. 6-8, Viterbi 1967).
+// Most likely hidden state sequence (paper Eq. 6-8, Viterbi 1967). The
+// max-sum recursion is additions and comparisons only, so both engines run
+// it in log space with identical arithmetic — paths never depend on the
+// engine; kScaled merely reuses workspace buffers instead of allocating.
 std::vector<int> viterbi(const HmmCore& core, const LogMatrix& log_emit,
-                         std::size_t T);
+                         std::size_t T,
+                         HmmEngine engine = HmmEngine::kDefault);
 
 // Posterior state marginals gamma[t*X + i] = P(s_t = i | obs), computed
 // from a forward/backward result. Used by the Baum-Welch M-steps.

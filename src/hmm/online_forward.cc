@@ -7,20 +7,24 @@
 
 namespace sstd {
 
-OnlineForward::OnlineForward(const HmmCore& core) : core_(core) {
-  if (core_.num_states <= 0) {
+OnlineForward::OnlineForward(const HmmCore& core) { reset(core); }
+
+void OnlineForward::reset(const HmmCore& core) {
+  if (core.num_states <= 0) {
     throw std::invalid_argument("OnlineForward: empty core");
   }
+  core_ = core;
   alpha_.assign(core_.num_states,
                 1.0 / static_cast<double>(core_.num_states));
+  next_.resize(core_.num_states);
+  steps_ = 0;
 }
 
 void OnlineForward::step(const std::vector<double>& log_emit) {
   const int X = core_.num_states;
-  std::vector<double> next(X, 0.0);
   if (steps_ == 0) {
     for (int i = 0; i < X; ++i) {
-      next[i] = std::exp(core_.log_pi[i] + log_emit[i]);
+      next_[i] = std::exp(core_.log_pi[i] + log_emit[i]);
     }
   } else {
     for (int j = 0; j < X; ++j) {
@@ -28,16 +32,16 @@ void OnlineForward::step(const std::vector<double>& log_emit) {
       for (int i = 0; i < X; ++i) {
         predicted += alpha_[i] * std::exp(core_.log_a_at(i, j));
       }
-      next[j] = predicted * std::exp(log_emit[j]);
+      next_[j] = predicted * std::exp(log_emit[j]);
     }
   }
   // Normalize; a numerically impossible observation falls back to the
   // predictive distribution rather than dividing by zero.
   double total = 0.0;
-  for (double value : next) total += value;
+  for (double value : next_) total += value;
   if (total > 0.0) {
-    for (double& value : next) value /= total;
-    alpha_ = std::move(next);
+    for (double& value : next_) value /= total;
+    alpha_.swap(next_);
   }
   ++steps_;
 }

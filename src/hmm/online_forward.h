@@ -18,7 +18,12 @@ class OnlineForward {
  public:
   explicit OnlineForward(const HmmCore& core);
 
-  // Advances one step with per-state emission log-probabilities.
+  // Restarts filtering with new model parameters (a streaming refit);
+  // keeps allocated buffers.
+  void reset(const HmmCore& core);
+
+  // Advances one step with per-state emission log-probabilities. Performs
+  // no heap allocations (scratch buffers are members).
   void step(const std::vector<double>& log_emit);
 
   std::size_t steps() const { return steps_; }
@@ -33,6 +38,7 @@ class OnlineForward {
  private:
   HmmCore core_;
   std::vector<double> alpha_;  // normalized (linear space)
+  std::vector<double> next_;   // step scratch
   std::size_t steps_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "hmm/online_viterbi.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -12,18 +13,65 @@ OnlineViterbi::OnlineViterbi(const HmmCore& core, std::size_t max_lag)
   if (core_.num_states <= 0) {
     throw std::invalid_argument("OnlineViterbi: empty core");
   }
+  const std::size_t X = static_cast<std::size_t>(core_.num_states);
+  delta_.resize(X);
+  next_.resize(X);
+  if (max_lag_ > 0) back_.resize((max_lag_ + 1) * X);
+}
+
+void OnlineViterbi::reset(const HmmCore& core) {
+  if (core.num_states <= 0) {
+    throw std::invalid_argument("OnlineViterbi: empty core");
+  }
+  core_ = core;
+  const std::size_t X = static_cast<std::size_t>(core_.num_states);
+  delta_.resize(X);
+  next_.resize(X);
+  if (max_lag_ > 0 && back_.size() < (max_lag_ + 1) * X) {
+    back_.resize((max_lag_ + 1) * X);
+  }
+  count_ = 0;
+  head_ = 0;
+}
+
+const int* OnlineViterbi::back_row(std::size_t r) const {
+  const std::size_t X = static_cast<std::size_t>(core_.num_states);
+  if (max_lag_ == 0) return &back_[r * X];
+  const std::size_t rows = max_lag_ + 1;
+  return &back_[((head_ + r) % rows) * X];
+}
+
+int* OnlineViterbi::push_back_row() {
+  const std::size_t X = static_cast<std::size_t>(core_.num_states);
+  if (max_lag_ == 0) {
+    // Unbounded: append-only flat buffer (amortized growth, like the
+    // vector-of-vectors it replaces but without per-step row allocations).
+    back_.resize((count_ + 1) * X);
+    return &back_[count_++ * X];
+  }
+  const std::size_t rows = max_lag_ + 1;
+  std::size_t slot;
+  if (count_ == rows) {
+    // Window full: the oldest row can never be read again — reuse it.
+    slot = head_;
+    head_ = (head_ + 1) % rows;
+  } else {
+    slot = (head_ + count_) % rows;
+    ++count_;
+  }
+  return &back_[slot * X];
 }
 
 void OnlineViterbi::step(const std::vector<double>& log_emit) {
   const int X = core_.num_states;
   assert(log_emit.size() == static_cast<std::size_t>(X));
 
-  std::vector<int> back(X, 0);
-  if (history_.empty()) {
-    delta_.resize(X);
+  const bool first = count_ == 0;
+  int* back = push_back_row();
+  if (first) {
+    std::fill(back, back + X, 0);
     for (int i = 0; i < X; ++i) delta_[i] = core_.log_pi[i] + log_emit[i];
   } else {
-    std::vector<double> next(X, kLogZero);
     for (int j = 0; j < X; ++j) {
       double best = kLogZero;
       int arg = 0;
@@ -34,17 +82,10 @@ void OnlineViterbi::step(const std::vector<double>& log_emit) {
           arg = i;
         }
       }
-      next[j] = best + log_emit[j];
+      next_[j] = best + log_emit[j];
       back[j] = arg;
     }
-    delta_.swap(next);
-  }
-  history_.push_back(std::move(back));
-
-  // Bound memory when a decode lag was configured: backpointers older than
-  // the lag window can never be read again.
-  if (max_lag_ > 0 && history_.size() > max_lag_ + 1) {
-    history_.erase(history_.begin());
+    delta_.swap(next_);
   }
 
   // Renormalize the frontier to keep log-values bounded on long streams
@@ -57,7 +98,7 @@ void OnlineViterbi::step(const std::vector<double>& log_emit) {
 }
 
 int OnlineViterbi::current_state() const {
-  if (history_.empty()) {
+  if (count_ == 0) {
     throw std::logic_error("OnlineViterbi: no observations yet");
   }
   int arg = 0;
@@ -68,25 +109,24 @@ int OnlineViterbi::current_state() const {
 }
 
 int OnlineViterbi::lagged_state(std::size_t lag) const {
-  if (lag >= history_.size()) {
+  if (lag >= count_) {
     throw std::out_of_range("OnlineViterbi: lag exceeds history");
   }
   int state = current_state();
   // Walk backpointers from the frontier `lag` steps into the past.
   for (std::size_t back = 0; back < lag; ++back) {
-    const auto& pointers = history_[history_.size() - 1 - back];
-    state = pointers[state];
+    state = back_row(count_ - 1 - back)[state];
   }
   return state;
 }
 
 std::vector<int> OnlineViterbi::traceback() const {
-  std::vector<int> path(history_.size());
-  if (history_.empty()) return path;
+  std::vector<int> path(count_);
+  if (count_ == 0) return path;
   int state = current_state();
   path.back() = state;
-  for (std::size_t t = history_.size() - 1; t > 0; --t) {
-    state = history_[t][state];
+  for (std::size_t t = count_ - 1; t > 0; --t) {
+    state = back_row(t)[state];
     path[t - 1] = state;
   }
   return path;

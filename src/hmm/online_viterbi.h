@@ -6,6 +6,10 @@
 // frontier incrementally: each step() is O(X^2), and the current most
 // likely state is available immediately. A fixed decode lag can optionally
 // be used to read smoothed (less jittery) decisions delayed by L steps.
+//
+// Backpointers live in a flat ring buffer (bounded mode) or a flat
+// append-only buffer (unbounded mode), and the frontier scratch is a
+// member, so step() performs zero heap allocations at steady state.
 #pragma once
 
 #include <cstddef>
@@ -22,10 +26,17 @@ class OnlineViterbi {
   // it works with both discrete and Gaussian emissions.
   explicit OnlineViterbi(const HmmCore& core, std::size_t max_lag = 0);
 
+  // Restarts decoding from scratch with new model parameters (a streaming
+  // refit). Retained capacity is kept, so no reallocation happens when the
+  // new core has the same state count.
+  void reset(const HmmCore& core);
+
   // Advances one time step. `log_emit` has core.num_states entries.
   void step(const std::vector<double>& log_emit);
 
-  std::size_t steps() const { return history_.size(); }
+  // Number of retained trellis steps (capped at max_lag + 1 in bounded
+  // mode; total steps seen when max_lag == 0).
+  std::size_t steps() const { return count_; }
 
   // Most likely current state given everything seen so far (filtered
   // decision; what the streaming engine reports each interval).
@@ -42,10 +53,17 @@ class OnlineViterbi {
   std::vector<int> traceback() const;
 
  private:
+  // Backpointer row for logical step r, 0 = oldest retained.
+  const int* back_row(std::size_t r) const;
+  int* push_back_row();
+
   HmmCore core_;
   std::size_t max_lag_;  // 0 => retain full history
-  std::vector<double> delta_;             // current frontier, X entries
-  std::vector<std::vector<int>> history_;  // backpointers per step
+  std::vector<double> delta_;  // current frontier, X entries
+  std::vector<double> next_;   // frontier scratch, X entries
+  std::vector<int> back_;      // flat backpointer rows (ring when bounded)
+  std::size_t count_ = 0;      // retained rows
+  std::size_t head_ = 0;       // physical index of the oldest row (bounded)
 };
 
 }  // namespace sstd

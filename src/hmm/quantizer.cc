@@ -29,9 +29,15 @@ int AcsQuantizer::quantize(double acs) const {
 
 std::vector<int> AcsQuantizer::quantize_series(
     const std::vector<double>& acs) const {
-  std::vector<int> symbols(acs.size());
-  for (std::size_t i = 0; i < acs.size(); ++i) symbols[i] = quantize(acs[i]);
+  std::vector<int> symbols;
+  quantize_series_into(acs, symbols);
   return symbols;
+}
+
+void AcsQuantizer::quantize_series_into(const std::vector<double>& acs,
+                                        std::vector<int>& out) const {
+  out.resize(acs.size());
+  for (std::size_t i = 0; i < acs.size(); ++i) out[i] = quantize(acs[i]);
 }
 
 double AcsQuantizer::bin_center(int symbol) const {

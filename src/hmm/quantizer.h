@@ -24,6 +24,12 @@ class AcsQuantizer {
 
   std::vector<int> quantize_series(const std::vector<double>& acs) const;
 
+  // Allocation-free variant for hot refit paths: resizes `out` to
+  // acs.size() (no-op when the caller reuses a large-enough buffer) and
+  // fills it in place.
+  void quantize_series_into(const std::vector<double>& acs,
+                            std::vector<int>& out) const;
+
   // Center ACS value represented by a symbol (inverse mapping, for
   // debugging/plots).
   double bin_center(int symbol) const;

@@ -1,0 +1,212 @@
+#include "hmm/scaled_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hmm/logspace.h"
+
+namespace sstd {
+
+void HmmWorkspace::prepare(std::size_t T, int X) {
+  const std::size_t cells = T * static_cast<std::size_t>(X);
+  const std::size_t xx = static_cast<std::size_t>(X) * X;
+  if (cells > trellis_cells_) {
+    emit.resize(cells);
+    alpha.resize(cells);
+    beta.resize(cells);
+    gamma.resize(cells);
+    back.resize(cells);
+    trellis_cells_ = cells;
+  }
+  if (T > trellis_steps_) {
+    scale.resize(T);
+    path.resize(T);
+    trellis_steps_ = T;
+  }
+  if (xi.size() < xx) {
+    xi.resize(xx);
+    a_lin.resize(xx);
+    pi_lin.resize(X);
+    delta.resize(2 * static_cast<std::size_t>(X));
+    tmp.resize(X);
+  }
+}
+
+void HmmWorkspace::prepare_em(int X, std::size_t emission_slots) {
+  const std::size_t xx = static_cast<std::size_t>(X) * X;
+  acc_a_num.assign(xx, 0.0);
+  acc_a_den.assign(X, 0.0);
+  acc_pi.assign(X, 0.0);
+  acc_e0.assign(emission_slots, 0.0);
+  acc_e1.assign(emission_slots, 0.0);
+  acc_e2.assign(emission_slots, 0.0);
+}
+
+HmmWorkspace& thread_local_hmm_workspace() {
+  static thread_local HmmWorkspace workspace;
+  return workspace;
+}
+
+void load_core(const HmmCore& core, HmmWorkspace& ws) {
+  const int X = core.num_states;
+  ws.prepare(1, X);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(X) * X; ++k) {
+    ws.a_lin[k] = std::exp(core.log_a[k]);
+  }
+  for (int i = 0; i < X; ++i) ws.pi_lin[i] = std::exp(core.log_pi[i]);
+}
+
+void load_log_emissions(const LogMatrix& log_emit, std::size_t T, int X,
+                        HmmWorkspace& ws) {
+  ws.prepare(T, X);
+  const std::size_t cells = T * static_cast<std::size_t>(X);
+  assert(log_emit.size() >= cells);
+  for (std::size_t k = 0; k < cells; ++k) ws.emit[k] = std::exp(log_emit[k]);
+}
+
+double scaled_forward(std::size_t T, int X, HmmWorkspace& ws) {
+  assert(T >= 1);
+  double log_likelihood = 0.0;
+
+  // t = 0.
+  double total = 0.0;
+  for (int i = 0; i < X; ++i) {
+    const double v = ws.pi_lin[i] * ws.emit[i];
+    ws.alpha[i] = v;
+    total += v;
+  }
+  if (!(total > 0.0)) return kLogZero;
+  ws.scale[0] = total;
+  const double inv0 = 1.0 / total;
+  for (int i = 0; i < X; ++i) ws.alpha[i] *= inv0;
+  log_likelihood += std::log(total);
+
+  for (std::size_t t = 1; t < T; ++t) {
+    const double* prev = &ws.alpha[(t - 1) * X];
+    const double* emit_row = &ws.emit[t * X];
+    double* row = &ws.alpha[t * X];
+    double step_total = 0.0;
+    for (int j = 0; j < X; ++j) {
+      double predicted = 0.0;
+      for (int i = 0; i < X; ++i) {
+        predicted += prev[i] * ws.a_lin[i * X + j];
+      }
+      const double v = predicted * emit_row[j];
+      row[j] = v;
+      step_total += v;
+    }
+    if (!(step_total > 0.0)) return kLogZero;
+    ws.scale[t] = step_total;
+    const double inv = 1.0 / step_total;
+    for (int j = 0; j < X; ++j) row[j] *= inv;
+    log_likelihood += std::log(step_total);
+  }
+  return log_likelihood;
+}
+
+void scaled_backward(std::size_t T, int X, HmmWorkspace& ws) {
+  assert(T >= 1);
+  double* last = &ws.beta[(T - 1) * X];
+  for (int i = 0; i < X; ++i) last[i] = 1.0;
+  for (std::size_t t = T - 1; t-- > 0;) {
+    const double* next = &ws.beta[(t + 1) * X];
+    const double* emit_next = &ws.emit[(t + 1) * X];
+    double* row = &ws.beta[t * X];
+    const double inv_c = 1.0 / ws.scale[t + 1];
+    for (int j = 0; j < X; ++j) ws.tmp[j] = emit_next[j] * next[j] * inv_c;
+    for (int i = 0; i < X; ++i) {
+      double acc = 0.0;
+      const double* a_row = &ws.a_lin[static_cast<std::size_t>(i) * X];
+      for (int j = 0; j < X; ++j) acc += a_row[j] * ws.tmp[j];
+      row[i] = acc;
+    }
+  }
+}
+
+void scaled_posterior(std::size_t T, int X, HmmWorkspace& ws) {
+  const std::size_t cells = T * static_cast<std::size_t>(X);
+  for (std::size_t k = 0; k < cells; ++k) {
+    ws.gamma[k] = ws.alpha[k] * ws.beta[k];
+  }
+}
+
+void scaled_expected_transitions(std::size_t T, int X, HmmWorkspace& ws) {
+  std::fill(ws.xi.begin(), ws.xi.begin() + static_cast<std::size_t>(X) * X,
+            0.0);
+  for (std::size_t t = 0; t + 1 < T; ++t) {
+    const double* alpha_row = &ws.alpha[t * X];
+    const double* beta_next = &ws.beta[(t + 1) * X];
+    const double* emit_next = &ws.emit[(t + 1) * X];
+    const double inv_c = 1.0 / ws.scale[t + 1];
+    for (int j = 0; j < X; ++j) ws.tmp[j] = emit_next[j] * beta_next[j] * inv_c;
+    for (int i = 0; i < X; ++i) {
+      const double a_i = alpha_row[i];
+      const double* a_row = &ws.a_lin[static_cast<std::size_t>(i) * X];
+      double* xi_row = &ws.xi[static_cast<std::size_t>(i) * X];
+      for (int j = 0; j < X; ++j) {
+        xi_row[j] += a_i * a_row[j] * ws.tmp[j];
+      }
+    }
+  }
+}
+
+double scaled_estep(std::size_t T, int X, HmmWorkspace& ws) {
+  const double log_likelihood = scaled_forward(T, X, ws);
+  if (log_likelihood == kLogZero) return kLogZero;
+  scaled_backward(T, X, ws);
+  scaled_posterior(T, X, ws);
+  scaled_expected_transitions(T, X, ws);
+  return log_likelihood;
+}
+
+const std::vector<int>& workspace_viterbi(const HmmCore& core,
+                                          const LogMatrix& log_emit,
+                                          std::size_t T, HmmWorkspace& ws) {
+  const int X = core.num_states;
+  ws.prepare(std::max<std::size_t>(T, 1), X);
+  if (T == 0) {
+    ws.path.clear();
+    return ws.path;
+  }
+  // Two-row frontier instead of the T x X delta matrix: only the
+  // backpointers need the full history.
+  double* cur = ws.delta.data();
+  double* next = ws.delta.data() + X;
+
+  for (int i = 0; i < X; ++i) cur[i] = core.log_pi[i] + log_emit[i];
+  for (std::size_t t = 1; t < T; ++t) {
+    int* back_row = &ws.back[t * X];
+    for (int j = 0; j < X; ++j) {
+      double best = kLogZero;
+      int arg = 0;
+      for (int i = 0; i < X; ++i) {
+        const double cand = cur[i] + core.log_a_at(i, j);
+        if (cand > best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      next[j] = best + log_emit[t * X + j];
+      back_row[j] = arg;
+    }
+    std::swap(cur, next);
+  }
+
+  ws.path.resize(T);
+  int arg = 0;
+  double best = kLogZero;
+  for (int i = 0; i < X; ++i) {
+    if (cur[i] > best) {
+      best = cur[i];
+      arg = i;
+    }
+  }
+  ws.path[T - 1] = arg;
+  for (std::size_t t = T - 1; t-- > 0;) {
+    ws.path[t] = ws.back[(t + 1) * X + ws.path[t + 1]];
+  }
+  return ws.path;
+}
+
+}  // namespace sstd

@@ -1,0 +1,131 @@
+// Scaled-arithmetic HMM kernels (DESIGN.md §6).
+//
+// The log-space kernels in hmm_core.cc pay one log1p+exp per trellis cell
+// per predecessor state — the dominant cost of every Baum-Welch refit and
+// batch decode. The classic alternative (Rabiner 1989 §V) runs the same
+// recursions in linear space and renormalizes each time step by a scaling
+// constant c_t, so no forward variable ever underflows:
+//
+//   alphahat_t(i) = alpha_t(i) / prod_{s<=t} c_s      (rows sum to 1)
+//   betahat_t(i)  = beta_t(i)  / prod_{s>t}  c_s
+//   log P(o_1..T) = sum_t log c_t
+//   gamma_t(i)    = alphahat_t(i) * betahat_t(i)       (already normalized)
+//   xi_t(i,j)     = alphahat_t(i) a_ij b_j(o_{t+1}) betahat_{t+1}(j) / c_{t+1}
+//
+// The inner O(T X^2) loops become pure multiply-adds; the only
+// transcendentals left are one exp per emission cell (loading) and one log
+// per time step (the likelihood). Every kernel writes into an HmmWorkspace
+// arena so repeated refits/decodes perform zero heap allocations after the
+// first (largest) call.
+//
+// kLogSpace in hmm_core.h keeps the original kernels compiled and
+// selectable as the reference oracle; tests/differential_hmm_test.cc pins
+// the two engines together.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hmm/hmm_core.h"
+
+namespace sstd {
+
+// Reusable buffer arena for the scaled kernels and the workspace Viterbi.
+//
+// Ownership rules (DESIGN.md §6): a workspace is single-threaded state —
+// one owner at a time, no internal locking. Long-lived engines (each
+// SstdStreaming shard) own one and run all their claims through it; code
+// without a natural owner borrows the per-thread instance from
+// thread_local_hmm_workspace(). Buffers grow monotonically and are never
+// shrunk, so steady-state use allocates nothing.
+class HmmWorkspace {
+ public:
+  // Grows the trellis buffers for a T x X problem. Cheap when the
+  // workspace has already seen a problem at least this large.
+  void prepare(std::size_t T, int X);
+
+  // Grows the EM accumulators: transitions/pi are X-shaped, the emission
+  // accumulators hold `emission_slots` doubles each (X*Y for discrete
+  // models, X for Gaussian moment accumulators). Zero-fills all of them.
+  void prepare_em(int X, std::size_t emission_slots);
+
+  // --- trellis buffers (row-major T x X unless noted) ---
+  std::vector<double> emit;   // linear emission probabilities
+  std::vector<double> alpha;  // alphahat (row-normalized)
+  std::vector<double> beta;   // betahat
+  std::vector<double> scale;  // c_t, T entries
+  std::vector<double> gamma;  // linear posteriors
+  std::vector<double> xi;     // X x X expected transition counts (linear)
+
+  // --- model parameters in linear space (load_core) ---
+  std::vector<double> a_lin;   // X x X
+  std::vector<double> pi_lin;  // X
+  std::vector<double> b_lin;   // X x Y discrete emission table (caller-sized)
+
+  // --- Viterbi scratch ---
+  std::vector<double> delta;  // 2 x X frontier (current/next)
+  std::vector<int> back;      // T x X backpointers
+  std::vector<int> path;      // T
+
+  // --- EM accumulators (prepare_em) ---
+  std::vector<double> acc_a_num;  // X x X
+  std::vector<double> acc_a_den;  // X
+  std::vector<double> acc_pi;     // X
+  std::vector<double> acc_e0;     // emission_slots (b_num / gamma weight)
+  std::vector<double> acc_e1;     // emission_slots (b_den / weighted sum)
+  std::vector<double> acc_e2;     // emission_slots (weighted square sum)
+
+  // --- small scratch ---
+  std::vector<double> tmp;  // X
+
+ private:
+  std::size_t trellis_cells_ = 0;
+  std::size_t trellis_steps_ = 0;
+};
+
+// Per-thread fallback workspace for call sites without a long-lived owner
+// (the hmm_core.h dispatch functions, per-claim batch decodes).
+HmmWorkspace& thread_local_hmm_workspace();
+
+// Loads exp(core.log_a) / exp(core.log_pi) into ws.a_lin / ws.pi_lin.
+// Call once per model version, before a batch of forward/backward sweeps.
+void load_core(const HmmCore& core, HmmWorkspace& ws);
+
+// Loads exp(log_emit) into ws.emit (T x X). Callers with cheaper linear
+// sources (a discrete emission table) may fill ws.emit directly instead.
+void load_log_emissions(const LogMatrix& log_emit, std::size_t T, int X,
+                        HmmWorkspace& ws);
+
+// Scaled forward sweep over ws.emit/ws.a_lin/ws.pi_lin: fills ws.alpha and
+// ws.scale, returns sum_t log c_t. Returns kLogZero when some step's total
+// probability underflows to zero (impossible observation, or emissions too
+// small for linear arithmetic) — callers fall back to the log-space oracle
+// for that sequence. Requires load_core + emissions loaded; T >= 1.
+double scaled_forward(std::size_t T, int X, HmmWorkspace& ws);
+
+// Scaled backward sweep: fills ws.beta. Requires a scaled_forward first
+// (reads ws.scale).
+void scaled_backward(std::size_t T, int X, HmmWorkspace& ws);
+
+// gamma_t(i) = alphahat_t(i) * betahat_t(i), written to ws.gamma.
+void scaled_posterior(std::size_t T, int X, HmmWorkspace& ws);
+
+// Accumulates sum_t xi_t(i,j) into ws.xi (X x X, overwritten).
+void scaled_expected_transitions(std::size_t T, int X, HmmWorkspace& ws);
+
+// forward + backward + posterior + expected transitions in one call.
+// Returns the log-likelihood, or kLogZero on underflow (in which case the
+// gamma/xi buffers are not meaningful).
+double scaled_estep(std::size_t T, int X, HmmWorkspace& ws);
+
+// Workspace-backed Viterbi. This is the *same* max-sum recursion in log
+// space as the kLogSpace decoder — additions and comparisons only, so it
+// was never transcendental-bound — merely re-homed onto the arena so
+// decodes allocate nothing. Identical arithmetic in identical order means
+// both engines produce bit-identical paths (the golden corpus relies on
+// this). Returns ws.path (valid until the next workspace use).
+const std::vector<int>& workspace_viterbi(const HmmCore& core,
+                                          const LogMatrix& log_emit,
+                                          std::size_t T, HmmWorkspace& ws);
+
+}  // namespace sstd

@@ -55,25 +55,25 @@ void SstdStreaming::offer(const Report& report) {
 
 void SstdStreaming::refit(ClaimPipeline& pipeline) {
   const Stopwatch watch;
-  const std::vector<int> symbols =
-      quantizer_.quantize_series(pipeline.history);
-  pipeline.model.fit({symbols}, config_.train);
+  std::vector<int>& symbols = refit_batch_[0];
+  quantizer_.quantize_series_into(pipeline.history, symbols);
+  pipeline.model.fit(refit_batch_, config_.train, &workspace_);
   pipeline.model.canonicalize_truth_states();
   ++refits_;
   ins_.refits->inc();
 
-  // Rebuild the online decoder and filter by replaying the (short)
-  // symbol history through the refit model.
-  pipeline.decoder = std::make_unique<OnlineViterbi>(pipeline.model.core());
-  pipeline.filter = std::make_unique<OnlineForward>(pipeline.model.core());
+  // Restart the online decoder and filter (keeping their buffers) and
+  // replay the (short) symbol history through the refit model.
+  pipeline.decoder->reset(pipeline.model.core());
+  pipeline.filter->reset(pipeline.model.core());
   const int X = pipeline.model.num_states();
-  std::vector<double> log_emit(X);
+  log_emit_scratch_.resize(X);
   for (int symbol : symbols) {
     for (int i = 0; i < X; ++i) {
-      log_emit[i] = pipeline.model.log_b(i, symbol);
+      log_emit_scratch_[i] = pipeline.model.log_b(i, symbol);
     }
-    pipeline.decoder->step(log_emit);
-    pipeline.filter->step(log_emit);
+    pipeline.decoder->step(log_emit_scratch_);
+    pipeline.filter->step(log_emit_scratch_);
   }
   ins_.refit_s->observe(watch.elapsed_seconds());
 }
@@ -122,12 +122,12 @@ void SstdStreaming::end_interval(IntervalIndex k) {
     } else {
       const int symbol = quantizer_.quantize(value);
       const int X = pipeline.model.num_states();
-      std::vector<double> log_emit(X);
+      log_emit_scratch_.resize(X);
       for (int i = 0; i < X; ++i) {
-        log_emit[i] = pipeline.model.log_b(i, symbol);
+        log_emit_scratch_[i] = pipeline.model.log_b(i, symbol);
       }
-      pipeline.decoder->step(log_emit);
-      pipeline.filter->step(log_emit);
+      pipeline.decoder->step(log_emit_scratch_);
+      pipeline.filter->step(log_emit_scratch_);
     }
     pipeline.estimate =
         static_cast<std::int8_t>(pipeline.decoder->current_state());

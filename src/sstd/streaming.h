@@ -15,6 +15,7 @@
 #include "hmm/online_forward.h"
 #include "hmm/online_viterbi.h"
 #include "hmm/quantizer.h"
+#include "hmm/scaled_kernel.h"
 #include "obs/metrics.h"
 #include "sstd/config.h"
 #include "util/stopwatch.h"
@@ -96,6 +97,15 @@ class SstdStreaming final : public StreamingTruthDiscovery {
   TimestampMs latest_time_ = 0;
   std::uint64_t refits_ = 0;
   std::uint64_t evictions_ = 0;
+
+  // One workspace per engine instance: every claim this shard refits in an
+  // interval trains through the same arena, so a whole refit round
+  // allocates nothing at steady state. The engine itself is externally
+  // synchronized (SstdSystem guards each shard with a mutex), which
+  // satisfies the workspace's single-owner rule (DESIGN.md §6).
+  HmmWorkspace workspace_;
+  std::vector<std::vector<int>> refit_batch_{1};  // reused fit() input
+  std::vector<double> log_emit_scratch_;          // per-step emission row
 };
 
 }  // namespace sstd

@@ -9,6 +9,7 @@
 #include "hmm/gaussian_hmm.h"
 #include "hmm/hmm_core.h"
 #include "hmm/logspace.h"
+#include "hmm/online_forward.h"
 #include "hmm/online_viterbi.h"
 #include "hmm/quantizer.h"
 #include "util/rng.h"
@@ -260,6 +261,25 @@ TEST(Quantizer, FitAllZerosFallsBack) {
   EXPECT_DOUBLE_EQ(q.scale(), 1.0);
 }
 
+TEST(Quantizer, FitConstantSeriesSaturatesAtThatMagnitude) {
+  // Constant nonzero ACS: every percentile is that value, so the constant
+  // lands exactly on the outermost bin and its negation on the other end.
+  const std::vector<std::vector<double>> series{{2.5, 2.5, 2.5, 2.5}};
+  const AcsQuantizer q = AcsQuantizer::fit(series, 7);
+  EXPECT_DOUBLE_EQ(q.scale(), 2.5);
+  EXPECT_EQ(q.quantize(2.5), 6);
+  EXPECT_EQ(q.quantize(-2.5), 0);
+  EXPECT_EQ(q.quantize(0.0), 3);
+}
+
+TEST(Quantizer, SeriesIntoReusesCallerBuffer) {
+  const AcsQuantizer q(5, 2.0);
+  std::vector<int> out(128, -1);  // oversized scratch from a previous claim
+  q.quantize_series_into({-3.0, 0.0, 3.0}, out);
+  EXPECT_EQ(out, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(q.quantize_series({-3.0, 0.0, 3.0}), out);
+}
+
 TEST(OnlineViterbi, MatchesBatchViterbiFiltered) {
   // The online decoder's full traceback after consuming the sequence must
   // equal batch Viterbi.
@@ -312,6 +332,87 @@ TEST(OnlineViterbi, LongStreamStaysFinite) {
     online.step({hmm.log_b(0, y), hmm.log_b(1, y)});
   }
   EXPECT_NO_FATAL_FAILURE(online.current_state());
+}
+
+TEST(OnlineViterbi, LagWindowLargerThanStreamIsBounded) {
+  // A lag window far beyond the observations actually seen: reads up to
+  // steps() - 1 work, anything past the real stream throws.
+  DiscreteHmm hmm = make_simple_model();
+  OnlineViterbi online(hmm.core(), /*max_lag=*/64);
+  for (int y : {0, 1, 1}) {
+    online.step({hmm.log_b(0, y), hmm.log_b(1, y)});
+  }
+  EXPECT_EQ(online.steps(), 3u);
+  EXPECT_NO_THROW(online.lagged_state(2));
+  EXPECT_THROW(online.lagged_state(3), std::out_of_range);
+  EXPECT_THROW(online.lagged_state(64), std::out_of_range);
+}
+
+TEST(OnlineViterbi, EmptyStreamHasNoState) {
+  DiscreteHmm hmm = make_simple_model();
+  const OnlineViterbi online(hmm.core());
+  EXPECT_EQ(online.steps(), 0u);
+  EXPECT_TRUE(online.traceback().empty());
+  EXPECT_THROW(online.current_state(), std::logic_error);
+  EXPECT_THROW(online.lagged_state(0), std::out_of_range);
+}
+
+TEST(OnlineViterbi, ResetMatchesFreshDecoder) {
+  // reset() (the streaming-refit path) must leave no trace of the previous
+  // stream: a reused decoder and a fresh one decode identically.
+  DiscreteHmm hmm = make_simple_model();
+  OnlineViterbi reused(hmm.core(), 4);
+  for (int t = 0; t < 20; ++t) {
+    const int y = t % 2;
+    reused.step({hmm.log_b(0, y), hmm.log_b(1, y)});
+  }
+  reused.reset(hmm.core());
+  EXPECT_EQ(reused.steps(), 0u);
+
+  OnlineViterbi fresh(hmm.core(), 4);
+  for (int y : {1, 0, 0, 1, 1, 0, 1}) {
+    reused.step({hmm.log_b(0, y), hmm.log_b(1, y)});
+    fresh.step({hmm.log_b(0, y), hmm.log_b(1, y)});
+  }
+  EXPECT_EQ(reused.traceback(), fresh.traceback());
+  EXPECT_EQ(reused.current_state(), fresh.current_state());
+}
+
+TEST(OnlineForward, ResetRestoresUniformPrior) {
+  DiscreteHmm hmm = make_simple_model();
+  OnlineForward filter(hmm.core());
+  for (int y : {1, 1, 1}) {
+    filter.step({hmm.log_b(0, y), hmm.log_b(1, y)});
+  }
+  EXPECT_NE(filter.probability_true(), 0.5);
+  filter.reset(hmm.core());
+  EXPECT_EQ(filter.steps(), 0u);
+  EXPECT_DOUBLE_EQ(filter.probability_true(), 0.5);
+}
+
+TEST(Viterbi, SingleObservationSequence) {
+  // T = 1: the decode is the prior-weighted emission argmax, identical
+  // under both arithmetic engines.
+  DiscreteHmm hmm = make_simple_model();
+  const std::vector<int> obs{1};
+  const auto path = hmm.decode(obs);
+  ASSERT_EQ(path.size(), 1u);
+  const LogMatrix log_emit = hmm.emission_log_probs(obs);
+  EXPECT_EQ(path, viterbi(hmm.core(), log_emit, 1, HmmEngine::kLogSpace));
+  // pi(1)*b_1(1) = 0.4*0.8 beats pi(0)*b_0(1) = 0.6*0.1.
+  EXPECT_EQ(path[0], 1);
+}
+
+TEST(BaumWelch, SingleStepSequenceIsSafe) {
+  // A claim observed for exactly one interval must train without blowing
+  // up (no transition evidence exists; smoothing carries the M-step).
+  DiscreteHmm hmm = make_truth_hmm(5);
+  BaumWelchOptions options;
+  options.max_iterations = 3;
+  const TrainStats stats = hmm.fit({{2}}, options);
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_TRUE(std::isfinite(stats.log_likelihood));
+  EXPECT_EQ(hmm.decode({2}).size(), 1u);
 }
 
 TEST(GaussianHmm, RecoversSeparatedStates) {

@@ -136,6 +136,45 @@ TEST(SstdStreaming, EstimateAppearsAfterFirstInterval) {
   EXPECT_TRUE(estimate == 0 || estimate == 1);
 }
 
+TEST(SstdStreaming, SingleIntervalClaimBoundsLaggedReads) {
+  // A claim whose entire life is one interval: the filtered estimate
+  // exists, lag 0 reads it, and any lag beyond the decoded history is
+  // kNoEstimate rather than a throw.
+  SstdConfig config;
+  SstdStreaming streaming(config, 1000);
+  Report r;
+  r.source = SourceId{0};
+  r.claim = ClaimId{3};
+  r.time_ms = 10;
+  r.attitude = 1;
+  streaming.offer(r);
+  streaming.end_interval(0);
+
+  const auto estimate = streaming.current_estimate(ClaimId{3});
+  ASSERT_TRUE(estimate == 0 || estimate == 1);
+  EXPECT_EQ(streaming.lagged_estimate(ClaimId{3}, 0), estimate);
+  EXPECT_EQ(streaming.lagged_estimate(ClaimId{3}, 1), kNoEstimate);
+  EXPECT_EQ(streaming.lagged_estimate(ClaimId{3}, 1000), kNoEstimate);
+}
+
+TEST(SstdStreaming, TrainingEngineChoiceDoesNotChangeEstimates) {
+  // config.train.engine selects the Baum-Welch arithmetic; the decoded
+  // estimate stream must be identical under the oracle engine.
+  Dataset data = make_flip_dataset();
+  SstdConfig scaled_config;
+  scaled_config.refit_every = 10;
+  scaled_config.warmup_intervals = 5;
+  SstdConfig log_config = scaled_config;
+  log_config.train.engine = HmmEngine::kLogSpace;
+
+  SstdStreaming scaled(scaled_config, data.interval_ms());
+  SstdStreaming logspace(log_config, data.interval_ms());
+  const auto scaled_estimates = replay_streaming(scaled, data);
+  const auto logspace_estimates = replay_streaming(logspace, data);
+  EXPECT_EQ(scaled_estimates, logspace_estimates);
+  EXPECT_GT(scaled.refit_count(), 0u);
+}
+
 TEST(SstdStreaming, IdleClaimsAreEvicted) {
   SstdConfig config;
   config.evict_after_idle_intervals = 3;
