@@ -1,0 +1,235 @@
+// Durability bench (DESIGN.md §7): WAL append + replay throughput and
+// recovery time as a function of WAL length, with and without snapshots.
+// The headline numbers are replay MB/s (how fast a node re-reads its
+// history) and the snapshot effect: with periodic snapshots, recovery
+// replays only the WAL suffix, so recovery time stays flat as the log
+// grows; with snapshots off it grows linearly.
+//
+// Results land in bench_results/BENCH_recovery.json with build-provenance
+// metadata. `--smoke` runs a scaled-down sweep (< 5 s) and self-validates
+// the emitted JSON — wired into ctest under the bench_smoke label.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "durable/recovery.h"
+#include "durable/wal.h"
+#include "sstd/system.h"
+#include "trace/generator.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace sstd {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct WalThroughput {
+  std::uint64_t records = 0;
+  double append_records_per_sec = 0.0;
+  double append_mb_per_sec = 0.0;
+  double scan_records_per_sec = 0.0;
+  double scan_mb_per_sec = 0.0;
+};
+
+struct RecoveryPoint {
+  IntervalIndex intervals = 0;        // intervals logged before the kill
+  IntervalIndex snapshot_every = 0;   // 0 = snapshots off (full replay)
+  bool snapshot_loaded = false;
+  std::uint64_t replayed_records = 0;
+  double seconds = 0.0;
+};
+
+std::string scratch_dir(const std::string& tag) {
+  return (fs::temp_directory_path() / ("sstd_bench_recovery_" + tag))
+      .string();
+}
+
+// Raw log bandwidth: append every report of `data` as a WAL record (fsync
+// left to the page cache, as under the default interval-end policy between
+// boundaries), then scan the log back.
+WalThroughput measure_wal(const Dataset& data) {
+  const std::string dir = scratch_dir("wal");
+  fs::remove_all(dir);
+
+  WalThroughput result;
+  durable::WalOptions options;
+  options.fsync = durable::FsyncPolicy::kNone;
+  {
+    durable::WalWriter writer;
+    writer.open(dir, options);
+    std::uint64_t bytes = 0;
+    Stopwatch watch;
+    for (const Report& report : data.reports()) {
+      const std::string payload = durable::encode_report_payload(report);
+      bytes += durable::kWalFrameHeaderBytes + durable::kWalRecordMetaBytes +
+               payload.size();
+      writer.append(durable::WalRecordType::kReport, payload);
+    }
+    writer.sync();
+    const double seconds = watch.elapsed_seconds();
+    result.records = data.num_reports();
+    result.append_records_per_sec =
+        static_cast<double>(result.records) / seconds;
+    result.append_mb_per_sec =
+        static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+  }
+
+  Stopwatch watch;
+  std::uint64_t decoded = 0;
+  const durable::WalScanStats stats =
+      durable::wal_scan(dir, 0, [&decoded](const durable::WalRecord& record) {
+        Report report;
+        if (durable::decode_report_payload(record.payload, &report)) {
+          ++decoded;
+        }
+      });
+  const double seconds = watch.elapsed_seconds();
+  result.scan_records_per_sec = static_cast<double>(decoded) / seconds;
+  result.scan_mb_per_sec =
+      static_cast<double>(stats.bytes) / (1024.0 * 1024.0) / seconds;
+  fs::remove_all(dir);
+  return result;
+}
+
+// Logs `intervals` intervals of `data` through a durable SstdSystem, kills
+// it, and times a cold recover() on a fresh instance.
+RecoveryPoint measure_recovery(const Dataset& data, IntervalIndex intervals,
+                               IntervalIndex snapshot_every) {
+  const std::string dir = scratch_dir("sys");
+  fs::remove_all(dir);
+
+  SstdSystem::Config config;
+  config.workers = 2;
+  config.num_jobs = 4;
+  config.interval_deadline_s = 10.0;
+  config.durability.dir = dir;
+  config.durability.snapshot_every = snapshot_every;
+
+  const auto& reports = data.reports();
+  {
+    SstdSystem system(config, data.interval_ms());
+    std::size_t next = 0;
+    for (IntervalIndex k = 0; k < intervals; ++k) {
+      const TimestampMs end =
+          static_cast<TimestampMs>(k + 1) * data.interval_ms();
+      while (next < reports.size() && reports[next].time_ms < end) {
+        system.ingest(reports[next]);
+        ++next;
+      }
+      system.end_interval(k);
+    }
+  }
+
+  SstdSystem revived(config, data.interval_ms());
+  const auto result = revived.recover();
+
+  RecoveryPoint point;
+  point.intervals = intervals;
+  point.snapshot_every = snapshot_every;
+  point.snapshot_loaded = result.snapshot_loaded;
+  point.replayed_records = result.replayed_records;
+  point.seconds = result.seconds;
+  fs::remove_all(dir);
+  return point;
+}
+
+void emit_json(const WalThroughput& wal,
+               const std::vector<RecoveryPoint>& points) {
+  std::ofstream out(bench::results_path("BENCH_recovery.json"));
+  out << "{\n  \"bench\": \"recovery\",\n  \"meta\": "
+      << bench::run_metadata_json() << ",\n  \"wal\": {"
+      << "\"records\": " << wal.records
+      << ", \"append_records_per_sec\": " << wal.append_records_per_sec
+      << ", \"append_mb_per_sec\": " << wal.append_mb_per_sec
+      << ", \"scan_records_per_sec\": " << wal.scan_records_per_sec
+      << ", \"scan_mb_per_sec\": " << wal.scan_mb_per_sec << "},\n"
+      << "  \"recovery\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RecoveryPoint& p = points[i];
+    out << "    {\"intervals\": " << p.intervals
+        << ", \"snapshot_every\": " << p.snapshot_every
+        << ", \"snapshot_loaded\": " << (p.snapshot_loaded ? "true" : "false")
+        << ", \"replayed_records\": " << p.replayed_records
+        << ", \"recovery_seconds\": " << p.seconds << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Smoke self-validation: the artifact exists, is JSON-shaped and carries
+// the WAL block plus at least one recovery point per snapshot mode.
+bool validate_json() {
+  std::ifstream in(bench::results_path("BENCH_recovery.json"));
+  if (!in.good()) {
+    std::fprintf(stderr, "BENCH_recovery.json missing\n");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  const bool shaped =
+      !json.empty() && json.front() == '{' &&
+      json.find("\"scan_mb_per_sec\": ") != std::string::npos &&
+      json.find("\"recovery_seconds\": ") != std::string::npos &&
+      json.find("\"snapshot_every\": 0") != std::string::npos &&
+      json.find("\"snapshot_loaded\": true") != std::string::npos &&
+      json.rfind('}') > json.find('{');
+  if (!shaped) {
+    std::fprintf(stderr, "BENCH_recovery.json malformed:\n%s\n",
+                 json.c_str());
+  }
+  return shaped;
+}
+
+int run(bool smoke) {
+  trace::TraceGenerator generator(trace::tiny(
+      trace::boston_bombing(), smoke ? 6'000 : 60'000, smoke ? 10 : 20));
+  const Dataset data = generator.generate();
+
+  const WalThroughput wal = measure_wal(data);
+  std::printf(
+      "wal: %llu records, append %.0f rec/s (%.1f MB/s), "
+      "replay %.0f rec/s (%.1f MB/s)\n",
+      static_cast<unsigned long long>(wal.records),
+      wal.append_records_per_sec, wal.append_mb_per_sec,
+      wal.scan_records_per_sec, wal.scan_mb_per_sec);
+
+  const std::vector<IntervalIndex> sweep =
+      smoke ? std::vector<IntervalIndex>{10, 25}
+            : std::vector<IntervalIndex>{10, 25, 50, 100};
+  std::vector<RecoveryPoint> points;
+  TextTable table("Recovery time vs WAL length (DESIGN.md §7)");
+  table.set_columns({"Intervals", "Snapshots", "Replayed", "Recovery s"});
+  for (const IntervalIndex intervals : sweep) {
+    for (const IntervalIndex snapshot_every : {0, 10}) {
+      points.push_back(measure_recovery(data, intervals, snapshot_every));
+      const RecoveryPoint& p = points.back();
+      table.add_row({std::to_string(p.intervals),
+                     p.snapshot_every == 0 ? "off" : "every 10",
+                     std::to_string(p.replayed_records),
+                     TextTable::num(p.seconds)});
+    }
+  }
+  table.print();
+
+  emit_json(wal, points);
+  return validate_json() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sstd
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::filesystem::create_directories("bench_results");
+  return sstd::run(smoke);
+}

@@ -10,8 +10,22 @@
 //   $ ./live_system 9114          # serve on a fixed port
 //   $ ./live_system 9114 30      # ...and keep serving 30 s after the run
 //   $ curl localhost:9114/metrics
+//
+// With --durable <dir> the runtime keeps its state history on disk (WAL +
+// periodic snapshots, DESIGN.md §7) and recovers from it on startup, so a
+// kill -9 mid-run is survivable:
+//
+//   $ ./live_system --durable /tmp/sstd-node --pace-ms 100 &  # note the pid
+//   $ kill -9 <pid>                                           # crash mid-run
+//   $ ./live_system --durable /tmp/sstd-node                  # resumes
+//
+// --pace-ms throttles the simulated crawler to one interval per that many
+// milliseconds, so the run is long enough to crash by hand (the unpaced
+// trace finishes in well under a second).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "core/metrics.h"
@@ -24,8 +38,24 @@
 using namespace sstd;
 
 int main(int argc, char** argv) {
-  const int port = argc > 1 ? std::atoi(argv[1]) : 0;
-  const int linger_s = argc > 2 ? std::atoi(argv[2]) : 0;
+  int port = 0;
+  int linger_s = 0;
+  int pace_ms = 0;
+  std::string durable_dir;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--durable") == 0 && i + 1 < argc) {
+      durable_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--pace-ms") == 0 && i + 1 < argc) {
+      pace_ms = std::atoi(argv[++i]);
+    } else if (positional == 0) {
+      port = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      linger_s = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
 
   auto config = trace::tiny(trace::boston_bombing(), 80'000, 32);
   trace::TraceGenerator generator(config);
@@ -38,7 +68,30 @@ int main(int argc, char** argv) {
   system_config.num_jobs = 8;
   system_config.interval_deadline_s = 0.02;
   system_config.dtm.max_workers = 8;
+  if (!durable_dir.empty()) {
+    system_config.durability.dir = durable_dir;
+    system_config.durability.snapshot_every = 10;
+  }
   SstdSystem system(system_config, data.interval_ms());
+
+  // Node restart: load the newest snapshot, replay the WAL suffix, resume
+  // at the first undecided interval (a blank directory cold-starts at 0).
+  IntervalIndex first_interval = 0;
+  if (!durable_dir.empty()) {
+    const auto recovered = system.recover();
+    first_interval = recovered.next_interval;
+    if (recovered.snapshot_loaded || recovered.replayed_records > 0) {
+      std::printf(
+          "recovered from %s: snapshot@%d + %llu replayed records in %.3f s "
+          "— resuming at interval %d\n",
+          durable_dir.c_str(), recovered.snapshot_interval,
+          static_cast<unsigned long long>(recovered.replayed_records),
+          recovered.seconds, first_interval);
+    } else {
+      std::printf("durable dir %s is blank — cold start\n",
+                  durable_dir.c_str());
+    }
+  }
 
   // Live exposition over the process-global registry the runtime
   // instruments against. Readiness is keyed on the Work Queue: alive,
@@ -85,9 +138,17 @@ int main(int argc, char** argv) {
       data.num_claims(),
       std::vector<std::int8_t>(data.intervals(), kNoEstimate));
 
+  // The simulated crawler feed is deterministic, so after a recovery the
+  // reports of already-decided intervals are skipped, not re-ingested —
+  // the engine already holds their effects (snapshot + WAL replay).
   const auto& reports = data.reports();
   std::size_t next = 0;
-  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+  while (next < reports.size() &&
+         reports[next].time_ms < static_cast<TimestampMs>(first_interval) *
+                                     data.interval_ms()) {
+    ++next;
+  }
+  for (IntervalIndex k = first_interval; k < data.intervals(); ++k) {
     const TimestampMs end =
         static_cast<TimestampMs>(k + 1) * data.interval_ms();
     while (next < reports.size() && reports[next].time_ms < end) {
@@ -95,6 +156,9 @@ int main(int argc, char** argv) {
       ++next;
     }
     system.end_interval(k);
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+    }
     sampler.sample_now();  // one deterministic sample per closed interval
     for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
       estimates[u][k] = system.estimate(ClaimId{u});

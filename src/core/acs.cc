@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/serialize.h"
+
 namespace sstd {
 
 SlidingAcs::SlidingAcs(TimestampMs window_ms) : window_ms_(window_ms) {
@@ -35,6 +37,34 @@ double SlidingAcs::value_at(TimestampMs t) {
   // <= 1 per report) so float drift over a trace is negligible relative to
   // quantizer bin widths; we accept the rolling sum.
   return sum_;
+}
+
+void SlidingAcs::save(ByteWriter& out) const {
+  out.i64(window_ms_);
+  out.f64(sum_);
+  out.u64(entries_.size());
+  for (const auto& [t, cs] : entries_) {
+    out.i64(t);
+    out.f64(cs);
+  }
+}
+
+void SlidingAcs::load(ByteReader& in) {
+  const TimestampMs window = in.i64();
+  const double sum = in.f64();
+  const std::uint64_t n = in.u64();
+  if (!in.ok() || window <= 0 || in.remaining() / 16 < n) {
+    in.fail();
+    return;
+  }
+  window_ms_ = window;
+  sum_ = sum;
+  entries_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const TimestampMs t = in.i64();
+    const double cs = in.f64();
+    entries_.emplace_back(t, cs);
+  }
 }
 
 std::vector<double> build_acs_series(std::span<const Report> reports,

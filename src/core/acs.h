@@ -13,6 +13,9 @@
 
 namespace sstd {
 
+class ByteWriter;
+class ByteReader;
+
 // Streaming ACS accumulator for one claim. Feed reports in time order;
 // query the window sum at any non-decreasing timestamp.
 class SlidingAcs {
@@ -30,6 +33,12 @@ class SlidingAcs {
 
   // Number of reports currently inside the window.
   std::size_t window_count() const { return entries_.size(); }
+
+  // Durable state history (DESIGN.md §7): serializes the window contents
+  // and the running sum bit-exactly — the sum is an accumulated float, so
+  // recomputing it from the entries could diverge from the live value.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   void expire(TimestampMs now);

@@ -8,6 +8,119 @@
 #include <vector>
 
 namespace sstd {
+
+namespace {
+
+// Lazily built table for the reflected IEEE polynomial; cheap enough to
+// compute once per process and keeps the unit dependency-free.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = crc32_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void ByteWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void ByteWriter::i32_vec(const std::vector<int>& v) {
+  u64(v.size());
+  for (int x : v) i32(static_cast<std::int32_t>(x));
+}
+
+std::uint8_t ByteReader::u8() {
+  unsigned char b;
+  if (!bytes(&b, 1)) return 0;
+  return b;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ByteReader::bytes(void* out, std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::f64_vec(std::vector<double>* v) {
+  const std::uint64_t n = u64();
+  // A length prefix beyond the remaining bytes is corruption, not a
+  // request to allocate: each element takes 8 bytes.
+  if (!ok_ || remaining() / 8 < n) {
+    ok_ = false;
+    v->clear();
+    return;
+  }
+  v->resize(static_cast<std::size_t>(n));
+  for (auto& x : *v) x = f64();
+}
+
+void ByteReader::i32_vec(std::vector<int>* v) {
+  const std::uint64_t n = u64();
+  if (!ok_ || remaining() / 4 < n) {
+    ok_ = false;
+    v->clear();
+    return;
+  }
+  v->resize(static_cast<std::size_t>(n));
+  for (auto& x : *v) x = static_cast<int>(i32());
+}
+
 namespace {
 
 constexpr char kMagic[5] = "SSTD";

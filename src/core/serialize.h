@@ -5,13 +5,109 @@
 //  * a human-readable CSV export (one report per row) compatible with
 //    spreadsheet tooling, plus a CSV importer so users can feed their own
 //    scored report logs into the library.
+//
+// This header also hosts the low-level byte codec the durability layer
+// (DESIGN.md §7) builds on: a little-endian ByteWriter/ByteReader pair and
+// the CRC-32 checksum used by WAL records and shard snapshots.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/dataset.h"
 
 namespace sstd {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+// incremental computations: crc32(b, crc32(a)) == crc32(a + b).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+// Little-endian fixed-width primitives over an in-memory buffer. WAL
+// records, shard snapshots and every save()/load() method threaded through
+// the HMM classes encode via this pair, so all durable artifacts share one
+// byte convention. Doubles round-trip bit-exactly (raw IEEE-754 bits).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void u16(std::uint16_t v) { fixed(v); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+  void i32(std::int32_t v) { fixed(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void bytes(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  // u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  void f64_vec(const std::vector<double>& v);
+  void i32_vec(const std::vector<int>& v);
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void fixed(T v) {
+    char buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    out_.append(buf, sizeof(T));
+  }
+
+  std::string out_;
+};
+
+// Fail-safe reader over a byte span: a read past the end (or a length
+// prefix larger than the remaining bytes) sets a sticky failure flag and
+// yields zero values, so callers decode a whole structure and check ok()
+// once at the end instead of wrapping every read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  void fail() { ok_ = false; }
+
+  std::uint8_t u8();
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool bytes(void* out, std::size_t n);
+  std::string str();
+  void f64_vec(std::vector<double>* v);
+  void i32_vec(std::vector<int>* v);
+
+ private:
+  template <typename T>
+  T fixed() {
+    unsigned char buf[sizeof(T)];
+    if (!bytes(buf, sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(buf[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
 
 // Binary round-trip. save_dataset throws std::runtime_error on I/O errors;
 // load_dataset additionally throws on magic/version mismatch or truncated

@@ -33,6 +33,18 @@ bool FaultPlan::should_fail(TaskId task, int attempt) const {
   return unit < fail_probability_;
 }
 
+void FaultPlan::crash_kill_during_refit(IntervalIndex interval, int times) {
+  crash_kills_.push_back(CrashKill{interval, times});
+}
+
+bool FaultPlan::should_crash_kill(IntervalIndex interval,
+                                  int prior_kills) const {
+  for (const auto& kill : crash_kills_) {
+    if (kill.interval == interval && prior_kills < kill.times) return true;
+  }
+  return false;
+}
+
 double FaultPlan::straggler_delay_s(TaskId task, int attempt) const {
   double extra = 0.0;
   for (const auto& straggler : stragglers_) {

@@ -13,11 +13,22 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "core/types.h"
 #include "dist/task.h"
 
 namespace sstd::dist {
+
+// Thrown by a crash-kill drill (crash_kill_during_refit) from inside a
+// shard's refit round: models kill -9 of the shard process mid-Baum-Welch.
+// SstdSystem marks the shard for recovery and rethrows, so the WorkQueue
+// retry machinery re-runs the interval on a recovered engine.
+struct ProcessKilled : std::runtime_error {
+  explicit ProcessKilled(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 // One scheduled worker crash. The victim loses its running task (the task
 // re-queues, HTCondor eviction semantics) and leaves the pool; when
@@ -54,15 +65,27 @@ class FaultPlan {
   // short. Later attempts (and speculative copies) run at full speed.
   void delay_task(TaskId task, double extra_s, int attempt = 0);
 
+  // Kill the process of whichever shard is refitting at interval
+  // `interval` — `times` consecutive kills before the interval is allowed
+  // through (retries alone cannot save it when `times` exceeds the retry
+  // budget). Deterministic: no randomness, so a replayed run crashes at
+  // exactly the same point.
+  void crash_kill_during_refit(IntervalIndex interval, int times = 1);
+
   // --- queries the runtimes make -------------------------------------
 
   bool empty() const {
     return fail_probability_ <= 0.0 && poisoned_.empty() &&
-           crashes_.empty() && stragglers_.empty();
+           crashes_.empty() && stragglers_.empty() && crash_kills_.empty();
   }
 
   // Does attempt `attempt` (0-based) of `task` fail?
   bool should_fail(TaskId task, int attempt) const;
+
+  // Should the shard refitting at `interval` be killed, given it has
+  // already been killed `prior_kills` times at this interval? Pure
+  // function of the schedule — the caller tracks the kill count.
+  bool should_crash_kill(IntervalIndex interval, int prior_kills) const;
 
   // Injected extra runtime for this attempt (0 when none).
   double straggler_delay_s(TaskId task, int attempt) const;
@@ -80,12 +103,17 @@ class FaultPlan {
     int attempt;
     double extra_s;
   };
+  struct CrashKill {
+    IntervalIndex interval;
+    int times;
+  };
 
   std::uint64_t seed_ = 0;
   double fail_probability_ = 0.0;
   std::vector<Poisoned> poisoned_;
   std::vector<WorkerCrash> crashes_;
   std::vector<Straggler> stragglers_;
+  std::vector<CrashKill> crash_kills_;
 };
 
 }  // namespace sstd::dist

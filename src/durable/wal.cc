@@ -1,0 +1,391 @@
+#include "durable/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "core/serialize.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace sstd::durable {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Cap on a single record's framed length: a corrupt length prefix must not
+// make the scanner treat gigabytes of garbage as one "truncated" record.
+constexpr std::uint32_t kMaxRecordLen = 64u << 20;
+
+std::string segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.seg",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t index) {
+  return (fs::path(dir) / segment_name(index)).string();
+}
+
+// Parses "wal-NNNNNN.seg" -> NNNNNN; 0 when the name does not match.
+std::uint64_t segment_index_of(const std::string& filename) {
+  if (filename.size() != 14 || filename.rfind("wal-", 0) != 0 ||
+      filename.compare(10, 4, ".seg") != 0) {
+    return 0;
+  }
+  std::uint64_t index = 0;
+  for (std::size_t i = 4; i < 10; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return 0;
+    index = index * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return index;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("wal: cannot read segment " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+struct WalMetrics {
+  obs::Counter* records;
+  obs::Counter* bytes;
+  obs::Counter* fsyncs;
+  obs::Counter* segments;
+  obs::Histogram* fsync_seconds;
+
+  static WalMetrics& get() {
+    static WalMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return WalMetrics{
+          reg.counter("durable.wal_records_appended"),
+          reg.counter("durable.wal_bytes_appended"),
+          reg.counter("durable.wal_fsyncs"),
+          reg.counter("durable.wal_segments_created"),
+          reg.histogram("durable.wal_fsync_seconds",
+                        {1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.0}),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+// --- record codec -------------------------------------------------------
+
+std::string encode_wal_record(std::uint16_t type, std::uint64_t lsn,
+                              std::string_view payload) {
+  ByteWriter body;
+  body.u16(type);
+  body.u64(lsn);
+  body.bytes(payload.data(), payload.size());
+
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.u32(crc32(body.data()));
+  frame.bytes(body.data().data(), body.size());
+  return frame.take();
+}
+
+WalDecodeStatus decode_wal_record(std::string_view buf, std::size_t pos,
+                                  WalRecord* out, std::size_t* consumed) {
+  if (pos > buf.size()) return WalDecodeStatus::kCorrupt;
+  const std::size_t avail = buf.size() - pos;
+  if (avail < kWalFrameHeaderBytes) return WalDecodeStatus::kTruncated;
+
+  ByteReader head(buf.substr(pos, kWalFrameHeaderBytes));
+  const std::uint32_t len = head.u32();
+  const std::uint32_t crc = head.u32();
+  if (len < kWalRecordMetaBytes || len > kMaxRecordLen) {
+    return WalDecodeStatus::kCorrupt;
+  }
+  if (avail - kWalFrameHeaderBytes < len) return WalDecodeStatus::kTruncated;
+
+  const std::string_view body = buf.substr(pos + kWalFrameHeaderBytes, len);
+  if (crc32(body) != crc) return WalDecodeStatus::kCorrupt;
+
+  ByteReader body_in(body);
+  out->type = body_in.u16();
+  out->lsn = body_in.u64();
+  out->payload.assign(body.substr(kWalRecordMetaBytes));
+  *consumed = kWalFrameHeaderBytes + len;
+  return WalDecodeStatus::kOk;
+}
+
+// --- payload codecs -----------------------------------------------------
+
+std::string encode_report_payload(const Report& report) {
+  ByteWriter out;
+  out.u32(report.source.value);
+  out.u32(report.claim.value);
+  out.i64(report.time_ms);
+  out.i8(report.attitude);
+  out.f64(report.uncertainty);
+  out.f64(report.independence);
+  return out.take();
+}
+
+bool decode_report_payload(std::string_view payload, Report* out) {
+  ByteReader in(payload);
+  Report r;
+  r.source.value = in.u32();
+  r.claim.value = in.u32();
+  r.time_ms = in.i64();
+  r.attitude = in.i8();
+  r.uncertainty = in.f64();
+  r.independence = in.f64();
+  if (!in.ok() || in.remaining() != 0) return false;
+  *out = r;
+  return true;
+}
+
+std::string encode_interval_end_payload(IntervalIndex interval) {
+  ByteWriter out;
+  out.i32(interval);
+  return out.take();
+}
+
+bool decode_interval_end_payload(std::string_view payload,
+                                 IntervalIndex* out) {
+  ByteReader in(payload);
+  const IntervalIndex interval = in.i32();
+  if (!in.ok() || in.remaining() != 0) return false;
+  *out = interval;
+  return true;
+}
+
+// --- writer -------------------------------------------------------------
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    sync();
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::open(const std::string& dir, const WalOptions& options) {
+  close();
+  dir_ = dir;
+  options_ = options;
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("wal: cannot create directory " + dir_ + ": " +
+                             ec.message());
+  }
+
+  // Resume from the existing log: the LSN sequence continues past the
+  // highest valid record, and the last segment is reopened for append
+  // (with its torn tail, if any, cut off first).
+  std::uint64_t last_segment = 0;
+  for (const auto& path : wal_segments(dir_)) {
+    last_segment =
+        std::max(last_segment,
+                 segment_index_of(fs::path(path).filename().string()));
+  }
+  const WalScanStats stats = wal_scan(dir_, 0, [](const WalRecord&) {});
+  next_lsn_ = stats.max_lsn + 1;
+
+  if (last_segment == 0) {
+    open_segment(1, false);
+  } else {
+    open_segment(last_segment, true);
+  }
+}
+
+void WalWriter::open_segment(std::uint64_t index, bool truncate_torn_tail) {
+  if (fd_ >= 0) {
+    fsync_now();
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  const std::string path = segment_path(dir_, index);
+  const bool fresh = !fs::exists(path);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("wal: cannot open segment " + path + ": " +
+                             std::strerror(errno));
+  }
+
+  std::uint64_t offset = 0;
+  if (fresh) {
+    WalMetrics::get().segments->inc();
+    if (::write(fd, kWalSegmentMagic.data(), kWalSegmentMagic.size()) !=
+        static_cast<ssize_t>(kWalSegmentMagic.size())) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("wal: cannot write magic to " + path + ": " +
+                               std::strerror(err));
+    }
+    offset = kWalSegmentMagic.size();
+  } else {
+    // Walk the record frames to find the valid prefix; anything after it
+    // is a torn tail from a crash mid-append.
+    const std::string data = read_file(path);
+    std::size_t pos = kWalSegmentMagic.size();
+    if (data.size() < pos ||
+        std::string_view(data).substr(0, pos) != kWalSegmentMagic) {
+      ::close(fd);
+      throw std::runtime_error("wal: bad segment magic in " + path);
+    }
+    WalRecord record;
+    std::size_t consumed = 0;
+    while (decode_wal_record(data, pos, &record, &consumed) ==
+           WalDecodeStatus::kOk) {
+      pos += consumed;
+    }
+    if (truncate_torn_tail && pos < data.size()) {
+      if (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("wal: cannot truncate torn tail of " +
+                                 path + ": " + std::strerror(err));
+      }
+    }
+    offset = pos;
+  }
+
+  fd_ = fd;
+  segment_index_ = index;
+  segment_offset_ = offset;
+}
+
+std::uint64_t WalWriter::append(WalRecordType type, std::string_view payload) {
+  if (fd_ < 0) throw std::logic_error("wal: append on closed writer");
+  if (segment_offset_ >= options_.segment_bytes) {
+    open_segment(segment_index_ + 1, false);
+  }
+
+  const std::uint64_t lsn = next_lsn_++;
+  const std::string frame =
+      encode_wal_record(static_cast<std::uint16_t>(type), lsn, payload);
+
+  const char* data = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("wal: append failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  segment_offset_ += frame.size();
+  dirty_ = true;
+
+  auto& m = WalMetrics::get();
+  m.records->inc();
+  m.bytes->inc(frame.size());
+  if (options_.fsync == FsyncPolicy::kEveryRecord) fsync_now();
+  return lsn;
+}
+
+void WalWriter::sync() {
+  if (fd_ >= 0 && dirty_ && options_.fsync != FsyncPolicy::kNone) {
+    fsync_now();
+  }
+}
+
+void WalWriter::fsync_now() {
+  if (fd_ < 0 || !dirty_) return;
+  Stopwatch timer;
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error(std::string("wal: fsync failed: ") +
+                             std::strerror(errno));
+  }
+  dirty_ = false;
+  auto& m = WalMetrics::get();
+  m.fsyncs->inc();
+  m.fsync_seconds->observe(timer.elapsed_seconds());
+}
+
+// --- scanning -----------------------------------------------------------
+
+std::vector<std::string> wal_segments(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (segment_index_of(entry.path().filename().string()) > 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+WalScanStats wal_scan(const std::string& dir, std::uint64_t after_lsn,
+                      const std::function<void(const WalRecord&)>& fn) {
+  WalScanStats stats;
+  const std::vector<std::string> segments = wal_segments(dir);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    ++stats.segments;
+    const std::string data = read_file(segments[s]);
+    std::size_t pos = kWalSegmentMagic.size();
+    if (data.size() < pos ||
+        std::string_view(data).substr(0, pos) != kWalSegmentMagic) {
+      return stats;  // unreadable segment: stop, earlier records delivered
+    }
+
+    WalRecord record;
+    std::size_t consumed = 0;
+    for (;;) {
+      const WalDecodeStatus st =
+          decode_wal_record(data, pos, &record, &consumed);
+      if (st == WalDecodeStatus::kOk) {
+        pos += consumed;
+        stats.bytes += consumed;
+        ++stats.records;
+        stats.max_lsn = std::max(stats.max_lsn, record.lsn);
+        if (record.lsn > after_lsn) fn(record);
+        continue;
+      }
+      if (st == WalDecodeStatus::kTruncated) {
+        if (pos == data.size()) break;  // clean segment end
+        if (s + 1 == segments.size()) {
+          // Torn tail of the final segment: crash hit mid-append; skip.
+          stats.torn_bytes = data.size() - pos;
+          return stats;
+        }
+        // A truncated record in a non-final segment is mid-log damage,
+        // not a crash tail: stop, earlier records were delivered.
+        return stats;
+      }
+      return stats;  // corrupt record: stop here
+    }
+  }
+  return stats;
+}
+
+void wal_purge(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& path : wal_segments(dir)) {
+    fs::remove(path, ec);
+  }
+}
+
+}  // namespace sstd::durable

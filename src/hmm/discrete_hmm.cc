@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/serialize.h"
 #include "hmm/logspace.h"
 #include "hmm/scaled_kernel.h"
 
@@ -241,6 +242,38 @@ bool DiscreteHmm::canonicalize_truth_states() {
     std::swap(log_b_[0 * Y + y], log_b_[1 * Y + y]);
   }
   return true;
+}
+
+namespace {
+constexpr std::uint8_t kDiscreteHmmVersion = 1;
+}  // namespace
+
+void DiscreteHmm::save(ByteWriter& out) const {
+  out.u8(kDiscreteHmmVersion);
+  out.i32(num_symbols_);
+  save_hmm_core(core_, out);
+  out.f64_vec(log_b_);
+}
+
+void DiscreteHmm::load(ByteReader& in) {
+  if (in.u8() != kDiscreteHmmVersion) {
+    in.fail();
+    return;
+  }
+  const int num_symbols = in.i32();
+  HmmCore core;
+  load_hmm_core(&core, in);
+  LogMatrix log_b;
+  in.f64_vec(&log_b);
+  if (!in.ok() || num_symbols <= 0 ||
+      log_b.size() != static_cast<std::size_t>(core.num_states) *
+                          static_cast<std::size_t>(num_symbols)) {
+    in.fail();
+    return;
+  }
+  num_symbols_ = num_symbols;
+  core_ = std::move(core);
+  log_b_ = std::move(log_b);
 }
 
 DiscreteHmm make_truth_hmm(int num_symbols, double stickiness,

@@ -89,6 +89,12 @@ class DiscreteHmm {
   // true if a swap happened. Only meaningful for 2-state models.
   bool canonicalize_truth_states();
 
+  // Durable state history (DESIGN.md §7): versioned byte-exact dump of the
+  // model parameters (A, pi, B). load() marks the reader failed — and
+  // leaves the model untouched — on an unknown version or malformed input.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   TrainStats fit_from_current(const std::vector<std::vector<int>>& sequences,
                               const BaumWelchOptions& options,

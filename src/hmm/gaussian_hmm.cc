@@ -6,6 +6,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/serialize.h"
 #include "hmm/logspace.h"
 #include "hmm/scaled_kernel.h"
 
@@ -232,6 +233,38 @@ bool GaussianHmm::canonicalize_truth_states() {
   std::swap(means_[0], means_[1]);
   std::swap(variances_[0], variances_[1]);
   return true;
+}
+
+namespace {
+constexpr std::uint8_t kGaussianHmmVersion = 1;
+}  // namespace
+
+void GaussianHmm::save(ByteWriter& out) const {
+  out.u8(kGaussianHmmVersion);
+  save_hmm_core(core_, out);
+  out.f64_vec(means_);
+  out.f64_vec(variances_);
+}
+
+void GaussianHmm::load(ByteReader& in) {
+  if (in.u8() != kGaussianHmmVersion) {
+    in.fail();
+    return;
+  }
+  HmmCore core;
+  load_hmm_core(&core, in);
+  std::vector<double> means;
+  std::vector<double> variances;
+  in.f64_vec(&means);
+  in.f64_vec(&variances);
+  const auto X = static_cast<std::size_t>(core.num_states);
+  if (!in.ok() || means.size() != X || variances.size() != X) {
+    in.fail();
+    return;
+  }
+  core_ = std::move(core);
+  means_ = std::move(means);
+  variances_ = std::move(variances);
 }
 
 GaussianHmm make_truth_gaussian_hmm(double scale, double stickiness) {

@@ -38,6 +38,12 @@ class GaussianHmm {
   // be the higher-mean ("claim true") state.
   bool canonicalize_truth_states();
 
+  // Durable state history (DESIGN.md §7): versioned byte-exact dump of the
+  // model parameters (A, pi, per-state moments); mirror of
+  // DiscreteHmm::save/load so both emission families persist.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   TrainStats fit_from_current(const std::vector<std::vector<double>>& sequences,
                               const BaumWelchOptions& options,

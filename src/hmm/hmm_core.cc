@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/serialize.h"
 #include "hmm/logspace.h"
 #include "hmm/scaled_kernel.h"
 
@@ -51,6 +52,26 @@ HmmCore random_core(int num_states, Rng& rng, double concentration) {
   for (int i = 0; i < X; ++i) random_row(&core.log_a[i * X], X);
   random_row(core.log_pi.data(), X);
   return core;
+}
+
+void save_hmm_core(const HmmCore& core, ByteWriter& out) {
+  out.i32(core.num_states);
+  out.f64_vec(core.log_a);
+  out.f64_vec(core.log_pi);
+}
+
+void load_hmm_core(HmmCore* core, ByteReader& in) {
+  HmmCore loaded;
+  loaded.num_states = in.i32();
+  in.f64_vec(&loaded.log_a);
+  in.f64_vec(&loaded.log_pi);
+  const auto X = static_cast<std::size_t>(loaded.num_states);
+  if (!in.ok() || loaded.num_states <= 0 || loaded.log_a.size() != X * X ||
+      loaded.log_pi.size() != X) {
+    in.fail();
+    return;
+  }
+  *core = std::move(loaded);
 }
 
 namespace {

@@ -13,6 +13,9 @@
 
 namespace sstd {
 
+class ByteWriter;
+class ByteReader;
+
 // Row-major T x X (or X x X) matrix of log-probabilities.
 using LogMatrix = std::vector<double>;
 
@@ -28,6 +31,12 @@ struct HmmCore {
 // Creates a core with row-stochastic A and pi sampled from a Dirichlet-ish
 // perturbation around uniform; used for Baum-Welch restarts.
 HmmCore random_core(int num_states, Rng& rng, double concentration = 1.0);
+
+// Durable state history (DESIGN.md §7): byte-exact (de)serialization of
+// the transition skeleton. load_hmm_core marks the reader failed (and
+// leaves `core` untouched) on malformed input.
+void save_hmm_core(const HmmCore& core, ByteWriter& out);
+void load_hmm_core(HmmCore* core, ByteReader& in);
 
 // Arithmetic engine behind the inference kernels (DESIGN.md §6).
 //

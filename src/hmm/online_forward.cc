@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/serialize.h"
 #include "hmm/logspace.h"
 
 namespace sstd {
@@ -44,6 +45,29 @@ void OnlineForward::step(const std::vector<double>& log_emit) {
     alpha_.swap(next_);
   }
   ++steps_;
+}
+
+void OnlineForward::save(ByteWriter& out) const {
+  save_hmm_core(core_, out);
+  out.f64_vec(alpha_);
+  out.u64(steps_);
+}
+
+void OnlineForward::load(ByteReader& in) {
+  HmmCore core;
+  load_hmm_core(&core, in);
+  std::vector<double> alpha;
+  in.f64_vec(&alpha);
+  const std::uint64_t steps = in.u64();
+  if (!in.ok() ||
+      alpha.size() != static_cast<std::size_t>(core.num_states)) {
+    in.fail();
+    return;
+  }
+  core_ = std::move(core);
+  alpha_ = std::move(alpha);
+  next_.assign(alpha_.size(), 0.0);
+  steps_ = static_cast<std::size_t>(steps);
 }
 
 double OnlineForward::probability(int state) const {

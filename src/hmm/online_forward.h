@@ -35,6 +35,12 @@ class OnlineForward {
   // Convenience for 2-state truth models: P(state 1) = P(claim true).
   double probability_true() const { return probability(1); }
 
+  // Durable state history (DESIGN.md §7): byte-exact dump of the filtering
+  // distribution and step counter. load() fails the reader and leaves the
+  // filter untouched on malformed input.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   HmmCore core_;
   std::vector<double> alpha_;  // normalized (linear space)

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/serialize.h"
 #include "hmm/logspace.h"
 
 namespace sstd {
@@ -118,6 +119,58 @@ int OnlineViterbi::lagged_state(std::size_t lag) const {
     state = back_row(count_ - 1 - back)[state];
   }
   return state;
+}
+
+void OnlineViterbi::save(ByteWriter& out) const {
+  save_hmm_core(core_, out);
+  out.u64(max_lag_);
+  out.f64_vec(delta_);
+  out.u64(count_);
+  // Rows written oldest-first regardless of the ring phase, so the byte
+  // image is independent of how many times the ring wrapped.
+  const std::size_t X = static_cast<std::size_t>(core_.num_states);
+  std::vector<std::int32_t> rows(count_ * X);
+  for (std::size_t r = 0; r < count_; ++r) {
+    const int* row = back_row(r);
+    for (std::size_t i = 0; i < X; ++i) {
+      rows[r * X + i] = row[i];
+    }
+  }
+  out.i32_vec(rows);
+}
+
+void OnlineViterbi::load(ByteReader& in) {
+  HmmCore core;
+  load_hmm_core(&core, in);
+  const std::uint64_t max_lag = in.u64();
+  std::vector<double> delta;
+  in.f64_vec(&delta);
+  const std::uint64_t count = in.u64();
+  std::vector<std::int32_t> rows;
+  in.i32_vec(&rows);
+  if (!in.ok()) return;
+  const std::size_t X = static_cast<std::size_t>(core.num_states);
+  const bool count_fits = max_lag == 0 || count <= max_lag + 1;
+  if (delta.size() != X || !count_fits || rows.size() != count * X) {
+    in.fail();
+    return;
+  }
+  for (const std::int32_t b : rows) {
+    if (b < 0 || static_cast<std::size_t>(b) >= X) {
+      in.fail();
+      return;
+    }
+  }
+  core_ = std::move(core);
+  max_lag_ = static_cast<std::size_t>(max_lag);
+  delta_ = std::move(delta);
+  next_.assign(X, 0.0);
+  count_ = static_cast<std::size_t>(count);
+  head_ = 0;  // rows were saved in logical order
+  const std::size_t phys_rows =
+      max_lag_ == 0 ? count_ : static_cast<std::size_t>(max_lag_ + 1);
+  back_.assign(phys_rows * X, 0);
+  std::copy(rows.begin(), rows.end(), back_.begin());
 }
 
 std::vector<int> OnlineViterbi::traceback() const {

@@ -52,6 +52,14 @@ class OnlineViterbi {
   // "unbounded" == retain everything).
   std::vector<int> traceback() const;
 
+  // Durable state history (DESIGN.md §7): byte-exact dump of the trellis
+  // frontier plus the retained backpointer rows in logical (oldest-first)
+  // order — the ring phase is not persisted, so a loaded decoder starts
+  // with head_ == 0 but identical observable behaviour. load() fails the
+  // reader and leaves the decoder untouched on malformed input.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   // Backpointer row for logical step r, 0 = oldest retained.
   const int* back_row(std::size_t r) const;

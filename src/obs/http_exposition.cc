@@ -30,12 +30,15 @@ const char* status_text(int status) {
 }
 
 // Reads from `fd` until the end of the request head (or the buffer cap);
-// scrape requests have no body, so the head is the whole request.
+// scrape requests have no body, so the head is the whole request. A recv
+// interrupted by a signal (EINTR) is retried — a scrape racing a SIGCHLD
+// or timer must not be dropped.
 std::string read_request_head(int fd) {
   std::string request;
   char buffer[2048];
   while (request.size() < 16 * 1024) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     request.append(buffer, static_cast<std::size_t>(n));
     if (request.find("\r\n\r\n") != std::string::npos) break;
@@ -43,11 +46,15 @@ std::string read_request_head(int fd) {
   return request;
 }
 
+// Writes all of `data`, absorbing short writes and EINTR; send(2) on a
+// socket may accept fewer bytes than asked whenever the send buffer is
+// tight, which large /metrics payloads regularly hit.
 bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -297,8 +304,10 @@ bool http_get(const std::string& host, int port, const std::string& path,
 
   std::string raw;
   char buffer[4096];
-  ssize_t n;
-  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     raw.append(buffer, static_cast<std::size_t>(n));
   }
   ::close(fd);

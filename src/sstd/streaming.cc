@@ -1,5 +1,8 @@
 #include "sstd/streaming.h"
 
+#include <algorithm>
+
+#include "core/serialize.h"
 #include "util/stopwatch.h"
 
 namespace sstd {
@@ -53,7 +56,8 @@ void SstdStreaming::offer(const Report& report) {
   }
 }
 
-void SstdStreaming::refit(ClaimPipeline& pipeline) {
+void SstdStreaming::refit(ClaimPipeline& pipeline, IntervalIndex k) {
+  if (crash_hook_) crash_hook_(k, refits_);
   const Stopwatch watch;
   std::vector<int>& symbols = refit_batch_[0];
   quantizer_.quantize_series_into(pipeline.history, symbols);
@@ -118,7 +122,7 @@ void SstdStreaming::end_interval(IntervalIndex k) {
     ++pipeline.intervals_seen;
 
     if (refit_round && pipeline.intervals_seen >= config_.warmup_intervals) {
-      refit(pipeline);
+      refit(pipeline, k);
     } else {
       const int symbol = quantizer_.quantize(value);
       const int X = pipeline.model.num_states();
@@ -158,6 +162,95 @@ std::int8_t SstdStreaming::lagged_estimate(ClaimId claim,
   if (decoder.steps() <= static_cast<std::size_t>(lag)) return kNoEstimate;
   return static_cast<std::int8_t>(
       decoder.lagged_state(static_cast<std::size_t>(lag)));
+}
+
+namespace {
+constexpr std::uint8_t kStreamStateVersion = 1;
+}  // namespace
+
+std::string SstdStreaming::save_state() const {
+  ByteWriter out;
+  out.u8(kStreamStateVersion);
+  // Config echo: a snapshot only restores into an engine with the same
+  // discretization (bins, cadence, window) — anything else would silently
+  // change decision semantics.
+  out.i32(config_.num_bins);
+  out.i64(interval_ms_);
+  out.i64(window_ms_);
+  out.i32(quantizer_.num_bins());
+  out.f64(quantizer_.scale());
+  out.i64(latest_time_);
+  out.u64(refits_);
+  out.u64(evictions_);
+
+  std::vector<std::uint32_t> claims;
+  claims.reserve(pipelines_.size());
+  for (const auto& [id, _] : pipelines_) claims.push_back(id);
+  std::sort(claims.begin(), claims.end());
+  out.u32(static_cast<std::uint32_t>(claims.size()));
+  for (const std::uint32_t id : claims) {
+    const ClaimPipeline& p = pipelines_.at(id);
+    out.u32(id);
+    p.acs.save(out);
+    out.f64_vec(p.history);
+    p.model.save(out);
+    p.decoder->save(out);
+    p.filter->save(out);
+    out.i8(p.estimate);
+    out.i32(p.intervals_seen);
+    out.i32(p.last_report_interval);
+    // pending_ingest_wall_s is wall-clock telemetry relative to this
+    // process's lifetime; it resets to "no pending evidence" on load.
+  }
+  return out.take();
+}
+
+bool SstdStreaming::load_state(std::string_view blob) {
+  ByteReader in(blob);
+  if (in.u8() != kStreamStateVersion) return false;
+  const int num_bins = in.i32();
+  const TimestampMs interval_ms = in.i64();
+  const TimestampMs window_ms = in.i64();
+  const int q_bins = in.i32();
+  const double q_scale = in.f64();
+  const TimestampMs latest_time = in.i64();
+  const std::uint64_t refits = in.u64();
+  const std::uint64_t evictions = in.u64();
+  const std::uint32_t count = in.u32();
+  if (!in.ok() || num_bins != config_.num_bins ||
+      interval_ms != interval_ms_ || window_ms != window_ms_ ||
+      q_bins != config_.num_bins || !(q_scale > 0.0)) {
+    return false;
+  }
+
+  std::unordered_map<std::uint32_t, ClaimPipeline> pipelines;
+  pipelines.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t claim = in.u32();
+    ClaimPipeline p(window_ms_);
+    p.acs.load(in);
+    in.f64_vec(&p.history);
+    p.model.load(in);
+    if (!in.ok()) return false;  // decoders need a valid core
+    p.decoder = std::make_unique<OnlineViterbi>(p.model.core());
+    p.filter = std::make_unique<OnlineForward>(p.model.core());
+    p.decoder->load(in);
+    p.filter->load(in);
+    p.estimate = in.i8();
+    p.intervals_seen = in.i32();
+    p.last_report_interval = in.i32();
+    if (!in.ok() || pipelines.contains(claim)) return false;
+    pipelines.emplace(claim, std::move(p));
+  }
+  if (!in.ok() || in.remaining() != 0) return false;
+
+  quantizer_ = AcsQuantizer(q_bins, q_scale);
+  latest_time_ = latest_time;
+  refits_ = refits;
+  evictions_ = evictions;
+  pipelines_ = std::move(pipelines);
+  ins_.active_claims->set(static_cast<double>(pipelines_.size()));
+  return true;
 }
 
 double SstdStreaming::current_probability(ClaimId claim) const {

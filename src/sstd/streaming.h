@@ -5,7 +5,10 @@
 // refit periodically on the accumulated observation history.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +58,25 @@ class SstdStreaming final : public StreamingTruthDiscovery {
   // Claims evicted by the idle GC (config.evict_after_idle_intervals).
   std::uint64_t evicted_claims() const { return evictions_; }
 
+  // Durable state history (DESIGN.md §7): versioned byte-exact dump of the
+  // whole engine — quantizer geometry, every per-claim pipeline (ACS
+  // window, history, model, decoder/filter frontiers, last decision) and
+  // the counters. Pipelines are written in claim-id order, so the image is
+  // independent of hash-map iteration order and save → load → save is the
+  // identity. load_state returns false (engine untouched) on malformed
+  // input or a mismatch with this engine's configuration.
+  std::string save_state() const;
+  bool load_state(std::string_view blob);
+
+  // Chaos hook: called just before each per-claim Baum-Welch refit with
+  // (interval, refits completed so far). A hook that throws aborts the
+  // interval mid-refit round — the crash-kill drill (dist/fault_plan.h)
+  // uses this to kill a shard in the middle of model training.
+  using RefitCrashHook = std::function<void(IntervalIndex, std::uint64_t)>;
+  void set_refit_crash_hook(RefitCrashHook hook) {
+    crash_hook_ = std::move(hook);
+  }
+
  private:
   struct ClaimPipeline {
     SlidingAcs acs;
@@ -85,9 +107,10 @@ class SstdStreaming final : public StreamingTruthDiscovery {
   };
 
   ClaimPipeline& pipeline_for(std::uint32_t claim);
-  void refit(ClaimPipeline& pipeline);
+  void refit(ClaimPipeline& pipeline, IntervalIndex k);
 
   Instruments ins_;
+  RefitCrashHook crash_hook_;
   SstdConfig config_;
   Stopwatch wall_clock_;  // ingest→decision staleness timestamps
   TimestampMs interval_ms_;

@@ -1,14 +1,22 @@
 #include "sstd/system.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/stopwatch.h"
 
 namespace sstd {
 
+namespace {
+bool report_time_less(const Report& a, const Report& b) {
+  return a.time_ms < b.time_ms;
+}
+}  // namespace
+
 SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
     : config_(config),
-      queue_(std::max<std::size_t>(1, config.workers)),
+      interval_ms_(interval_ms),
+      queue_(std::max<std::size_t>(1, config.workers), config.retry),
       dtm_(config.dtm) {
   config_.num_jobs = std::max<std::size_t>(1, config_.num_jobs);
   shards_.reserve(config_.num_jobs);
@@ -18,6 +26,7 @@ SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
         std::make_unique<SstdStreaming>(config_.sstd, interval_ms);
     shards_.push_back(std::move(shard));
   }
+  for (std::size_t i = 0; i < config_.num_jobs; ++i) install_crash_hook(i);
   // Every shard is a long-lived TD job; its deadline is re-armed per
   // interval inside end_interval(). The SLO tracker mirrors each
   // registration so the exported deadline hit ratio and the DTM's
@@ -26,11 +35,29 @@ SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
   for (std::size_t i = 0; i < config_.num_jobs; ++i) {
     dtm_.register_job(static_cast<dist::JobId>(i), config_.interval_deadline_s);
   }
+
+  if (config_.durability.enabled()) {
+    durable::WalOptions wal_options;
+    wal_options.segment_bytes = config_.durability.segment_bytes;
+    wal_options.fsync = config_.durability.fsync;
+    // Opening truncates any torn tail left by a previous crash, so a
+    // subsequent recover() never sees a half-written record.
+    wal_.open(config_.durability.dir, wal_options);
+    snapshots_.open(config_.durability.dir,
+                    config_.durability.keep_snapshots);
+  }
 }
 
 SstdSystem::~SstdSystem() { queue_.shutdown(); }
 
 void SstdSystem::ingest(const Report& report) {
+  // Write-ahead: the report reaches the log before any in-memory state,
+  // so an acknowledged report survives a crash.
+  if (wal_.is_open()) {
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    wal_.append(durable::WalRecordType::kReport,
+                durable::encode_report_payload(report));
+  }
   Shard& shard = *shards_[report.claim.value % config_.num_jobs];
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -38,6 +65,163 @@ void SstdSystem::ingest(const Report& report) {
   }
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ++metrics_.reports_ingested;
+}
+
+void SstdSystem::install_crash_hook(std::size_t shard_index) {
+  if (config_.fault_plan.empty()) return;
+  Shard* shard = shards_[shard_index].get();
+  shard->engine->set_refit_crash_hook(
+      [this, shard](IntervalIndex k, std::uint64_t) {
+        // Caller (the shard task body) holds shard->mutex.
+        const int prior =
+            shard->kill_interval == k ? shard->kills_at_interval : 0;
+        if (!config_.fault_plan.should_crash_kill(k, prior)) return;
+        shard->kill_interval = k;
+        shard->kills_at_interval = prior + 1;
+        throw dist::ProcessKilled(
+            "crash-kill drill: shard killed mid-refit at interval " +
+            std::to_string(k));
+      });
+}
+
+void SstdSystem::run_shard_interval(std::size_t shard_index,
+                                    IntervalIndex k) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.needs_recovery) recover_shard_locked(shard, shard_index);
+  try {
+    std::sort(shard.buffer.begin(), shard.buffer.end(), report_time_less);
+    for (const Report& report : shard.buffer) {
+      shard.engine->offer(report);
+    }
+    shard.buffer.clear();
+    shard.engine->end_interval(k);
+  } catch (const dist::ProcessKilled&) {
+    // Killed mid-refit: the in-memory engine is in an undefined
+    // half-trained state. Mark for rebuild and let the master's
+    // RetryPolicy re-run the interval on a recovered engine.
+    shard.needs_recovery = true;
+    obs::MetricsRegistry::global().counter("durable.crash_kills")->inc();
+    throw;
+  }
+}
+
+void SstdSystem::recover_shard_locked(Shard& shard,
+                                      std::size_t shard_index) {
+  const Stopwatch timer;
+  auto engine = std::make_unique<SstdStreaming>(config_.sstd, interval_ms_);
+
+  std::uint64_t after_lsn = 0;
+  if (config_.durability.enabled()) {
+    // Newest valid snapshot, this shard's blob only.
+    durable::SnapshotMeta meta;
+    std::vector<std::string> blobs;
+    for (const auto& path :
+         durable::snapshot_files(config_.durability.dir)) {
+      if (durable::read_snapshot_file(path, &meta, &blobs)) break;
+      blobs.clear();
+    }
+    if (blobs.size() == shards_.size() &&
+        engine->load_state(blobs[shard_index])) {
+      after_lsn = meta.lsn;
+    }
+
+    // Replay the WAL suffix, filtered to this shard's claims, reproducing
+    // the original buffer → sort → offer → end_interval cadence so the
+    // rebuilt engine's state is byte-identical. Reports logged after the
+    // last interval-end belong to the in-flight interval and are left in
+    // the shard buffer for the retry attempt to process.
+    shard.buffer.clear();
+    durable::wal_scan(
+        config_.durability.dir, after_lsn,
+        [&](const durable::WalRecord& record) {
+          switch (static_cast<durable::WalRecordType>(record.type)) {
+            case durable::WalRecordType::kReport: {
+              Report report;
+              if (durable::decode_report_payload(record.payload, &report) &&
+                  report.claim.value % shards_.size() == shard_index) {
+                shard.buffer.push_back(report);
+              }
+              break;
+            }
+            case durable::WalRecordType::kIntervalEnd: {
+              IntervalIndex interval = 0;
+              if (!durable::decode_interval_end_payload(record.payload,
+                                                        &interval)) {
+                break;
+              }
+              std::sort(shard.buffer.begin(), shard.buffer.end(),
+                        report_time_less);
+              for (const Report& report : shard.buffer) {
+                engine->offer(report);
+              }
+              shard.buffer.clear();
+              engine->end_interval(interval);
+              break;
+            }
+            default:
+              break;
+          }
+        });
+  }
+
+  shard.engine = std::move(engine);
+  shard.needs_recovery = false;
+  install_crash_hook(shard_index);
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("durable.shard_recoveries")->inc();
+  registry.gauge("durable.recovery_seconds")->set(timer.elapsed_seconds());
+}
+
+durable::RecoveryManager::Result SstdSystem::recover() {
+  durable::RecoveryManager::Result result;
+  if (!config_.durability.enabled()) return result;
+
+  // Replay must not re-trigger the chaos drill: the crashes it models
+  // already happened.
+  for (auto& shard : shards_) {
+    shard->engine->set_refit_crash_hook(nullptr);
+  }
+
+  durable::RecoveryManager::Callbacks callbacks;
+  callbacks.load_snapshot = [this](IntervalIndex,
+                                   const std::vector<std::string>& blobs) {
+    if (blobs.size() != shards_.size()) return false;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!shards_[i]->engine->load_state(blobs[i])) {
+        // A half-loaded node must not mix snapshot state with the
+        // from-scratch replay that follows a rejected snapshot.
+        for (std::size_t j = 0; j <= i; ++j) {
+          shards_[j]->engine = std::make_unique<SstdStreaming>(
+              config_.sstd, interval_ms_);
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+  callbacks.on_report = [this](const Report& report) {
+    // Straight to the shard buffer: the record is already in the WAL, and
+    // pre-crash ingestion was already counted by the crashed process.
+    shards_[report.claim.value % shards_.size()]->buffer.push_back(report);
+  };
+  callbacks.on_interval_end = [this](IntervalIndex interval) {
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::sort(shard.buffer.begin(), shard.buffer.end(), report_time_less);
+      for (const Report& report : shard.buffer) {
+        shard.engine->offer(report);
+      }
+      shard.buffer.clear();
+      shard.engine->end_interval(interval);
+    }
+  };
+
+  result = durable::RecoveryManager::recover(config_.durability.dir,
+                                             callbacks);
+  for (std::size_t i = 0; i < shards_.size(); ++i) install_crash_hook(i);
+  return result;
 }
 
 void SstdSystem::end_interval(IntervalIndex k) {
@@ -51,18 +235,8 @@ void SstdSystem::end_interval(IntervalIndex k) {
     dist::Task task;
     task.id = next_task_id_++;
     task.job = job;
-    task.work = [shard, k] {
-      std::lock_guard<std::mutex> lock(shard->mutex);
-      std::sort(shard->buffer.begin(), shard->buffer.end(),
-                [](const Report& a, const Report& b) {
-                  return a.time_ms < b.time_ms;
-                });
-      for (const Report& report : shard->buffer) {
-        shard->engine->offer(report);
-      }
-      shard->buffer.clear();
-      shard->engine->end_interval(k);
-    };
+    task.max_retries = config_.shard_task_retries;
+    task.work = [this, i, k] { run_shard_interval(i, k); };
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
       task.data_size = static_cast<double>(shard->buffer.size());
@@ -72,6 +246,28 @@ void SstdSystem::end_interval(IntervalIndex k) {
 
   queue_.wait_all();
   const double interval_seconds = interval_watch.elapsed_seconds();
+
+  // Durability boundary: the interval is fully processed, so its marker
+  // goes to the log (replay re-closes intervals in this order), the fsync
+  // policy's interval boundary fires, and — on the snapshot cadence —
+  // every shard's state is checkpointed against the marker's LSN.
+  if (wal_.is_open()) {
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    const std::uint64_t lsn =
+        wal_.append(durable::WalRecordType::kIntervalEnd,
+                    durable::encode_interval_end_payload(k));
+    wal_.sync();
+    const IntervalIndex every = config_.durability.snapshot_every;
+    if (every > 0 && (k + 1) % every == 0) {
+      std::vector<std::string> blobs;
+      blobs.reserve(shards_.size());
+      for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        blobs.push_back(shard->engine->save_state());
+      }
+      snapshots_.write(k, lsn, blobs);
+    }
+  }
 
   // Account completions and feed the control loop.
   const auto reports = queue_.drain_reports();

@@ -18,11 +18,16 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "control/dtm.h"
 #include "core/truth_discovery.h"
+#include "dist/fault_plan.h"
 #include "dist/work_queue.h"
+#include "durable/recovery.h"
+#include "durable/snapshot.h"
+#include "durable/wal.h"
 #include "obs/slo.h"
 #include "sstd/streaming.h"
 
@@ -37,6 +42,21 @@ class SstdSystem {
     // Soft deadline for each interval's TD work, in wall-clock seconds.
     double interval_deadline_s = 1.0;
     control::DtmConfig dtm;
+
+    // Master retry policy for shard TD tasks and the per-task attempt
+    // budget. A crash-killed shard is recovered and re-run through this
+    // machinery, so the budget must cover the drill's kill count.
+    dist::RetryPolicy retry;
+    int shard_task_retries = 3;
+
+    // System-level chaos schedule: crash_kill_during_refit kills a shard
+    // mid-Baum-Welch (the shard rebuilds from snapshot + WAL on retry).
+    dist::FaultPlan fault_plan;
+
+    // Durable state history (DESIGN.md §7): WAL of ingested reports +
+    // periodic shard snapshots under `durability.dir`. Disabled when the
+    // directory is empty; then a crash-killed shard rebuilds blank.
+    durable::DurabilityOptions durability;
   };
 
   struct Metrics {
@@ -73,6 +93,14 @@ class SstdSystem {
   // Current estimate for a claim (threadsafe; kNoEstimate if unseen).
   std::int8_t estimate(ClaimId claim) const;
 
+  // Node restart: loads the newest valid snapshot and replays the WAL
+  // suffix, restoring every shard to its pre-crash state (byte-exact —
+  // the engine is deterministic given state + inputs and the WAL
+  // preserves ingest order). Call after construction, before any ingest;
+  // resume live processing at Result::next_interval. A blank or disabled
+  // durable directory recovers to an empty node (default Result).
+  durable::RecoveryManager::Result recover();
+
   Metrics metrics() const;
 
   // Live-observability hooks (ISSUE 3, DESIGN.md §5c): the runtime's
@@ -88,9 +116,33 @@ class SstdSystem {
     std::unique_ptr<SstdStreaming> engine;
     std::vector<Report> buffer;
     mutable std::mutex mutex;
+
+    // Crash-kill drill bookkeeping (guarded by `mutex`): whether the
+    // engine died mid-interval and must be rebuilt before the retry, and
+    // how many times the drill already killed this shard at the current
+    // interval (feeds FaultPlan::should_crash_kill).
+    bool needs_recovery = false;
+    IntervalIndex kill_interval = -1;
+    int kills_at_interval = 0;
   };
 
+  // One shard's TD work for interval `k` (the Work Queue task body):
+  // recover the engine if a previous attempt was crash-killed, then sort +
+  // offer the buffered reports and close the interval. ProcessKilled from
+  // the chaos hook marks the shard for recovery and propagates, so the
+  // master's RetryPolicy re-runs the interval.
+  void run_shard_interval(std::size_t shard_index, IntervalIndex k);
+
+  // Rebuilds one shard's engine from the newest snapshot + the WAL suffix
+  // filtered to this shard's claims. Caller holds the shard mutex.
+  void recover_shard_locked(Shard& shard, std::size_t shard_index);
+
+  // Installs the crash-kill chaos hook on a shard's (possibly rebuilt)
+  // engine; no-op when the fault plan is empty.
+  void install_crash_hook(std::size_t shard_index);
+
   Config config_;
+  TimestampMs interval_ms_;
   std::vector<std::unique_ptr<Shard>> shards_;
   dist::WorkQueue queue_;
   obs::SloTracker slo_;
@@ -98,6 +150,13 @@ class SstdSystem {
   std::uint64_t next_task_id_ = 0;
   Metrics metrics_;
   mutable std::mutex metrics_mutex_;
+
+  // Durability plumbing (all no-ops when config_.durability is disabled).
+  // The WAL writer is driver-thread-only in normal operation, but guarded
+  // anyway so ingest from multiple crawler threads stays safe.
+  durable::WalWriter wal_;
+  durable::SnapshotManager snapshots_;
+  std::mutex wal_mutex_;
 };
 
 }  // namespace sstd

@@ -1,0 +1,311 @@
+// Crash-recovery golden tests (DESIGN.md §7): the streaming system's
+// decisions are a deterministic function of (state, inputs), the WAL
+// preserves ingest order, and snapshots capture state exactly — so a run
+// that is crash-killed mid-refit and recovered, or killed outright and
+// restarted from the durable directory, must render byte-identically to
+// the committed fault-free corpus in tests/golden/.
+//
+// Legitimate regeneration (after an intended decoding change):
+//
+//   ./durable_recovery_test --update-golden
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "obs/metrics.h"
+#include "sstd/system.h"
+#include "trace/generator.h"
+
+namespace sstd {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool g_update_golden = false;
+
+struct StreamScenario {
+  std::string name;
+  trace::ScenarioConfig config;
+};
+
+// The same fixed-seed trio as golden_regression_test.cc, rendered through
+// the streaming system instead of the batch scheme. Tuning knobs here
+// invalidate the corpus: change only together with --update-golden.
+std::vector<StreamScenario> stream_scenarios() {
+  std::vector<StreamScenario> scenarios;
+
+  trace::ScenarioConfig steady = trace::tiny(trace::boston_bombing(), 8'000, 10);
+  steady.name = "steady";
+  steady.seed = 90'001;
+  steady.flip_rate_min = 0.01;
+  steady.flip_rate_max = 0.03;
+  steady.spike_probability = 0.0;
+  steady.misinformation_claim_fraction = 0.0;
+  scenarios.push_back({"steady", steady});
+
+  trace::ScenarioConfig bursty = trace::tiny(trace::boston_bombing(), 8'000, 10);
+  bursty.name = "bursty";
+  bursty.seed = 90'002;
+  bursty.spike_probability = 0.30;
+  bursty.spike_multiplier = 8.0;
+  bursty.misinformation_claim_fraction = 0.5;
+  scenarios.push_back({"bursty", bursty});
+
+  trace::ScenarioConfig flip = trace::tiny(trace::paris_shooting(), 8'000, 10);
+  flip.name = "flip_heavy";
+  flip.seed = 90'003;
+  flip.flip_rate_min = 0.12;
+  flip.flip_rate_max = 0.30;
+  scenarios.push_back({"flip_heavy", flip});
+
+  return scenarios;
+}
+
+// Early refits + tight snapshot cadence so kills land mid-training and
+// recovery exercises snapshot-load + WAL-suffix replay, not full replay.
+SstdSystem::Config stream_config(const std::string& durable_dir) {
+  SstdSystem::Config config;
+  config.workers = 2;
+  config.num_jobs = 4;
+  config.interval_deadline_s = 5.0;  // generous: correctness-focused
+  config.sstd.refit_every = 5;       // refit rounds at k = 4, 9, 14, ...
+  config.sstd.warmup_intervals = 2;
+  config.durability.dir = durable_dir;
+  config.durability.snapshot_every = 4;  // snapshots at k = 3, 7, 11, ...
+  return config;
+}
+
+// A refit round (k=9 with refit_every=5) past the first snapshot (k=7).
+constexpr IntervalIndex kKillInterval = 9;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (fs::path(::testing::TempDir()) /
+            ("sstd_recovery_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+char estimate_char(std::int8_t estimate) {
+  if (estimate == kNoEstimate) return '.';
+  return estimate == 1 ? '1' : '0';
+}
+
+std::string render_matrix(const StreamScenario& scenario, const Dataset& data,
+                          const EstimateMatrix& estimates) {
+  EvalOptions eval;
+  eval.window_ms = data.interval_ms();
+  const auto cm = evaluate(data, estimates, eval);
+
+  std::ostringstream out;
+  out << "scenario " << scenario.name << " (streaming)\n";
+  out << "claims " << data.num_claims() << " intervals " << data.intervals()
+      << "\n";
+  out << std::fixed << std::setprecision(6);
+  out << "accuracy " << cm.accuracy() << " f1 " << cm.f1() << "\n";
+  for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+    out << "claim " << u << " ";
+    for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+      out << estimate_char(estimates[u][k]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// Drives `system` over intervals [from, to), filling the estimate rows.
+// `next` is the report cursor, carried across calls.
+void drive(SstdSystem& system, const Dataset& data, IntervalIndex from,
+           IntervalIndex to, std::size_t* next, EstimateMatrix* estimates) {
+  const auto& reports = data.reports();
+  for (IntervalIndex k = from; k < to; ++k) {
+    const TimestampMs end =
+        static_cast<TimestampMs>(k + 1) * data.interval_ms();
+    while (*next < reports.size() && reports[*next].time_ms < end) {
+      system.ingest(reports[*next]);
+      ++*next;
+    }
+    system.end_interval(k);
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      (*estimates)[u][k] = system.estimate(ClaimId{u});
+    }
+  }
+}
+
+EstimateMatrix blank_matrix(const Dataset& data) {
+  return EstimateMatrix(
+      data.num_claims(),
+      std::vector<std::int8_t>(data.intervals(), kNoEstimate));
+}
+
+// Fault-free, durability-off run: the reference every other run must hit.
+std::string render_fault_free(const StreamScenario& scenario) {
+  trace::TraceGenerator generator(scenario.config);
+  const Dataset data = generator.generate();
+  SstdSystem system(stream_config(""), data.interval_ms());
+  EstimateMatrix estimates = blank_matrix(data);
+  std::size_t next = 0;
+  drive(system, data, 0, data.intervals(), &next, &estimates);
+  return render_matrix(scenario, data, estimates);
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(SSTD_GOLDEN_DIR) + "/" + name + ".stream.golden";
+}
+
+// The byte-exact reference: the committed golden file, or (when
+// regenerating) a fresh fault-free render.
+std::string reference_render(const StreamScenario& scenario) {
+  if (g_update_golden) return render_fault_free(scenario);
+  std::ifstream in(golden_path(scenario.name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file "
+                         << golden_path(scenario.name)
+                         << " — regenerate with --update-golden";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+void check_fault_free_golden(const StreamScenario& scenario) {
+  const std::string rendered = render_fault_free(scenario);
+  const std::string path = golden_path(scenario.name);
+
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with --update-golden";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(rendered, contents.str())
+      << "streaming decisions drifted from " << path
+      << "; if intended, regenerate with --update-golden";
+}
+
+StreamScenario scenario_by_name(const std::string& name) {
+  for (auto& s : stream_scenarios()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "unknown scenario " << name;
+  return {};
+}
+
+// --- the corpus itself --------------------------------------------------
+
+TEST(DurableRecovery, SteadyFaultFreeMatchesGolden) {
+  check_fault_free_golden(scenario_by_name("steady"));
+}
+
+TEST(DurableRecovery, BurstyFaultFreeMatchesGolden) {
+  check_fault_free_golden(scenario_by_name("bursty"));
+}
+
+TEST(DurableRecovery, FlipHeavyFaultFreeMatchesGolden) {
+  check_fault_free_golden(scenario_by_name("flip_heavy"));
+}
+
+// --- crash-kill drill: kill mid-Baum-Welch, recover via retry ----------
+
+TEST(DurableRecovery, CrashKillMidRefitRecoversByteExact) {
+  for (const auto& scenario : stream_scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    trace::TraceGenerator generator(scenario.config);
+    const Dataset data = generator.generate();
+
+    TempDir dir("kill_" + scenario.name);
+    SstdSystem::Config config = stream_config(dir.path);
+    config.fault_plan.crash_kill_during_refit(kKillInterval, /*times=*/2);
+    SstdSystem system(config, data.interval_ms());
+
+    auto* kills =
+        obs::MetricsRegistry::global().counter("durable.crash_kills");
+    auto* recoveries =
+        obs::MetricsRegistry::global().counter("durable.shard_recoveries");
+    const std::uint64_t kills_before = kills->value();
+    const std::uint64_t recoveries_before = recoveries->value();
+
+    EstimateMatrix estimates = blank_matrix(data);
+    std::size_t next = 0;
+    drive(system, data, 0, data.intervals(), &next, &estimates);
+
+    EXPECT_GT(kills->value(), kills_before) << "drill never fired";
+    EXPECT_GT(recoveries->value(), recoveries_before);
+    EXPECT_EQ(render_matrix(scenario, data, estimates),
+              reference_render(scenario));
+  }
+}
+
+// --- kill -9 restart: new process, snapshot load + WAL replay ----------
+
+TEST(DurableRecovery, RestartAfterHardKillResumesByteExact) {
+  for (const auto& scenario : stream_scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    trace::TraceGenerator generator(scenario.config);
+    const Dataset data = generator.generate();
+
+    TempDir dir("restart_" + scenario.name);
+    EstimateMatrix estimates = blank_matrix(data);
+    std::size_t next = 0;
+
+    // First incarnation: processes intervals [0, kKillInterval], then the
+    // "process" dies (destruction without any graceful handoff — the WAL
+    // and snapshots on disk are all that survives).
+    {
+      SstdSystem before(stream_config(dir.path), data.interval_ms());
+      drive(before, data, 0, kKillInterval + 1, &next, &estimates);
+    }
+
+    // Second incarnation: recover from the durable directory and resume.
+    SstdSystem after(stream_config(dir.path), data.interval_ms());
+    const auto result = after.recover();
+    EXPECT_TRUE(result.snapshot_loaded);  // snapshot at k=7 exists
+    EXPECT_EQ(result.next_interval, kKillInterval + 1);
+    EXPECT_GT(result.replayed_records, 0u);  // intervals 8..9 via WAL
+    drive(after, data, result.next_interval, data.intervals(), &next,
+          &estimates);
+
+    EXPECT_EQ(render_matrix(scenario, data, estimates),
+              reference_render(scenario));
+  }
+}
+
+// Recovery on a blank durable directory is a clean cold start.
+TEST(DurableRecovery, BlankDirectoryColdStarts) {
+  TempDir dir("blank");
+  SstdSystem system(stream_config(dir.path), 1000);
+  const auto result = system.recover();
+  EXPECT_FALSE(result.snapshot_loaded);
+  EXPECT_EQ(result.next_interval, 0);
+  EXPECT_EQ(result.replayed_records, 0u);
+  EXPECT_EQ(system.estimate(ClaimId{0}), kNoEstimate);
+}
+
+}  // namespace
+}  // namespace sstd
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      sstd::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

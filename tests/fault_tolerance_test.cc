@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include <filesystem>
+
 #include "dist/fault_plan.h"
 #include "dist/retry_policy.h"
 #include "dist/sim_cluster.h"
@@ -17,6 +19,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sstd/distributed.h"
+#include "sstd/system.h"
+#include "trace/generator.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -668,6 +672,69 @@ TEST(DistributedChaos, TelemetryExportsMatchRunStats) {
     ++events;
   }
   EXPECT_EQ(events, spans.size());
+}
+
+// Crash-kill drill end to end (DESIGN.md §7): a shard killed mid-Baum-
+// Welch raises ProcessKilled out of its TD task, the master's RetryPolicy
+// re-runs the interval, and the retry rebuilds the shard's engine from
+// snapshot + WAL before recomputing — so the system's decisions are
+// identical to a fault-free run at every interval, not just eventually.
+TEST(CrashKillDrill, RecoveredShardDecisionsMatchFaultFreeRun) {
+  trace::TraceGenerator generator(
+      trace::tiny(trace::boston_bombing(), 5'000, 8));
+  const Dataset data = generator.generate();
+
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "sstd_crash_drill";
+  std::filesystem::remove_all(dir);
+
+  SstdSystem::Config config;
+  config.workers = 2;
+  config.num_jobs = 3;
+  config.interval_deadline_s = 5.0;
+  config.sstd.refit_every = 4;  // refit rounds at k = 3, 7, 11, ...
+  config.sstd.warmup_intervals = 2;
+  SstdSystem fault_free(config, data.interval_ms());
+
+  SstdSystem::Config chaos = config;
+  chaos.durability.dir = dir.string();
+  chaos.durability.snapshot_every = 3;  // snapshots at k = 2, 5, ...
+  // Kill every shard refitting at k=7, twice each: the first retry is
+  // killed again mid-recovery-rerun, so the drill also proves repeated
+  // kills within one interval stay inside the attempt budget (3).
+  chaos.fault_plan.crash_kill_during_refit(7, /*times=*/2);
+  SstdSystem drilled(chaos, data.interval_ms());
+
+  auto& registry = obs::MetricsRegistry::global();
+  auto* kills = registry.counter("durable.crash_kills");
+  auto* recoveries = registry.counter("durable.shard_recoveries");
+  const std::uint64_t kills_before = kills->value();
+  const std::uint64_t recoveries_before = recoveries->value();
+
+  const auto& reports = data.reports();
+  std::size_t next = 0;
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    const TimestampMs end =
+        static_cast<TimestampMs>(k + 1) * data.interval_ms();
+    while (next < reports.size() && reports[next].time_ms < end) {
+      fault_free.ingest(reports[next]);
+      drilled.ingest(reports[next]);
+      ++next;
+    }
+    fault_free.end_interval(k);
+    drilled.end_interval(k);
+    for (std::uint32_t u = 0; u < data.num_claims(); ++u) {
+      ASSERT_EQ(drilled.estimate(ClaimId{u}), fault_free.estimate(ClaimId{u}))
+          << "claim " << u << " interval " << k;
+    }
+  }
+
+  EXPECT_GT(kills->value(), kills_before) << "the drill never killed a shard";
+  EXPECT_GT(recoveries->value(), recoveries_before);
+  // Recovery went through the retry machinery and succeeded within the
+  // attempt budget — no task was reported permanently failed.
+  EXPECT_EQ(drilled.metrics().task_failures, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
