@@ -72,6 +72,11 @@ int main(int argc, char** argv) {
     system_config.durability.dir = durable_dir;
     system_config.durability.snapshot_every = 10;
   }
+  // Causal tracing (DESIGN.md §5d): one in twenty reports roots a trace;
+  // each shard-interval promotes its first candidate to task trace
+  // parent, so /trace.json?trace_id=… reconstructs ingest → attempt
+  // spans (retries included) → refit → decision for live chains.
+  system_config.trace_sample_rate = 0.05;
   SstdSystem system(system_config, data.interval_ms());
 
   // Node restart: load the newest snapshot, replay the WAL suffix, resume
@@ -120,6 +125,7 @@ int main(int argc, char** argv) {
   obs::TimeSeriesConfig sampler_config;
   sampler_config.interval_s = 0.025;
   sampler_config.capacity = 4096;
+  sampler_config.sample_proc_stats = true;  // proc.* gauges in every sample
   obs::TimeSeriesSampler sampler(&obs::MetricsRegistry::global(),
                                  sampler_config);
   server.set_sampler(&sampler);
@@ -131,7 +137,8 @@ int main(int argc, char** argv) {
   }
   sampler.start();
   std::printf("telemetry live: curl localhost:%d/metrics   (also /healthz "
-              "/readyz /varz /snapshot.json /trace.json /timeseries.csv)\n\n",
+              "/readyz /varz /snapshot.json /trace.json /claims.json "
+              "/timeseries.csv)\n\n",
               server.port());
 
   EstimateMatrix estimates(
@@ -198,6 +205,20 @@ int main(int argc, char** argv) {
                 has_staleness ? "yes" : "MISSING");
   } else {
     std::printf("\nself-scrape of /metrics FAILED\n");
+  }
+
+  // Point at one live causal chain and the decision-provenance ring, so
+  // the operator can replay a concrete decision's lineage by hand.
+  for (const auto& span : obs::TraceRecorder::global().snapshot()) {
+    if (span.phase == obs::SpanPhase::kIngest && span.traced()) {
+      std::printf(
+          "causal chains live: curl 'localhost:%d/trace.json?trace_id=%s' "
+          "| provenance: curl 'localhost:%d/claims.json?claim=%s'\n",
+          server.port(),
+          obs::trace_id_hex(span.trace_hi, span.trace_lo).c_str(),
+          server.port(), span.attr("claim").c_str());
+      break;
+    }
   }
 
   // Persist the retained metric history for offline plotting (the Fig. 6

@@ -10,6 +10,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace_context.h"
+
 namespace sstd::dist {
 
 using TaskId = std::uint64_t;
@@ -67,6 +69,14 @@ struct Task {
   // How many times the runtime may re-attempt a failing task before
   // reporting it failed.
   int max_retries = 2;
+
+  // Causal trace context (ISSUE 8): when valid, every attempt of this
+  // task — retries, speculative duplicates, eviction replays — records a
+  // parent-linked child span of `trace.span_id`, and the Work Queue
+  // installs the context thread-locally around the payload so nested
+  // instrumentation (refit, recovery, decision) joins the same trace. An
+  // invalid (default) context costs nothing.
+  obs::TraceContext trace;
 };
 
 // Completion record the runtime hands back to the controller.

@@ -1,7 +1,9 @@
 #include "dist/work_queue.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/trace_context.h"
 #include "util/log.h"
 
 namespace sstd::dist {
@@ -31,7 +33,9 @@ void WorkQueue::set_telemetry(const obs::Telemetry& telemetry) {
 
 void WorkQueue::record_span(const QueuedTask& item, std::uint32_t worker,
                             obs::SpanPhase phase, obs::SpanOutcome outcome,
-                            double begin_s, double end_s) const {
+                            double begin_s, double end_s,
+                            std::uint64_t span_id,
+                            std::uint64_t parent_span) const {
   obs::TraceSpan span;
   span.task = item.task.id;
   span.job = item.task.job;
@@ -42,7 +46,13 @@ void WorkQueue::record_span(const QueuedTask& item, std::uint32_t worker,
   span.speculative = item.speculative;
   span.begin_s = begin_s;
   span.end_s = end_s;
-  telemetry_.tracer->record(span);
+  if (item.task.trace.valid() && span_id != 0) {
+    span.trace_hi = item.task.trace.trace_hi;
+    span.trace_lo = item.task.trace.trace_lo;
+    span.span_id = span_id;
+    span.parent_span = parent_span;
+  }
+  telemetry_.tracer->record(std::move(span));
 }
 
 WorkQueue::WorkQueue(std::size_t initial_workers, RetryPolicy retry,
@@ -262,9 +272,26 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
       in_flight_.emplace(instance, std::move(flight));
       ins_.pending->set(static_cast<double>(queue_.size()));
     }
+    // Traced tasks: mint this attempt's span ids and install the context
+    // thread-locally so payload-side instrumentation (refit, recovery
+    // replay, decision flips) parents onto this attempt's run span. Each
+    // attempt — retry, speculative duplicate, post-eviction replay —
+    // gets fresh ids, all children of the task's ingest span.
+    std::uint64_t queued_span = 0;
+    std::uint64_t attempt_span = 0;
+    std::optional<obs::TraceScope> trace_scope;
+    if (item->task.trace.valid()) {
+      queued_span = obs::mint_span_id();
+      attempt_span = obs::mint_span_id();
+      obs::TraceContext attempt_ctx = item->task.trace;
+      attempt_ctx.span_id = attempt_span;
+      trace_scope.emplace(attempt_ctx);
+    }
+
     // Queue-delay span for this attempt (instance enqueue → dispatch).
     record_span(*item, worker_index, obs::SpanPhase::kQueued,
-                obs::SpanOutcome::kDispatched, item->enqueued_s, started_s);
+                obs::SpanOutcome::kDispatched, item->enqueued_s, started_s,
+                queued_span, item->task.trace.span_id);
 
     TaskReport report;
     report.task = item->task.id;
@@ -322,7 +349,8 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
       // Eviction: whatever this attempt produced died with the worker;
       // the task re-queues and the thread leaves the pool.
       record_span(*item, worker_index, obs::SpanPhase::kRun,
-                  obs::SpanOutcome::kEvicted, started_s, now());
+                  obs::SpanOutcome::kEvicted, started_s, now(), attempt_span,
+                  item->task.trace.span_id);
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.evictions;
@@ -364,7 +392,8 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
       }
     }
     record_span(*item, worker_index, obs::SpanPhase::kRun, outcome,
-                started_s, report.finished_s);
+                started_s, report.finished_s, attempt_span,
+                item->task.trace.span_id);
   }
   ins_.live_workers->set(
       static_cast<double>(live_workers_.fetch_sub(1) - 1));

@@ -212,9 +212,13 @@ class WorkQueue {
   void monitor_loop();
 
   void resolve_instruments();
+  // span_id/parent_span thread the attempt into the task's causal trace;
+  // both zero (or an untraced task) keeps the span lineage-free, which is
+  // the pre-ISSUE-8 shape exporters render verbatim.
   void record_span(const QueuedTask& item, std::uint32_t worker,
                    obs::SpanPhase phase, obs::SpanOutcome outcome,
-                   double begin_s, double end_s) const;
+                   double begin_s, double end_s, std::uint64_t span_id = 0,
+                   std::uint64_t parent_span = 0) const;
 
   // Worker helpers.
   bool maybe_retire();

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <unordered_map>
+
+#include "obs/trace_context.h"
 
 namespace sstd::obs {
 namespace {
@@ -91,6 +94,22 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
     out += base + "_bucket{le=\"+Inf\"} " + format_u64(hist.count) + "\n";
     out += base + "_sum " + format_double(hist.sum) + "\n";
     out += base + "_count " + format_u64(hist.count) + "\n";
+    // OpenMetrics-style exemplars: "# {trace_id=…} value" after the
+    // bucket block, one line per bucket that captured one. Comment
+    // syntax keeps plain-Prometheus scrapers happy.
+    if (!hist.exemplars.empty()) {
+      for (std::size_t i = 0; i < hist.exemplars.size(); ++i) {
+        const HistogramExemplar& ex = hist.exemplars[i];
+        if (!ex.valid()) continue;
+        const std::string le = i < hist.bounds.size()
+                                   ? format_double(hist.bounds[i])
+                                   : "+Inf";
+        out += "# " + base + "_bucket{le=\"" + le + "\"} exemplar {trace_id=\"" +
+               trace_id_hex(ex.trace_hi, ex.trace_lo) + "\",span_id=\"" +
+               span_id_hex(ex.span_id) + "\"} " + format_double(ex.value) +
+               "\n";
+      }
+    }
   }
   return out;
 }
@@ -122,7 +141,31 @@ std::string to_json(const MetricsSnapshot& snapshot) {
            ", \"mean\": " + format_double(hist.mean()) +
            ", \"p50\": " + json_number(hist.quantile(0.5)) +
            ", \"p95\": " + json_number(hist.quantile(0.95)) +
-           ", \"p99\": " + json_number(hist.quantile(0.99)) + "}";
+           ", \"p99\": " + json_number(hist.quantile(0.99));
+    // Exemplars only when any bucket captured one, so histograms without
+    // tracing keep their pre-ISSUE-8 shape byte for byte.
+    bool any_exemplar = false;
+    for (const HistogramExemplar& ex : hist.exemplars) {
+      if (ex.valid()) { any_exemplar = true; break; }
+    }
+    if (any_exemplar) {
+      out += ", \"exemplars\": [";
+      bool first_ex = true;
+      for (std::size_t i = 0; i < hist.exemplars.size(); ++i) {
+        const HistogramExemplar& ex = hist.exemplars[i];
+        if (!ex.valid()) continue;
+        if (!first_ex) out += ", ";
+        first_ex = false;
+        const std::string le = i < hist.bounds.size()
+                                   ? format_double(hist.bounds[i])
+                                   : "null";
+        out += "{\"le\": " + le + ", \"value\": " + format_double(ex.value) +
+               ", \"trace_id\": \"" + trace_id_hex(ex.trace_hi, ex.trace_lo) +
+               "\", \"span_id\": \"" + span_id_hex(ex.span_id) + "\"}";
+      }
+      out += "]";
+    }
+    out += "}";
     first = false;
   }
   out += first ? "}\n" : "\n  }\n";
@@ -133,6 +176,18 @@ std::string to_json(const MetricsSnapshot& snapshot) {
 std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
   // Complete events: ts/dur in microseconds. pid 1 is the runtime; tid is
   // the worker id, so about:tracing renders one row per worker.
+  //
+  // Traced spans additionally carry their trace/span/parent ids and
+  // attributes in args, and each parent→child edge whose both ends are in
+  // `spans` becomes a flow-event pair ("ph":"s" at the parent, "ph":"f"
+  // with bp:"e" at the child) so Perfetto draws arrows across worker
+  // rows. Untraced spans render exactly as before ISSUE 8.
+  std::unordered_map<std::uint64_t, std::size_t> by_span_id;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].traced() && spans[i].span_id != 0) {
+      by_span_id.emplace(spans[i].span_id, i);
+    }
+  }
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const auto& span : spans) {
@@ -158,9 +213,109 @@ std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
     out += json_escape(span_outcome_name(span.outcome));
     out += "\",\"speculative\":";
     out += span.speculative ? "true" : "false";
+    if (span.traced()) {
+      out += ",\"trace\":\"";
+      out += trace_id_hex(span.trace_hi, span.trace_lo);
+      out += "\",\"span\":\"";
+      out += span_id_hex(span.span_id);
+      out += "\",\"parent\":\"";
+      out += span_id_hex(span.parent_span);
+      out += "\"";
+      for (const auto& [key, value] : span.attrs) {
+        out += ",\"";
+        out += json_escape(key);
+        out += "\":\"";
+        out += json_escape(value);
+        out += "\"";
+      }
+    }
     out += "}}";
   }
+  // Flow events, keyed by the child's span id. The start anchors at the
+  // parent's end (or begin when zero-width), the finish at the child's
+  // begin — the arrow reads "parent handed off to child".
+  for (const auto& span : spans) {
+    if (!span.traced() || span.parent_span == 0) continue;
+    const auto parent_it = by_span_id.find(span.parent_span);
+    if (parent_it == by_span_id.end()) continue;
+    const TraceSpan& parent = spans[parent_it->second];
+    const double start_ts_us =
+        (parent.end_s > parent.begin_s ? parent.end_s : parent.begin_s) * 1e6;
+    out += ",\n{\"name\":\"link\",\"cat\":\"trace\",\"ph\":\"s\",\"id\":";
+    out += format_u64(span.span_id);
+    out += ",\"ts\":";
+    out += format_double(start_ts_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += format_u64(parent.worker);
+    out += "},\n{\"name\":\"link\",\"cat\":\"trace\",\"ph\":\"f\",\"bp\":\"e\",\"id\":";
+    out += format_u64(span.span_id);
+    out += ",\"ts\":";
+    out += format_double(span.begin_s * 1e6);
+    out += ",\"pid\":1,\"tid\":";
+    out += format_u64(span.worker);
+    out += "}";
+  }
   out += "\n]}\n";
+  return out;
+}
+
+std::string to_trace_json(const std::vector<TraceSpan>& spans) {
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"trace_id\":\"" + trace_id_hex(span.trace_hi, span.trace_lo) +
+           "\",\"span_id\":\"" + span_id_hex(span.span_id) +
+           "\",\"parent_span_id\":\"" + span_id_hex(span.parent_span) +
+           "\",\"phase\":\"" + span_phase_name(span.phase) +
+           "\",\"outcome\":\"" + span_outcome_name(span.outcome) +
+           "\",\"task\":" + format_u64(span.task) +
+           ",\"job\":" + format_u64(span.job) +
+           ",\"worker\":" + format_u64(span.worker) +
+           ",\"attempt\":" + format_u64(static_cast<std::uint64_t>(span.attempt)) +
+           ",\"speculative\":" + (span.speculative ? "true" : "false") +
+           ",\"begin_s\":" + format_double(span.begin_s) +
+           ",\"end_s\":" + format_double(span.end_s) + ",\"attrs\":{";
+    bool first_attr = true;
+    for (const auto& [key, value] : span.attrs) {
+      if (!first_attr) out += ",";
+      first_attr = false;
+      out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += first ? "],\"count\":" : "\n],\"count\":";
+  out += format_u64(spans.size());
+  out += "}\n";
+  return out;
+}
+
+std::string to_claims_json(const std::vector<DecisionRecord>& records) {
+  std::string out = "{\"decisions\":[";
+  bool first = true;
+  for (const auto& record : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"claim\":\"" + json_escape(record.claim) +
+           "\",\"interval\":" + format_u64(record.interval) +
+           ",\"old_estimate\":" +
+           std::to_string(record.old_estimate) +
+           ",\"new_estimate\":" + std::to_string(record.new_estimate) +
+           ",\"posterior\":" + format_double(record.posterior) +
+           ",\"shard\":" + format_u64(record.shard) +
+           ",\"refit_seq\":" + format_u64(record.refit_seq) +
+           ",\"wal_lsn\":" + format_u64(record.wal_lsn) +
+           ",\"wall_s\":" + format_double(record.wall_s);
+    if (record.traced()) {
+      out += ",\"trace_id\":\"" + trace_id_hex(record.trace_hi, record.trace_lo) +
+             "\",\"span_id\":\"" + span_id_hex(record.span_id) + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "],\"count\":" : "\n],\"count\":";
+  out += format_u64(records.size());
+  out += "}\n";
   return out;
 }
 

@@ -7,12 +7,20 @@
 //   * a JSON snapshot (names kept verbatim, quantiles precomputed),
 //   * Chrome `trace_event` JSON — one complete ("ph":"X") event per span,
 //     rows keyed by worker id — that opens in about:tracing / Perfetto.
+//
+// ISSUE 8 additions: histogram exemplars ride the Prometheus (OpenMetrics
+// `# {trace_id=…}` suffix) and JSON exports; traced spans gain
+// trace/span/parent ids plus attributes in their Chrome args and are
+// stitched across threads with flow events ("ph":"s"/"f"); and two
+// structured endpoints — to_trace_json (causal chains for
+// /trace.json) and to_claims_json (decision provenance for /claims.json).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace sstd::obs {
@@ -22,6 +30,17 @@ std::string to_prometheus(const MetricsSnapshot& snapshot);
 std::string to_json(const MetricsSnapshot& snapshot);
 
 std::string to_chrome_trace(const std::vector<TraceSpan>& spans);
+
+// Structured span dump for /trace.json: one object per span with trace,
+// span and parent ids in hex, phase/outcome names, timestamps and
+// attributes. Spans appear in the order given (the recorder returns
+// oldest-first, so a chain reads top to bottom).
+std::string to_trace_json(const std::vector<TraceSpan>& spans);
+
+// Decision-provenance dump for /claims.json: one object per estimate
+// flip with the claim, interval, old/new estimates, WAL frontier and the
+// causal chain's trace id (when the interval was sampled).
+std::string to_claims_json(const std::vector<DecisionRecord>& records);
 
 // Escapes `s` for splicing between JSON double quotes: quotes,
 // backslashes and control characters become their \-sequences. Every

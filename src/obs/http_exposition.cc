@@ -11,8 +11,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "obs/export.h"
+#include "obs/proc_stats.h"
+#include "obs/trace_context.h"
 #include "util/log.h"
 
 namespace sstd::obs {
@@ -59,6 +62,63 @@ bool send_all(int fd, const std::string& data) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+int query_hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Percent- and plus-decodes one query component. Malformed %-escapes pass
+// through verbatim (this is an operator endpoint, not a browser target).
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = query_hex_digit(s[i + 1]);
+      const int lo = query_hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// Splits "/path?k=v&k2=v2" into the path and decoded key/value pairs.
+// Later duplicates win (a flat map is plenty for two known keys).
+std::string split_target(const std::string& target,
+                         std::map<std::string, std::string>* params) {
+  const auto question = target.find('?');
+  if (question == std::string::npos) return target;
+  const std::string query = target.substr(question + 1);
+  std::size_t begin = 0;
+  while (begin <= query.size()) {
+    auto end = query.find('&', begin);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(begin, end - begin);
+    if (!pair.empty()) {
+      const auto equals = pair.find('=');
+      if (equals == std::string::npos) {
+        (*params)[url_decode(pair)] = "";
+      } else {
+        (*params)[url_decode(pair.substr(0, equals))] =
+            url_decode(pair.substr(equals + 1));
+      }
+    }
+    begin = end + 1;
+  }
+  return target.substr(0, question);
 }
 
 }  // namespace
@@ -142,8 +202,10 @@ void HttpExposition::set_sampler(TimeSeriesSampler* sampler) {
 }
 
 HttpExposition::Response HttpExposition::handle(
-    const std::string& path) const {
+    const std::string& target) const {
   Response response;
+  std::map<std::string, std::string> params;
+  const std::string path = split_target(target, &params);
 
   if (path == "/metrics") {
     response.body = to_prometheus(config_.metrics->snapshot());
@@ -156,8 +218,46 @@ HttpExposition::Response HttpExposition::handle(
     return response;
   }
   if (path == "/trace.json") {
-    response.body = to_chrome_trace(config_.tracer->snapshot());
     response.content_type = "application/json";
+    if (const auto it = params.find("trace_id"); it != params.end()) {
+      std::uint64_t hi = 0, lo = 0;
+      if (!parse_trace_id_hex(it->second, &hi, &lo)) {
+        response.status = 400;
+        response.content_type = "text/plain; charset=utf-8";
+        response.body = "bad trace_id (want 1..32 hex digits): " + it->second +
+                        "\n";
+        return response;
+      }
+      response.body = to_trace_json(config_.tracer->trace(hi, lo));
+      return response;
+    }
+    if (const auto it = params.find("claim"); it != params.end()) {
+      std::vector<TraceSpan> matched;
+      for (TraceSpan& span : config_.tracer->snapshot()) {
+        if (span.traced() && span.attr("claim") == it->second) {
+          matched.push_back(std::move(span));
+        }
+      }
+      response.body = to_trace_json(matched);
+      return response;
+    }
+    // No filter: the whole ring in Chrome trace_event form, as before.
+    response.body = to_chrome_trace(config_.tracer->snapshot());
+    return response;
+  }
+  if (path == "/claims.json") {
+    response.content_type = "application/json";
+    if (config_.provenance == nullptr) {
+      response.status = 404;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "no provenance ring attached\n";
+      return response;
+    }
+    if (const auto it = params.find("claim"); it != params.end()) {
+      response.body = to_claims_json(config_.provenance->for_claim(it->second));
+    } else {
+      response.body = to_claims_json(config_.provenance->snapshot());
+    }
     return response;
   }
   if (path == "/healthz" || path == "/readyz") {
@@ -191,6 +291,25 @@ HttpExposition::Response HttpExposition::handle(
     std::snprintf(buffer, sizeof(buffer), "  \"hardware_threads\": %u,\n",
                   std::thread::hardware_concurrency());
     body += buffer;
+    // Live /proc/self sample (also published as proc.* gauges by the
+    // timeseries sampler); absent on platforms without procfs.
+    if (const ProcSelfStats proc = read_proc_self_stats(); proc.ok) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "  \"proc_rss_bytes\": %llu,\n"
+                    "  \"proc_vsize_bytes\": %llu,\n",
+                    static_cast<unsigned long long>(proc.rss_bytes),
+                    static_cast<unsigned long long>(proc.vsize_bytes));
+      body += buffer;
+      std::snprintf(buffer, sizeof(buffer),
+                    "  \"proc_open_fds\": %llu,\n"
+                    "  \"proc_threads\": %llu,\n",
+                    static_cast<unsigned long long>(proc.open_fds),
+                    static_cast<unsigned long long>(proc.threads));
+      body += buffer;
+      std::snprintf(buffer, sizeof(buffer), "  \"proc_uptime_s\": %.3f,\n",
+                    proc.uptime_s);
+      body += buffer;
+    }
     for (const auto& [key, value] : extra) {
       body += "  \"" + json_escape(key) + "\": \"" + json_escape(value) +
               "\",\n";
@@ -219,8 +338,8 @@ HttpExposition::Response HttpExposition::handle(
 
   response.status = 404;
   response.body = "not found: " + path + "\n" +
-                  "try /metrics /snapshot.json /trace.json /healthz /readyz "
-                  "/varz /timeseries.csv\n";
+                  "try /metrics /snapshot.json /trace.json /claims.json "
+                  "/healthz /readyz /varz /timeseries.csv\n";
   return response;
 }
 
@@ -245,10 +364,6 @@ void HttpExposition::serve_loop() {
         target = head.substr(space + 1, end - space - 1);
       }
     }
-    if (const auto query = target.find('?'); query != std::string::npos) {
-      target.resize(query);  // endpoints take no parameters
-    }
-
     Response response;
     if (method != "GET") {
       response.status = 405;

@@ -7,12 +7,18 @@
 //
 //   GET /metrics         Prometheus text exposition of the registry
 //   GET /snapshot.json   JSON snapshot (names verbatim, quantiles)
-//   GET /trace.json      Chrome trace_event JSON of the span ring
+//   GET /trace.json      Chrome trace_event JSON of the span ring;
+//                        ?trace_id=<hex> / ?claim=<id> return the matching
+//                        causal chain as structured span JSON (ISSUE 8)
+//   GET /claims.json     decision-provenance ring ("claim X flipped at
+//                        interval t because refit r under trace c");
+//                        ?claim=<id> filters to one claim
 //   GET /healthz         200 "ok" while the liveness check passes, 503 + why
 //   GET /readyz          200/503 from the readiness check (e.g. Work Queue
 //                        has live workers and a sane backlog)
 //   GET /varz            build + config info (git SHA, build type, uptime,
-//                        hardware threads, caller-set key/values)
+//                        hardware threads, proc.* self-stats, caller-set
+//                        key/values)
 //   GET /timeseries.csv  retained sampler window (when a sampler is set)
 //
 // Binding port 0 picks a free ephemeral port (`port()` reports it), which
@@ -32,6 +38,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
@@ -45,6 +52,7 @@ struct HttpExpositionConfig {
   std::string bind_address = "127.0.0.1";
   MetricsRegistry* metrics = &MetricsRegistry::global();
   TraceRecorder* tracer = &TraceRecorder::global();
+  DecisionProvenanceRing* provenance = &DecisionProvenanceRing::global();
 };
 
 class HttpExposition {
@@ -84,12 +92,14 @@ class HttpExposition {
   void set_sampler(TimeSeriesSampler* sampler);
 
   // One response, as served (tests exercise routing without a socket).
+  // `target` is the full request target, query string included
+  // ("/trace.json?trace_id=…"); handle() does its own query parsing.
   struct Response {
     int status = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
   };
-  Response handle(const std::string& path) const;
+  Response handle(const std::string& target) const;
 
  private:
   void serve_loop();

@@ -33,12 +33,34 @@ void Histogram::observe(double value) {
   }
 }
 
+void Histogram::observe_exemplar(double value, std::uint64_t trace_hi,
+                                 std::uint64_t trace_lo,
+                                 std::uint64_t span_id) {
+  observe(value);
+  if ((trace_hi | trace_lo) == 0) return;  // untraced: plain observation
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(bounds_.size() + 1);
+  exemplars_[bucket] = {value, trace_hi, trace_lo, span_id};
+  has_exemplars_.store(true, std::memory_order_release);
+}
+
+std::vector<HistogramExemplar> Histogram::exemplars() const {
+  if (!has_exemplars()) return {};
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_.clear();
+  has_exemplars_.store(false, std::memory_order_release);
 }
 
 std::vector<double> Histogram::default_latency_bounds() {
@@ -139,6 +161,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
       snap.count = entry.histogram->count();
       snap.sum = entry.histogram->sum();
+      snap.exemplars = entry.histogram->exemplars();
       out.histograms.emplace_back(name, std::move(snap));
     }
   }

@@ -58,6 +58,17 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// An OpenMetrics-style exemplar: the last traced observation that landed
+// in a bucket, so an aggregate latency bucket links back to one concrete
+// causal chain (/trace.json?trace_id=…) that exhibited it (ISSUE 8).
+struct HistogramExemplar {
+  double value = 0.0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
 // Fixed-bucket histogram: cumulative-style export, atomic per-bucket
 // counts. Bucket i counts observations <= bounds[i]; one implicit
 // overflow bucket catches the rest.
@@ -67,6 +78,11 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double value);
+  // observe() plus per-bucket exemplar capture (last traced observation
+  // wins). Takes a short mutex; call only on the sampled slice of
+  // traffic, not the hot path.
+  void observe_exemplar(double value, std::uint64_t trace_hi,
+                        std::uint64_t trace_lo, std::uint64_t span_id);
 
   const std::vector<double>& bounds() const { return bounds_; }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -74,6 +90,12 @@ class Histogram {
   std::uint64_t bucket_count(std::size_t bucket) const {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
+  bool has_exemplars() const {
+    return has_exemplars_.load(std::memory_order_acquire);
+  }
+  // Per-bucket exemplars (bounds + overflow); invalid entries for buckets
+  // no traced observation ever hit. Empty when has_exemplars() is false.
+  std::vector<HistogramExemplar> exemplars() const;
   void reset();
 
   // Default bucket ladder for second-scale latencies (1 ms … 30 s).
@@ -84,6 +106,9 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + overflow
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<bool> has_exemplars_{false};
+  mutable std::mutex exemplar_mu_;
+  std::vector<HistogramExemplar> exemplars_;  // lazily sized, bounds + overflow
 };
 
 // Point-in-time copy of one histogram, with quantile estimation by linear
@@ -92,6 +117,7 @@ class Histogram {
 struct HistogramSnapshot {
   std::vector<double> bounds;          // upper bounds, ascending
   std::vector<std::uint64_t> buckets;  // per-bucket counts, + overflow last
+  std::vector<HistogramExemplar> exemplars;  // empty unless any were captured
   std::uint64_t count = 0;
   double sum = 0.0;
 

@@ -1,0 +1,105 @@
+#include "obs/proc_stats.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+
+namespace {
+
+// /proc/self/statm: "size resident shared text lib data dt" in pages.
+bool read_statm(std::uint64_t* vsize_bytes, std::uint64_t* rss_bytes) {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return false;
+  unsigned long long size_pages = 0, rss_pages = 0;
+  const int parsed = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (parsed != 2) return false;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::uint64_t page_bytes = page > 0 ? static_cast<std::uint64_t>(page)
+                                            : 4096;
+  *vsize_bytes = size_pages * page_bytes;
+  *rss_bytes = rss_pages * page_bytes;
+  return true;
+}
+
+bool count_fds(std::uint64_t* open_fds) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return false;
+  std::uint64_t count = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;  // "." and ".."
+    ++count;
+  }
+  ::closedir(dir);
+  // The opendir itself holds one fd while we count; don't report it.
+  *open_fds = count > 0 ? count - 1 : 0;
+  return true;
+}
+
+// /proc/self/stat fields after the "(comm)" — comm may contain spaces and
+// parentheses, so scan past the *last* ')' first. Field numbering below is
+// 1-based per proc(5): num_threads is field 20, starttime field 22.
+bool read_stat(std::uint64_t* threads, double* uptime_s) {
+  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  if (!f) return false;
+  char buffer[1024];
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buffer[n] = '\0';
+  const char* rest = std::strrchr(buffer, ')');
+  if (!rest) return false;
+  ++rest;  // past ')', at " <state> <ppid> ..."
+  // rest starts at field 3 (state); num_threads is field 20, starttime 22.
+  unsigned long long num_threads = 0, starttime_ticks = 0;
+  const int parsed = std::sscanf(
+      rest,
+      " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %*u %*u %*d %*d %*d %*d"
+      " %llu %*d %llu",
+      &num_threads, &starttime_ticks);
+  if (parsed != 2) return false;
+  *threads = num_threads;
+
+  std::FILE* uptime_file = std::fopen("/proc/uptime", "r");
+  if (!uptime_file) return false;
+  double host_uptime_s = 0.0;
+  const int uptime_parsed = std::fscanf(uptime_file, "%lf", &host_uptime_s);
+  std::fclose(uptime_file);
+  if (uptime_parsed != 1) return false;
+  const long ticks_per_s = ::sysconf(_SC_CLK_TCK);
+  const double hz = ticks_per_s > 0 ? static_cast<double>(ticks_per_s) : 100.0;
+  const double started_s = static_cast<double>(starttime_ticks) / hz;
+  *uptime_s = host_uptime_s > started_s ? host_uptime_s - started_s : 0.0;
+  return true;
+}
+
+}  // namespace
+
+ProcSelfStats read_proc_self_stats() {
+  ProcSelfStats stats;
+  const bool statm_ok = read_statm(&stats.vsize_bytes, &stats.rss_bytes);
+  const bool fds_ok = count_fds(&stats.open_fds);
+  const bool stat_ok = read_stat(&stats.threads, &stats.uptime_s);
+  stats.ok = statm_ok || fds_ok || stat_ok;
+  return stats;
+}
+
+ProcSelfStats update_proc_gauges(MetricsRegistry& registry) {
+  const ProcSelfStats stats = read_proc_self_stats();
+  if (!stats.ok) return stats;
+  registry.gauge("proc.rss_bytes")->set(static_cast<double>(stats.rss_bytes));
+  registry.gauge("proc.vsize_bytes")
+      ->set(static_cast<double>(stats.vsize_bytes));
+  registry.gauge("proc.open_fds")->set(static_cast<double>(stats.open_fds));
+  registry.gauge("proc.threads")->set(static_cast<double>(stats.threads));
+  registry.gauge("proc.uptime_s")->set(stats.uptime_s);
+  return stats;
+}
+
+}  // namespace sstd::obs

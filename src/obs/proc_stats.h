@@ -1,0 +1,30 @@
+// Process self-stats from /proc/self (ISSUE 8 satellite): RSS, virtual
+// size, open fd count, thread count and process uptime, exposed as
+// `proc.*` gauges so /varz and the timeseries sampler show resource use
+// next to the runtime's own metrics. On platforms without procfs every
+// field reads as "unavailable" (ok == false) and the gauges stay at 0.
+#pragma once
+
+#include <cstdint>
+
+namespace sstd::obs {
+
+class MetricsRegistry;
+
+struct ProcSelfStats {
+  bool ok = false;                // any field was readable
+  std::uint64_t rss_bytes = 0;    // resident set (statm, pages × page size)
+  std::uint64_t vsize_bytes = 0;  // virtual size (statm)
+  std::uint64_t open_fds = 0;     // entries in /proc/self/fd
+  std::uint64_t threads = 0;      // num_threads (stat field 20)
+  double uptime_s = 0.0;          // host uptime − process starttime
+};
+
+ProcSelfStats read_proc_self_stats();
+
+// read_proc_self_stats() → proc.rss_bytes / proc.vsize_bytes /
+// proc.open_fds / proc.threads / proc.uptime_s gauges in `registry`.
+// Returns the sample it published.
+ProcSelfStats update_proc_gauges(MetricsRegistry& registry);
+
+}  // namespace sstd::obs

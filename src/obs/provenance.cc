@@ -1,0 +1,81 @@
+#include "obs/provenance.h"
+
+#include <algorithm>
+
+namespace sstd::obs {
+
+DecisionProvenanceRing::DecisionProvenanceRing(std::size_t capacity,
+                                               MetricsRegistry* registry)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::global();
+  recorded_counter_ = reg.counter("obs.provenance.recorded_records");
+  dropped_counter_ = reg.counter("obs.provenance.dropped_records");
+  ring_.reserve(capacity_);
+}
+
+void DecisionProvenanceRing::record(DecisionRecord record) {
+  recorded_counter_->inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+    dropped_counter_->inc();
+  }
+  ++total_;
+}
+
+std::vector<DecisionRecord> DecisionProvenanceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecisionRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<DecisionRecord> DecisionProvenanceRing::for_claim(
+    const std::string& claim) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecisionRecord> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const DecisionRecord& record = ring_[(next_ + i) % ring_.size()];
+    if (record.claim == claim) out.push_back(record);
+  }
+  return out;
+}
+
+std::size_t DecisionProvenanceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t DecisionProvenanceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t DecisionProvenanceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void DecisionProvenanceRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+}
+
+DecisionProvenanceRing& DecisionProvenanceRing::global() {
+  static DecisionProvenanceRing* ring =
+      new DecisionProvenanceRing();  // never dies
+  return *ring;
+}
+
+}  // namespace sstd::obs

@@ -1,0 +1,75 @@
+// Per-claim decision provenance (ISSUE 8, DESIGN.md §5d): every time a
+// claim's truth estimate flips, the streaming engine appends a record
+// saying *why* — which interval, which refit, under which trace context,
+// and at which durable-WAL frontier. /claims.json serves the ring;
+// crossing the `wal_lsn` with `durable::WalReader` replay gives a
+// time-travel audit: "what did the system believe about claim X at LSN L,
+// and which causal chain made it believe that?"
+//
+// Like the span ring, the provenance ring is bounded and overwrites its
+// oldest records; overwrites are accounted in the
+// `obs.provenance.dropped_records` counter so truncation is visible.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+
+struct DecisionRecord {
+  std::string claim;
+  std::uint64_t interval = 0;     // streaming interval index of the flip
+  int old_estimate = -1;          // -1 = no prior belief
+  int new_estimate = 0;
+  double posterior = 0.0;         // P(true) the refit converged to
+  std::uint32_t shard = 0;
+  std::uint64_t refit_seq = 0;    // engine-local refit ordinal
+  std::uint64_t wal_lsn = 0;      // durable WAL frontier at dispatch
+  double wall_s = 0.0;            // runtime-relative timestamp
+  // Causal chain that produced the flip (zero when the interval was not
+  // sampled for tracing).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  bool traced() const { return (trace_hi | trace_lo) != 0; }
+};
+
+// Bounded, thread-safe decision-record sink, same shape as TraceRecorder.
+class DecisionProvenanceRing {
+ public:
+  explicit DecisionProvenanceRing(std::size_t capacity = 4096,
+                                  MetricsRegistry* registry = nullptr);
+
+  void record(DecisionRecord record);
+
+  // Retained records, oldest first.
+  std::vector<DecisionRecord> snapshot() const;
+  // Retained records for one claim, oldest first.
+  std::vector<DecisionRecord> for_claim(const std::string& claim) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  // Process-wide default ring the streaming engine records into.
+  static DecisionProvenanceRing& global();
+
+ private:
+  const std::size_t capacity_;
+  Counter* recorded_counter_;
+  Counter* dropped_counter_;
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sstd::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/export.h"
+#include "obs/proc_stats.h"
 
 namespace sstd::obs {
 
@@ -83,6 +84,7 @@ void TimeSeriesSampler::run_loop() {
 void TimeSeriesSampler::sample_now() { sample_at(clock_.elapsed_seconds()); }
 
 void TimeSeriesSampler::sample_at(double t_s) {
+  if (config_.sample_proc_stats) update_proc_gauges(*registry_);
   TimeSeriesPoint point;
   point.t_s = t_s;
   point.metrics = registry_->snapshot();  // taken outside our own lock

@@ -31,6 +31,10 @@ struct TimeSeriesConfig {
   // Retained window: the ring keeps the most recent `capacity` samples
   // and overwrites its oldest entries beyond that.
   std::size_t capacity = 600;
+  // Refresh the proc.* self-stats gauges (RSS, fds, uptime — see
+  // obs/proc_stats.h) in the registry before each sample, so resource
+  // history rides the same retained window as the runtime metrics.
+  bool sample_proc_stats = false;
 };
 
 // One retained sample: registry contents at sampler-relative time `t_s`

@@ -8,6 +8,10 @@ const char* span_phase_name(SpanPhase phase) {
   switch (phase) {
     case SpanPhase::kQueued: return "queued";
     case SpanPhase::kRun: return "run";
+    case SpanPhase::kIngest: return "ingest";
+    case SpanPhase::kRefit: return "refit";
+    case SpanPhase::kDecision: return "decision";
+    case SpanPhase::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -24,18 +28,35 @@ const char* span_outcome_name(SpanOutcome outcome) {
   return "?";
 }
 
-TraceRecorder::TraceRecorder(std::size_t capacity)
+const std::string& TraceSpan::attr(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity, MetricsRegistry* registry)
     : capacity_(std::max<std::size_t>(1, capacity)) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::global();
+  recorded_counter_ = reg.counter("obs.trace.recorded_spans");
+  dropped_counter_ = reg.counter("obs.trace.dropped_spans");
   ring_.reserve(capacity_);
 }
 
-void TraceRecorder::record(const TraceSpan& span) {
+void TraceRecorder::record(TraceSpan span) {
+  recorded_counter_->inc();
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
-    ring_.push_back(span);
+    ring_.push_back(std::move(span));
   } else {
-    ring_[next_] = span;
+    // Ring wrap: the oldest span is lost. Account for it — silent loss
+    // would make a truncated trace indistinguishable from a short one.
+    ring_[next_] = std::move(span);
     next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+    dropped_counter_->inc();
   }
   ++total_;
 }
@@ -47,6 +68,19 @@ std::vector<TraceSpan> TraceRecorder::snapshot() const {
   // Once the ring is full, `next_` points at the oldest retained span.
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> TraceRecorder::trace(std::uint64_t trace_hi,
+                                            std::uint64_t trace_lo) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceSpan& span = ring_[(next_ + i) % ring_.size()];
+    if (span.trace_hi == trace_hi && span.trace_lo == trace_lo) {
+      out.push_back(span);
+    }
   }
   return out;
 }
@@ -63,7 +97,7 @@ std::uint64_t TraceRecorder::recorded() const {
 
 std::uint64_t TraceRecorder::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return total_ - ring_.size();
+  return dropped_;
 }
 
 void TraceRecorder::clear() {
@@ -71,6 +105,7 @@ void TraceRecorder::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 TraceRecorder& TraceRecorder::global() {

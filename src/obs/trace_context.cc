@@ -1,0 +1,161 @@
+#include "obs/trace_context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace sstd::obs {
+
+namespace {
+
+// splitmix64: a full-period mix of a 64-bit counter — every output is
+// distinct for distinct inputs, so ids never collide within a process.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t default_seed() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(now.count()) ^
+         (static_cast<std::uint64_t>(::getpid()) << 32);
+}
+
+std::atomic<std::uint64_t>& id_counter() {
+  static std::atomic<std::uint64_t> counter{splitmix64(default_seed())};
+  return counter;
+}
+
+std::uint64_t next_raw() {
+  return id_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+// A minted id of zero would read as "no trace"; skip it.
+std::uint64_t next_nonzero_id() {
+  std::uint64_t id;
+  do {
+    id = splitmix64(next_raw());
+  } while (id == 0);
+  return id;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_hex_u64(std::string_view hex, std::uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    const int digit = hex_digit(c);
+    if (digit < 0) return false;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+thread_local TraceContext g_current;
+
+}  // namespace
+
+TraceContext TraceContext::child() const {
+  TraceContext out = *this;
+  out.span_id = mint_span_id();
+  return out;
+}
+
+std::string TraceContext::traceparent() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "00-%016llx%016llx-%016llx-%02x",
+                static_cast<unsigned long long>(trace_hi),
+                static_cast<unsigned long long>(trace_lo),
+                static_cast<unsigned long long>(span_id), sampled ? 1 : 0);
+  return buffer;
+}
+
+bool parse_traceparent(std::string_view header, TraceContext* out) {
+  // "00-" + 32 + "-" + 16 + "-" + 2 = 55 characters exactly.
+  if (header.size() != 55) return false;
+  if (header.substr(0, 3) != "00-" || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  TraceContext parsed;
+  std::uint64_t flags = 0;
+  if (!parse_hex_u64(header.substr(3, 16), &parsed.trace_hi) ||
+      !parse_hex_u64(header.substr(19, 16), &parsed.trace_lo) ||
+      !parse_hex_u64(header.substr(36, 16), &parsed.span_id) ||
+      !parse_hex_u64(header.substr(53, 2), &flags)) {
+    return false;
+  }
+  if (!parsed.valid() || parsed.span_id == 0) return false;
+  parsed.sampled = (flags & 1) != 0;
+  *out = parsed;
+  return true;
+}
+
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buffer;
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+bool parse_trace_id_hex(std::string_view hex, std::uint64_t* hi,
+                        std::uint64_t* lo) {
+  if (hex.empty() || hex.size() > 32) return false;
+  if (hex.size() <= 16) {
+    *hi = 0;
+    return parse_hex_u64(hex, lo);
+  }
+  const std::size_t lo_digits = 16;
+  const std::size_t hi_digits = hex.size() - lo_digits;
+  return parse_hex_u64(hex.substr(0, hi_digits), hi) &&
+         parse_hex_u64(hex.substr(hi_digits), lo);
+}
+
+TraceContext mint_trace(bool sampled) {
+  TraceContext out;
+  out.trace_hi = next_nonzero_id();
+  out.trace_lo = next_nonzero_id();
+  out.span_id = next_nonzero_id();
+  out.sampled = sampled;
+  return out;
+}
+
+std::uint64_t mint_span_id() { return next_nonzero_id(); }
+
+void seed_trace_ids(std::uint64_t seed) {
+  id_counter().store(splitmix64(seed), std::memory_order_relaxed);
+}
+
+const TraceContext& current_trace_context() { return g_current; }
+
+void set_current_trace_context(const TraceContext& context) {
+  g_current = context;
+}
+
+void clear_current_trace_context() { g_current = TraceContext{}; }
+
+TraceScope::TraceScope(const TraceContext& context) : previous_(g_current) {
+  g_current = context;
+}
+
+TraceScope::~TraceScope() { g_current = previous_; }
+
+}  // namespace sstd::obs

@@ -1,0 +1,98 @@
+// Causal trace context (ISSUE 8, DESIGN.md §5d): the W3C-traceparent-shaped
+// identity that follows one sampled report from ingest through every Work
+// Queue attempt (retries, speculative duplicates, crash-kill recovery
+// replay) to the decision it produced.
+//
+//   * 128-bit trace id — one causal chain, minted at ingest;
+//   * 64-bit span id — one operation inside the chain (the *current* span;
+//     children record it as their parent);
+//   * sampled flag — whether recorders should keep spans for this chain.
+//
+// The context is a trivially-copyable value type and renders to/from the
+// W3C `traceparent` header ("00-<32 hex trace>-<16 hex span>-<2 hex
+// flags>"), so it is wire-serializable as-is — prerequisite work for the
+// socket-based multi-process Work Queue (ROADMAP), where the context rides
+// the task frame between master and worker processes.
+//
+// Propagation inside one process is Dapper-style via a thread-local
+// current context: the Work Queue sets it around each attempt's payload,
+// so anything the payload does (shard refits, recovery replay, decision
+// flips) can parent its spans correctly without plumbing the context
+// through every call signature. `TraceScope` is the RAII guard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sstd::obs {
+
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  bool sampled = false;
+
+  // A context with an all-zero trace id is "no trace" (W3C forbids zero
+  // ids on the wire for the same reason).
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  // Same trace, fresh span id; the child's parent is this->span_id (the
+  // caller records that edge on the span it emits).
+  TraceContext child() const;
+
+  // "00-<32 hex trace id>-<16 hex span id>-<01|00>".
+  std::string traceparent() const;
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+// Parses a traceparent header; returns false (out untouched) on anything
+// malformed: wrong field sizes, non-hex digits, unsupported version, or
+// the all-zero trace/span ids the spec forbids.
+bool parse_traceparent(std::string_view header, TraceContext* out);
+
+// 32-hex-digit trace id / 16-hex-digit span id renderings (no dashes),
+// the forms /trace.json?trace_id=… accepts.
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo);
+std::string span_id_hex(std::uint64_t id);
+// Parses a 1..32-digit hex trace id (shorter forms are zero-extended, so
+// tests can use small readable ids). False on empty/overlong/non-hex.
+bool parse_trace_id_hex(std::string_view hex, std::uint64_t* hi,
+                        std::uint64_t* lo);
+
+// Mints a fresh root context / span id. Thread-safe and allocation-free:
+// ids come from a splitmix64 walk over an atomic counter, seeded once per
+// process (reseedable for deterministic tests). Ids are unique within a
+// process run, which is all the single-node runtime needs; the seed mixes
+// in the process id so two nodes sharing a collector are unlikely to
+// collide.
+TraceContext mint_trace(bool sampled = true);
+std::uint64_t mint_span_id();
+
+// Reseeds the id generator (tests only: makes minted ids reproducible).
+void seed_trace_ids(std::uint64_t seed);
+
+// Thread-local current context (Dapper-style in-process propagation).
+// Invalid by default; set for the duration of a Work Queue attempt's
+// payload and read by the streaming engine's refit/decision/recovery
+// instrumentation.
+const TraceContext& current_trace_context();
+void set_current_trace_context(const TraceContext& context);
+void clear_current_trace_context();
+
+// RAII guard: installs `context` on construction, restores the previous
+// context on destruction (scopes nest).
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& context);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace sstd::obs

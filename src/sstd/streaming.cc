@@ -1,8 +1,12 @@
 #include "sstd/streaming.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/serialize.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/stopwatch.h"
 
 namespace sstd {
@@ -11,6 +15,29 @@ namespace {
 // Before any data-driven fit we need *some* bin scale; a handful of net
 // confident reports per window is a reasonable prior for social traces.
 constexpr double kDefaultScale = 3.0;
+
+// Engine-side span recording (refit/decision, ISSUE 8): children of the
+// Work Queue attempt span installed thread-locally around the shard task.
+// No-op when the interval's trace was not sampled.
+void record_engine_span(const obs::TraceContext& ctx, obs::SpanPhase phase,
+                        double begin_s, double end_s, std::uint32_t claim,
+                        IntervalIndex k, std::uint32_t shard) {
+  obs::TraceSpan span;
+  span.phase = phase;
+  span.outcome = obs::SpanOutcome::kDone;
+  span.job = shard;
+  span.begin_s = begin_s;
+  span.end_s = end_s;
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = obs::mint_span_id();
+  span.parent_span = ctx.span_id;
+  span.attrs.reserve(3);
+  span.attrs.emplace_back("claim", std::to_string(claim));
+  span.attrs.emplace_back("interval", std::to_string(k));
+  span.attrs.emplace_back("engine", "SSTD");
+  obs::TraceRecorder::global().record(std::move(span));
+}
 }  // namespace
 
 SstdStreaming::SstdStreaming(SstdConfig config, TimestampMs interval_ms)
@@ -56,8 +83,15 @@ void SstdStreaming::offer(const Report& report) {
   }
 }
 
-void SstdStreaming::refit(ClaimPipeline& pipeline, IntervalIndex k) {
+void SstdStreaming::refit(std::uint32_t claim, ClaimPipeline& pipeline,
+                          IntervalIndex k) {
   if (crash_hook_) crash_hook_(k, refits_);
+  const obs::TraceContext& ctx = obs::current_trace_context();
+  const bool span_traced =
+      ctx.sampled && ctx.valid() &&
+      static_cast<std::int64_t>(claim) == traced_claim_annotation_;
+  const double refit_begin_s =
+      span_traced ? wall_clock_.elapsed_seconds() : 0.0;
   const Stopwatch watch;
   std::vector<int>& symbols = refit_batch_[0];
   quantizer_.quantize_series_into(pipeline.history, symbols);
@@ -80,6 +114,11 @@ void SstdStreaming::refit(ClaimPipeline& pipeline, IntervalIndex k) {
     pipeline.filter->step(log_emit_scratch_);
   }
   ins_.refit_s->observe(watch.elapsed_seconds());
+  if (span_traced) {
+    record_engine_span(ctx, obs::SpanPhase::kRefit, refit_begin_s,
+                       wall_clock_.elapsed_seconds(), claim, k,
+                       shard_annotation_);
+  }
 }
 
 void SstdStreaming::end_interval(IntervalIndex k) {
@@ -116,13 +155,15 @@ void SstdStreaming::end_interval(IntervalIndex k) {
     }
   }
 
-  for (auto& [_, pipeline] : pipelines_) {
+  const obs::TraceContext& ctx = obs::current_trace_context();
+  const bool traced = ctx.sampled && ctx.valid();
+  for (auto& [claim_id, pipeline] : pipelines_) {
     const double value = pipeline.acs.value_at(interval_end);
     pipeline.history.push_back(value);
     ++pipeline.intervals_seen;
 
     if (refit_round && pipeline.intervals_seen >= config_.warmup_intervals) {
-      refit(pipeline, k);
+      refit(claim_id, pipeline, k);
     } else {
       const int symbol = quantizer_.quantize(value);
       const int X = pipeline.model.num_states();
@@ -133,14 +174,54 @@ void SstdStreaming::end_interval(IntervalIndex k) {
       pipeline.decoder->step(log_emit_scratch_);
       pipeline.filter->step(log_emit_scratch_);
     }
+    const std::int8_t previous = pipeline.estimate;
     pipeline.estimate =
         static_cast<std::int8_t>(pipeline.decoder->current_state());
 
+    // Provenance (ISSUE 8): every estimate flip — including the first
+    // decision from kNoEstimate — lands in the decision ring with the
+    // refit ordinal, the WAL frontier and (when sampled) the causal
+    // chain that produced it.
+    if (pipeline.estimate != previous) {
+      obs::DecisionRecord record;
+      record.claim = std::to_string(claim_id);
+      record.interval = static_cast<std::uint64_t>(k);
+      record.old_estimate = previous;
+      record.new_estimate = pipeline.estimate;
+      record.posterior = pipeline.filter->steps() > 0
+                             ? pipeline.filter->probability_true()
+                             : 0.5;
+      record.shard = shard_annotation_;
+      record.refit_seq = refits_;
+      record.wal_lsn = wal_lsn_annotation_;
+      record.wall_s = wall_clock_.elapsed_seconds();
+      if (traced) {
+        record.trace_hi = ctx.trace_hi;
+        record.trace_lo = ctx.trace_lo;
+        record.span_id = ctx.span_id;
+        if (static_cast<std::int64_t>(claim_id) == traced_claim_annotation_) {
+          const double now_s = wall_clock_.elapsed_seconds();
+          record_engine_span(ctx, obs::SpanPhase::kDecision, now_s, now_s,
+                             claim_id, k, shard_annotation_);
+        }
+      }
+      obs::DecisionProvenanceRing::global().record(std::move(record));
+    }
+
     // Freshness: this decision just consumed every report offered so far;
-    // staleness is how long the oldest of them waited for it.
+    // staleness is how long the oldest of them waited for it. Sampled
+    // intervals attach the trace id as a bucket exemplar, linking the
+    // aggregate histogram back to one concrete causal chain.
     if (pipeline.pending_ingest_wall_s >= 0.0) {
-      ins_.decision_staleness_s->observe(wall_clock_.elapsed_seconds() -
-                                         pipeline.pending_ingest_wall_s);
+      const double staleness_s =
+          wall_clock_.elapsed_seconds() - pipeline.pending_ingest_wall_s;
+      if (traced &&
+          static_cast<std::int64_t>(claim_id) == traced_claim_annotation_) {
+        ins_.decision_staleness_s->observe_exemplar(
+            staleness_s, ctx.trace_hi, ctx.trace_lo, ctx.span_id);
+      } else {
+        ins_.decision_staleness_s->observe(staleness_s);
+      }
       pipeline.pending_ingest_wall_s = -1.0;
     }
   }

@@ -77,6 +77,25 @@ class SstdStreaming final : public StreamingTruthDiscovery {
     crash_hook_ = std::move(hook);
   }
 
+  // Decision-provenance annotations (ISSUE 8): which shard this engine
+  // serves and the durable-WAL frontier (next LSN) at dispatch time, so
+  // every estimate flip recorded in the provenance ring cross-references
+  // the exact log position a time-travel replay would resume from.
+  // `traced_claim` is the claim the shard's current trace follows (-1 =
+  // none): refit/decision spans and staleness exemplars are recorded for
+  // that claim only — a causal chain follows one report, and per-claim
+  // spans for the other claims of a 200-claim shard would be both noise
+  // and measurable overhead (bench_trace) — while provenance records
+  // still cite the interval's trace for every flip. SstdSystem refreshes
+  // the annotations each interval; standalone engines can leave them at
+  // the defaults.
+  void set_decision_annotations(std::uint32_t shard, std::uint64_t wal_lsn,
+                                std::int64_t traced_claim = -1) {
+    shard_annotation_ = shard;
+    wal_lsn_annotation_ = wal_lsn;
+    traced_claim_annotation_ = traced_claim;
+  }
+
  private:
   struct ClaimPipeline {
     SlidingAcs acs;
@@ -107,7 +126,7 @@ class SstdStreaming final : public StreamingTruthDiscovery {
   };
 
   ClaimPipeline& pipeline_for(std::uint32_t claim);
-  void refit(ClaimPipeline& pipeline, IntervalIndex k);
+  void refit(std::uint32_t claim, ClaimPipeline& pipeline, IntervalIndex k);
 
   Instruments ins_;
   RefitCrashHook crash_hook_;
@@ -120,6 +139,9 @@ class SstdStreaming final : public StreamingTruthDiscovery {
   TimestampMs latest_time_ = 0;
   std::uint64_t refits_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint32_t shard_annotation_ = 0;
+  std::uint64_t wal_lsn_annotation_ = 0;
+  std::int64_t traced_claim_annotation_ = -1;
 
   // One workspace per engine instance: every claim this shard refits in an
   // interval trains through the same arena, so a whole refit round

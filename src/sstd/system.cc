@@ -1,8 +1,10 @@
 #include "sstd/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace sstd {
@@ -27,6 +29,13 @@ SstdSystem::SstdSystem(Config config, TimestampMs interval_ms)
     shards_.push_back(std::move(shard));
   }
   for (std::size_t i = 0; i < config_.num_jobs; ++i) install_crash_hook(i);
+  // The chaos schedule reaches both runtimes it can touch: crash-kill
+  // drills go through the refit hook above; worker crashes, poisoned
+  // tasks and stragglers go to the Work Queue (should_crash_kill is
+  // inert there, so a kill-only plan changes nothing queue-side).
+  if (!config_.fault_plan.empty()) {
+    queue_.install_fault_plan(config_.fault_plan);
+  }
   // Every shard is a long-lived TD job; its deadline is re-armed per
   // interval inside end_interval(). The SLO tracker mirrors each
   // registration so the exported deadline hit ratio and the DTM's
@@ -58,10 +67,55 @@ void SstdSystem::ingest(const Report& report) {
     wal_.append(durable::WalRecordType::kReport,
                 durable::encode_report_payload(report));
   }
-  Shard& shard = *shards_[report.claim.value % config_.num_jobs];
+  const std::size_t shard_index = report.claim.value % config_.num_jobs;
+  Shard& shard = *shards_[shard_index];
+
+  // Trace sampling (ISSUE 8): every ⌈1/rate⌉-th report is a trace
+  // candidate; a candidate whose shard has no pending trace mints one
+  // and becomes the next shard task's trace parent, so the task's
+  // attempt spans (retries included) and the refit/decision spans below
+  // them all share one trace id. Minting is gated on the promotion —
+  // one ingest span per shard-interval, not per report — which keeps
+  // full-rate tracing out of the ingest hot path (bench_trace measures
+  // the difference) and keeps the span ring from thrashing on roots no
+  // chain would ever hang off.
+  obs::TraceContext minted;
+  bool promoted = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.buffer.push_back(report);
+    // The stride counter only advances while the shard's batch is
+    // unrepresented, so a represented batch adds zero tracing work per
+    // report — not even the atomic.
+    if (config_.trace_sample_rate > 0.0 && !shard.pending_trace.valid()) {
+      const auto stride = static_cast<std::uint64_t>(
+          std::max(1.0, std::ceil(1.0 / config_.trace_sample_rate)));
+      if (trace_sample_seq_.fetch_add(1, std::memory_order_relaxed) %
+              stride ==
+          0) {
+        minted = obs::mint_trace(/*sampled=*/true);
+        shard.pending_trace = minted;
+        shard.pending_trace_claim = report.claim.value;
+        promoted = true;
+      }
+    }
+  }
+  if (promoted) {
+    obs::TraceSpan span;
+    span.phase = obs::SpanPhase::kIngest;
+    span.outcome = obs::SpanOutcome::kDone;
+    span.job = static_cast<std::uint32_t>(shard_index);
+    const double now_s = queue_.now();
+    span.begin_s = now_s;
+    span.end_s = now_s;
+    span.trace_hi = minted.trace_hi;
+    span.trace_lo = minted.trace_lo;
+    span.span_id = minted.span_id;
+    span.parent_span = 0;
+    span.attrs.reserve(2);
+    span.attrs.emplace_back("claim", std::to_string(report.claim.value));
+    span.attrs.emplace_back("shard", std::to_string(shard_index));
+    obs::TraceRecorder::global().record(std::move(span));
   }
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ++metrics_.reports_ingested;
@@ -109,6 +163,7 @@ void SstdSystem::run_shard_interval(std::size_t shard_index,
 void SstdSystem::recover_shard_locked(Shard& shard,
                                       std::size_t shard_index) {
   const Stopwatch timer;
+  const double recovery_begin_s = queue_.now();
   auto engine = std::make_unique<SstdStreaming>(config_.sstd, interval_ms_);
 
   std::uint64_t after_lsn = 0;
@@ -168,6 +223,32 @@ void SstdSystem::recover_shard_locked(Shard& shard,
   shard.engine = std::move(engine);
   shard.needs_recovery = false;
   install_crash_hook(shard_index);
+  // The rebuilt engine starts with blank annotations; restore the
+  // dispatch-time WAL frontier and traced claim so the retry's decisions
+  // cite them.
+  shard.engine->set_decision_annotations(
+      static_cast<std::uint32_t>(shard_index), shard.annotation_lsn,
+      shard.annotation_traced_claim);
+
+  // The rebuild runs inside a Work Queue retry attempt, whose context the
+  // queue installed thread-locally — so a traced crash-kill drill shows
+  // ingest → evicted/retried attempts → recovery → refit → decision as
+  // one chain.
+  if (const obs::TraceContext& ctx = obs::current_trace_context();
+      ctx.sampled && ctx.valid()) {
+    obs::TraceSpan span;
+    span.phase = obs::SpanPhase::kRecovery;
+    span.outcome = obs::SpanOutcome::kDone;
+    span.job = static_cast<std::uint32_t>(shard_index);
+    span.begin_s = recovery_begin_s;
+    span.end_s = queue_.now();
+    span.trace_hi = ctx.trace_hi;
+    span.trace_lo = ctx.trace_lo;
+    span.span_id = obs::mint_span_id();
+    span.parent_span = ctx.span_id;
+    span.attrs.emplace_back("shard", std::to_string(shard_index));
+    obs::TraceRecorder::global().record(std::move(span));
+  }
 
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("durable.shard_recoveries")->inc();
@@ -177,6 +258,16 @@ void SstdSystem::recover_shard_locked(Shard& shard,
 durable::RecoveryManager::Result SstdSystem::recover() {
   durable::RecoveryManager::Result result;
   if (!config_.durability.enabled()) return result;
+
+  // Node-restart replay gets its own root trace (there is no surviving
+  // ingest context to join), so the replayed decisions' provenance still
+  // points at a reconstructible chain.
+  obs::TraceContext replay_ctx;
+  const double replay_begin_s = queue_.now();
+  if (config_.trace_sample_rate > 0.0) {
+    replay_ctx = obs::mint_trace(/*sampled=*/true);
+  }
+  obs::TraceScope replay_scope(replay_ctx);
 
   // Replay must not re-trigger the chaos drill: the crashes it models
   // already happened.
@@ -221,11 +312,36 @@ durable::RecoveryManager::Result SstdSystem::recover() {
   result = durable::RecoveryManager::recover(config_.durability.dir,
                                              callbacks);
   for (std::size_t i = 0; i < shards_.size(); ++i) install_crash_hook(i);
+
+  if (replay_ctx.valid()) {
+    obs::TraceSpan span;
+    span.phase = obs::SpanPhase::kRecovery;
+    span.outcome = obs::SpanOutcome::kDone;
+    span.begin_s = replay_begin_s;
+    span.end_s = queue_.now();
+    span.trace_hi = replay_ctx.trace_hi;
+    span.trace_lo = replay_ctx.trace_lo;
+    span.span_id = replay_ctx.span_id;
+    span.parent_span = 0;
+    span.attrs.emplace_back("scope", "node-restart");
+    span.attrs.emplace_back(
+        "next_interval", std::to_string(result.next_interval));
+    obs::TraceRecorder::global().record(std::move(span));
+  }
   return result;
 }
 
 void SstdSystem::end_interval(IntervalIndex k) {
   const Stopwatch interval_watch;
+
+  // WAL frontier at dispatch: decisions made while processing this
+  // interval cite this LSN in the provenance ring, so a time-travel
+  // replay up to it reproduces the pre-decision state.
+  std::uint64_t wal_frontier = 0;
+  if (wal_.is_open()) {
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    wal_frontier = wal_.next_lsn();
+  }
 
   // Dispatch one task per shard; shards with no data still need their
   // engines ticked so ACS windows expire and decoders advance.
@@ -240,6 +356,18 @@ void SstdSystem::end_interval(IntervalIndex k) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
       task.data_size = static_cast<double>(shard->buffer.size());
+      shard->annotation_lsn = wal_frontier;
+      shard->annotation_traced_claim =
+          shard->pending_trace.valid()
+              ? static_cast<std::int64_t>(shard->pending_trace_claim)
+              : -1;
+      shard->engine->set_decision_annotations(
+          static_cast<std::uint32_t>(i), wal_frontier,
+          shard->annotation_traced_claim);
+      // Representative trace: this interval's first sampled ingest
+      // parents every attempt span of the shard task.
+      task.trace = shard->pending_trace;
+      shard->pending_trace = obs::TraceContext{};
     }
     queue_.submit(std::move(task), dtm_.priority(job));
   }

@@ -16,6 +16,7 @@
 // mutex; a shard's interval batch executes as one Work Queue task.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "durable/snapshot.h"
 #include "durable/wal.h"
 #include "obs/slo.h"
+#include "obs/trace_context.h"
 #include "sstd/streaming.h"
 
 namespace sstd {
@@ -50,13 +52,25 @@ class SstdSystem {
     int shard_task_retries = 3;
 
     // System-level chaos schedule: crash_kill_during_refit kills a shard
-    // mid-Baum-Welch (the shard rebuilds from snapshot + WAL on retry).
+    // mid-Baum-Welch (the shard rebuilds from snapshot + WAL on retry);
+    // the rest of the plan (poisoned tasks, worker crashes, stragglers)
+    // is installed into the Work Queue.
     dist::FaultPlan fault_plan;
 
     // Durable state history (DESIGN.md §7): WAL of ingested reports +
     // periodic shard snapshots under `durability.dir`. Disabled when the
     // directory is empty; then a crash-killed shard rebuilds blank.
     durable::DurabilityOptions durability;
+
+    // Causal tracing (ISSUE 8, DESIGN.md §5d): fraction of ingested
+    // reports considered as trace roots (0 disables tracing). Sampling
+    // is deterministic — every ⌈1/rate⌉-th report is a candidate — so
+    // tests and replays see the same traced population. The first
+    // candidate of a shard's interval mints the trace and becomes the
+    // shard task's trace parent (a representative exemplar of the
+    // batch); later candidates of an already-represented batch cost
+    // nothing, which keeps even rate 1.0 out of the ingest hot path.
+    double trace_sample_rate = 0.0;
   };
 
   struct Metrics {
@@ -124,6 +138,16 @@ class SstdSystem {
     bool needs_recovery = false;
     IntervalIndex kill_interval = -1;
     int kills_at_interval = 0;
+
+    // Causal tracing (guarded by `mutex`): the first sampled report's
+    // context and claim since the last dispatch — it becomes the next
+    // shard task's trace parent — and the annotations (WAL frontier,
+    // traced claim) re-applied to a rebuilt engine after crash-kill
+    // recovery.
+    obs::TraceContext pending_trace;
+    std::uint64_t pending_trace_claim = 0;
+    std::uint64_t annotation_lsn = 0;
+    std::int64_t annotation_traced_claim = -1;
   };
 
   // One shard's TD work for interval `k` (the Work Queue task body):
@@ -148,6 +172,8 @@ class SstdSystem {
   obs::SloTracker slo_;
   control::DynamicTaskManager dtm_;
   std::uint64_t next_task_id_ = 0;
+  // Deterministic ingest-sampling counter (every ⌈1/rate⌉-th report).
+  std::atomic<std::uint64_t> trace_sample_seq_{0};
   Metrics metrics_;
   mutable std::mutex metrics_mutex_;
 

@@ -1,0 +1,699 @@
+// Causal tracing and decision provenance (ISSUE 8, DESIGN.md §5d):
+// traceparent round-trips, thread-local context propagation, ring drop
+// accounting, histogram exemplars, Chrome flow-event golden, the
+// /trace.json?trace_id= and /claims.json query routes, proc self-stats,
+// and — end to end through SstdSystem — that one report's full causal
+// chain (ingest → queued/run attempts including a forced retry → refit →
+// decision, plus a crash-kill recovery replay) is reconstructible from
+// the recorder. Runs under tsan to check the propagation across the
+// threaded worker pool.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/http_exposition.h"
+#include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "sstd/system.h"
+
+namespace sstd {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::DecisionProvenanceRing;
+using obs::DecisionRecord;
+using obs::SpanOutcome;
+using obs::SpanPhase;
+using obs::TraceContext;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+
+// --- trace context ----------------------------------------------------
+
+TEST(TraceContext, TraceparentRoundTrip) {
+  obs::seed_trace_ids(42);
+  const TraceContext minted = obs::mint_trace(/*sampled=*/true);
+  ASSERT_TRUE(minted.valid());
+  EXPECT_NE(minted.span_id, 0u);
+
+  const std::string header = minted.traceparent();
+  ASSERT_EQ(header.size(), 55u);
+  EXPECT_EQ(header.substr(0, 3), "00-");
+  EXPECT_EQ(header.substr(53), "01");
+
+  TraceContext parsed;
+  ASSERT_TRUE(obs::parse_traceparent(header, &parsed));
+  EXPECT_EQ(parsed, minted);
+
+  TraceContext unsampled = minted;
+  unsampled.sampled = false;
+  EXPECT_EQ(unsampled.traceparent().substr(53), "00");
+}
+
+TEST(TraceContext, ParseRejectsMalformedHeaders) {
+  TraceContext out;
+  const std::string good = obs::mint_trace().traceparent();
+  // Wrong version, wrong lengths, bad hex, zero ids.
+  EXPECT_FALSE(obs::parse_traceparent("", &out));
+  EXPECT_FALSE(obs::parse_traceparent("01" + good.substr(2), &out));
+  EXPECT_FALSE(obs::parse_traceparent(good.substr(0, 54), &out));
+  EXPECT_FALSE(obs::parse_traceparent(good + "0", &out));
+  std::string bad_hex = good;
+  bad_hex[10] = 'g';
+  EXPECT_FALSE(obs::parse_traceparent(bad_hex, &out));
+  EXPECT_FALSE(obs::parse_traceparent(
+      "00-00000000000000000000000000000000-00000000000000aa-01", &out));
+  EXPECT_FALSE(obs::parse_traceparent(
+      "00-000000000000000000000000000000aa-0000000000000000-01", &out));
+  // `out` untouched by the failures above.
+  EXPECT_FALSE(out.valid());
+}
+
+TEST(TraceContext, TraceIdHexParsesShortAndFullForms) {
+  std::uint64_t hi = 0, lo = 0;
+  ASSERT_TRUE(obs::parse_trace_id_hex("abc", &hi, &lo));
+  EXPECT_EQ(hi, 0u);
+  EXPECT_EQ(lo, 0xabcu);
+
+  const std::string full = obs::trace_id_hex(0x0123456789abcdefULL, 0xff00ULL);
+  ASSERT_EQ(full.size(), 32u);
+  ASSERT_TRUE(obs::parse_trace_id_hex(full, &hi, &lo));
+  EXPECT_EQ(hi, 0x0123456789abcdefULL);
+  EXPECT_EQ(lo, 0xff00ULL);
+
+  EXPECT_FALSE(obs::parse_trace_id_hex("", &hi, &lo));
+  EXPECT_FALSE(obs::parse_trace_id_hex(std::string(33, 'a'), &hi, &lo));
+  EXPECT_FALSE(obs::parse_trace_id_hex("12xz", &hi, &lo));
+}
+
+TEST(TraceContext, ChildKeepsTraceAndMintsFreshSpan) {
+  const TraceContext root = obs::mint_trace();
+  const TraceContext child = root.child();
+  EXPECT_EQ(child.trace_hi, root.trace_hi);
+  EXPECT_EQ(child.trace_lo, root.trace_lo);
+  EXPECT_EQ(child.sampled, root.sampled);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_NE(child.span_id, 0u);
+}
+
+TEST(TraceContext, ScopeInstallsAndRestoresThreadLocalContext) {
+  EXPECT_FALSE(obs::current_trace_context().valid());
+  const TraceContext outer = obs::mint_trace();
+  {
+    obs::TraceScope outer_scope(outer);
+    EXPECT_EQ(obs::current_trace_context(), outer);
+    const TraceContext inner = outer.child();
+    {
+      obs::TraceScope inner_scope(inner);
+      EXPECT_EQ(obs::current_trace_context(), inner);
+      // The context is thread-local: a fresh thread sees no trace.
+      bool other_thread_traced = true;
+      std::thread([&] {
+        other_thread_traced = obs::current_trace_context().valid();
+      }).join();
+      EXPECT_FALSE(other_thread_traced);
+    }
+    EXPECT_EQ(obs::current_trace_context(), outer);
+  }
+  EXPECT_FALSE(obs::current_trace_context().valid());
+}
+
+// --- recorder + provenance ring drop accounting -----------------------
+
+TEST(TraceRecorderIssue8, DropAccountingSurfacesInRegistry) {
+  obs::MetricsRegistry registry;
+  TraceRecorder recorder(/*capacity=*/2, &registry);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span;
+    span.task = static_cast<std::uint64_t>(i);
+    recorder.record(span);
+  }
+  EXPECT_EQ(recorder.recorded(), 5u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  ASSERT_EQ(recorder.snapshot().size(), 2u);
+  EXPECT_EQ(recorder.snapshot()[0].task, 3u);  // oldest retained
+  EXPECT_EQ(recorder.snapshot()[1].task, 4u);
+
+  // The overwrites are visible to a scraper: counters in the registry,
+  // hence in /metrics and /snapshot.json.
+  EXPECT_EQ(registry.counter("obs.trace.recorded_spans")->value(), 5u);
+  EXPECT_EQ(registry.counter("obs.trace.dropped_spans")->value(), 3u);
+  const std::string json = obs::to_json(registry.snapshot());
+  EXPECT_NE(json.find("obs.trace.dropped_spans"), std::string::npos);
+}
+
+TEST(TraceRecorderIssue8, TraceQueryFiltersBySpanTraceId) {
+  TraceRecorder recorder(8);
+  TraceSpan a;
+  a.trace_hi = 1;
+  a.trace_lo = 2;
+  a.span_id = 10;
+  TraceSpan b;
+  b.trace_hi = 1;
+  b.trace_lo = 3;
+  b.span_id = 11;
+  recorder.record(a);
+  recorder.record(b);
+  recorder.record(a);
+  EXPECT_EQ(recorder.trace(1, 2).size(), 2u);
+  EXPECT_EQ(recorder.trace(1, 3).size(), 1u);
+  EXPECT_TRUE(recorder.trace(9, 9).empty());
+}
+
+TEST(ProvenanceRing, RecordsDropsAndFiltersByClaim) {
+  obs::MetricsRegistry registry;
+  DecisionProvenanceRing ring(/*capacity=*/2, &registry);
+  for (int i = 0; i < 3; ++i) {
+    DecisionRecord record;
+    record.claim = i == 1 ? "7" : "3";
+    record.interval = static_cast<std::uint64_t>(i);
+    record.new_estimate = 1;
+    ring.record(record);
+  }
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  EXPECT_EQ(registry.counter("obs.provenance.dropped_records")->value(), 1u);
+  ASSERT_EQ(ring.for_claim("7").size(), 1u);
+  EXPECT_EQ(ring.for_claim("7")[0].interval, 1u);
+  ASSERT_EQ(ring.for_claim("3").size(), 1u);  // interval-0 copy overwritten
+  EXPECT_EQ(ring.for_claim("3")[0].interval, 2u);
+}
+
+// --- histogram exemplars ----------------------------------------------
+
+TEST(Exemplars, HistogramLinksBucketsToTraceIds) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.histogram("stale.s", {1.0, 4.0});
+  hist->observe(0.5);  // no exemplar: plain observation
+  EXPECT_FALSE(hist->has_exemplars());
+  hist->observe_exemplar(2.0, /*trace_hi=*/0, /*trace_lo=*/0xbeef,
+                         /*span_id=*/0x77);
+  hist->observe_exemplar(9.0, 0, 0xcafe, 0x78);
+  // Untraced ids degrade to a plain observation, never a bogus exemplar.
+  hist->observe_exemplar(0.25, 0, 0, 0);
+  ASSERT_TRUE(hist->has_exemplars());
+
+  const auto snapshot = registry.snapshot();
+  const auto* snap = snapshot.histogram("stale.s");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->exemplars.size(), 3u);  // bounds + overflow
+  EXPECT_FALSE(snap->exemplars[0].valid());
+  EXPECT_EQ(snap->exemplars[1].trace_lo, 0xbeefu);
+  EXPECT_EQ(snap->exemplars[2].trace_lo, 0xcafeu);
+
+  const std::string prom = obs::to_prometheus(snapshot);
+  EXPECT_NE(prom.find("exemplar {trace_id=\"" + obs::trace_id_hex(0, 0xbeef) +
+                      "\",span_id=\"" + obs::span_id_hex(0x77) + "\"} 2"),
+            std::string::npos);
+  const std::string json = obs::to_json(snapshot);
+  EXPECT_NE(json.find("\"exemplars\": ["), std::string::npos);
+  EXPECT_NE(json.find(obs::trace_id_hex(0, 0xcafe)), std::string::npos);
+
+  // A registry without exemplars keeps the pre-ISSUE-8 JSON shape.
+  obs::MetricsRegistry plain;
+  plain.histogram("stale.s", {1.0, 4.0})->observe(2.0);
+  EXPECT_EQ(obs::to_json(plain.snapshot()).find("exemplars"),
+            std::string::npos);
+}
+
+// --- exporters ---------------------------------------------------------
+
+TEST(Exporters, ChromeFlowEventGolden) {
+  TraceSpan parent;
+  parent.task = 7;
+  parent.job = 1;
+  parent.worker = 0;
+  parent.phase = SpanPhase::kIngest;
+  parent.outcome = SpanOutcome::kDone;
+  parent.begin_s = 0.5;
+  parent.end_s = 0.5;
+  parent.trace_lo = 0xabc;
+  parent.span_id = 0x10;
+  parent.attrs = {{"claim", "3"}};
+
+  TraceSpan child;
+  child.task = 7;
+  child.job = 1;
+  child.worker = 2;
+  child.phase = SpanPhase::kRun;
+  child.outcome = SpanOutcome::kDone;
+  child.begin_s = 1.0;
+  child.end_s = 2.0;
+  child.trace_lo = 0xabc;
+  child.span_id = 0x20;
+  child.parent_span = 0x10;
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"ingest\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":500000,"
+      "\"dur\":0,\"pid\":1,\"tid\":0,\"args\":{\"task\":7,\"job\":1,"
+      "\"attempt\":0,\"outcome\":\"done\",\"speculative\":false,"
+      "\"trace\":\"00000000000000000000000000000abc\","
+      "\"span\":\"0000000000000010\",\"parent\":\"0000000000000000\","
+      "\"claim\":\"3\"}},\n"
+      "{\"name\":\"run\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":1000000,"
+      "\"dur\":1000000,\"pid\":1,\"tid\":2,\"args\":{\"task\":7,\"job\":1,"
+      "\"attempt\":0,\"outcome\":\"done\",\"speculative\":false,"
+      "\"trace\":\"00000000000000000000000000000abc\","
+      "\"span\":\"0000000000000020\",\"parent\":\"0000000000000010\"}},\n"
+      "{\"name\":\"link\",\"cat\":\"trace\",\"ph\":\"s\",\"id\":32,"
+      "\"ts\":500000,\"pid\":1,\"tid\":0},\n"
+      "{\"name\":\"link\",\"cat\":\"trace\",\"ph\":\"f\",\"bp\":\"e\","
+      "\"id\":32,\"ts\":1000000,\"pid\":1,\"tid\":2}\n"
+      "]}\n";
+  EXPECT_EQ(obs::to_chrome_trace({parent, child}), expected);
+
+  // No flow events when the parent is outside the exported window, and
+  // none at all for untraced spans.
+  EXPECT_EQ(obs::to_chrome_trace({child}).find("\"ph\":\"s\""),
+            std::string::npos);
+  TraceSpan untraced = child;
+  untraced.trace_lo = 0;
+  untraced.span_id = 0;
+  untraced.parent_span = 0;
+  const std::string plain = obs::to_chrome_trace({untraced});
+  EXPECT_EQ(plain.find("\"trace\""), std::string::npos);
+  EXPECT_EQ(plain.find("link"), std::string::npos);
+}
+
+TEST(Exporters, TraceJsonAndClaimsJsonShapes) {
+  TraceSpan span;
+  span.trace_lo = 0xabc;
+  span.span_id = 0x20;
+  span.parent_span = 0x10;
+  span.phase = SpanPhase::kRefit;
+  span.outcome = SpanOutcome::kDone;
+  span.attrs = {{"claim", "3"}};
+  const std::string spans_json = obs::to_trace_json({span});
+  EXPECT_NE(spans_json.find("\"phase\":\"refit\""), std::string::npos);
+  EXPECT_NE(spans_json.find(
+                "\"trace_id\":\"00000000000000000000000000000abc\""),
+            std::string::npos);
+  EXPECT_NE(spans_json.find("\"attrs\":{\"claim\":\"3\"}"),
+            std::string::npos);
+  EXPECT_NE(spans_json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(obs::to_trace_json({}).find("\"count\":0"), std::string::npos);
+
+  DecisionRecord record;
+  record.claim = "42";
+  record.interval = 7;
+  record.old_estimate = -1;
+  record.new_estimate = 1;
+  record.posterior = 0.9;
+  record.shard = 2;
+  record.refit_seq = 5;
+  record.wal_lsn = 123;
+  record.trace_lo = 0xabc;
+  record.span_id = 0x30;
+  const std::string claims_json = obs::to_claims_json({record});
+  EXPECT_NE(claims_json.find("\"claim\":\"42\""), std::string::npos);
+  EXPECT_NE(claims_json.find("\"wal_lsn\":123"), std::string::npos);
+  EXPECT_NE(claims_json.find(
+                "\"trace_id\":\"00000000000000000000000000000abc\""),
+            std::string::npos);
+
+  DecisionRecord untraced = record;
+  untraced.trace_lo = 0;
+  untraced.span_id = 0;
+  EXPECT_EQ(obs::to_claims_json({untraced}).find("trace_id"),
+            std::string::npos);
+}
+
+// --- proc self-stats ---------------------------------------------------
+
+TEST(ProcStats, ReadsSelfStatsAndExportsGauges) {
+  const obs::ProcSelfStats stats = obs::read_proc_self_stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GE(stats.vsize_bytes, stats.rss_bytes);
+  EXPECT_GE(stats.open_fds, 3u);  // stdin/stdout/stderr at minimum
+  EXPECT_GE(stats.threads, 1u);
+  EXPECT_GE(stats.uptime_s, 0.0);
+
+  obs::MetricsRegistry registry;
+  obs::update_proc_gauges(registry);
+  EXPECT_GT(registry.gauge("proc.rss_bytes")->value(), 0.0);
+  EXPECT_GE(registry.gauge("proc.threads")->value(), 1.0);
+}
+
+// --- HTTP query routes -------------------------------------------------
+
+TEST(HttpRoutes, TraceAndClaimsQueriesParseTheQueryString) {
+  obs::MetricsRegistry registry;
+  TraceRecorder recorder(64, &registry);
+  DecisionProvenanceRing ring(16, &registry);
+
+  TraceSpan span;
+  span.trace_hi = 0;
+  span.trace_lo = 0x5150;
+  span.span_id = 0x9;
+  span.phase = SpanPhase::kIngest;
+  span.attrs = {{"claim", "12"}};
+  recorder.record(span);
+  TraceSpan other;
+  other.trace_lo = 0x7777;
+  other.span_id = 0xa;
+  other.attrs = {{"claim", "99"}};
+  recorder.record(other);
+
+  DecisionRecord record;
+  record.claim = "12";
+  record.new_estimate = 1;
+  record.wal_lsn = 4;
+  ring.record(record);
+
+  obs::HttpExpositionConfig config;
+  config.metrics = &registry;
+  config.tracer = &recorder;
+  config.provenance = &ring;
+  obs::HttpExposition server(config);  // handle() works without start()
+
+  auto by_id = server.handle("/trace.json?trace_id=5150");
+  EXPECT_EQ(by_id.status, 200);
+  EXPECT_NE(by_id.body.find("\"span_id\":\"0000000000000009\""),
+            std::string::npos);
+  EXPECT_EQ(by_id.body.find("0x7777"), std::string::npos);
+  EXPECT_NE(by_id.body.find("\"count\":1"), std::string::npos);
+
+  EXPECT_EQ(server.handle("/trace.json?trace_id=zz").status, 400);
+  EXPECT_EQ(server.handle("/trace.json?trace_id=").status, 400);
+
+  auto by_claim = server.handle("/trace.json?claim=12");
+  EXPECT_EQ(by_claim.status, 200);
+  EXPECT_NE(by_claim.body.find("\"claim\":\"12\""), std::string::npos);
+  EXPECT_NE(by_claim.body.find("\"count\":1"), std::string::npos);
+
+  // Bare /trace.json still serves the Chrome trace of the whole ring.
+  EXPECT_NE(server.handle("/trace.json").body.find("traceEvents"),
+            std::string::npos);
+
+  auto claims = server.handle("/claims.json");
+  EXPECT_EQ(claims.status, 200);
+  EXPECT_NE(claims.body.find("\"claim\":\"12\""), std::string::npos);
+  EXPECT_NE(claims.body.find("\"wal_lsn\":4"), std::string::npos);
+  EXPECT_NE(server.handle("/claims.json?claim=12").body.find("\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(server.handle("/claims.json?claim=none").body.find("\"count\":0"),
+            std::string::npos);
+
+  // /varz surfaces the proc.* self-stats sampler.
+  const auto varz = server.handle("/varz");
+  EXPECT_NE(varz.body.find("\"proc_rss_bytes\":"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"proc_open_fds\":"), std::string::npos);
+}
+
+// --- end-to-end causal chains through SstdSystem ----------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("sstd_trace_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+Report make_report(std::uint32_t source, std::uint32_t claim,
+                   TimestampMs time_ms, std::int8_t attitude) {
+  Report report;
+  report.source = SourceId{source};
+  report.claim = ClaimId{claim};
+  report.time_ms = time_ms;
+  report.attitude = attitude;
+  report.uncertainty = 0.25;
+  report.independence = 0.75;
+  return report;
+}
+
+SstdSystem::Config traced_system() {
+  SstdSystem::Config config;
+  config.workers = 2;
+  config.num_jobs = 2;
+  config.interval_deadline_s = 5.0;
+  config.sstd.refit_every = 1;
+  config.sstd.warmup_intervals = 1;
+  config.trace_sample_rate = 1.0;
+  return config;
+}
+
+// Feeds `claims` claims × `reports_each` affirmative reports into
+// interval `k` of `system` (1000 ms intervals).
+void ingest_interval(SstdSystem& system, IntervalIndex k, int claims,
+                     int reports_each) {
+  for (int c = 0; c < claims; ++c) {
+    for (int r = 0; r < reports_each; ++r) {
+      system.ingest(make_report(
+          static_cast<std::uint32_t>(10 + r), static_cast<std::uint32_t>(c),
+          static_cast<TimestampMs>(k) * 1000 + r * 10 + c, +1));
+    }
+  }
+}
+
+// Index of spans of one trace by span id; asserts ids are unique.
+std::unordered_map<std::uint64_t, const TraceSpan*> index_by_span(
+    const std::vector<TraceSpan>& spans) {
+  std::unordered_map<std::uint64_t, const TraceSpan*> by_id;
+  for (const auto& span : spans) {
+    if (span.span_id == 0) continue;
+    const bool inserted = by_id.emplace(span.span_id, &span).second;
+    EXPECT_TRUE(inserted) << "duplicate span id " << span.span_id;
+  }
+  return by_id;
+}
+
+TEST(SstdSystemTracing, CausalChainWithForcedRetryIsReconstructible) {
+  TraceRecorder::global().clear();
+  DecisionProvenanceRing::global().clear();
+  TempDir dir("retry");
+
+  SstdSystem::Config config = traced_system();
+  config.durability.dir = dir.path;
+  // Poison the first attempt of both interval-0 shard tasks: every traced
+  // chain gains a retried attempt span.
+  config.fault_plan.poison_task(0, 1);
+  config.fault_plan.poison_task(1, 1);
+
+  {
+    // Scoped: shutdown joins the workers, so every attempt's run span is
+    // in the recorder before the sweep below (span recording trails the
+    // completion end_interval waits on).
+    SstdSystem system(config, 1000);
+    ingest_interval(system, 0, /*claims=*/4, /*reports_each=*/3);
+    system.end_interval(0);
+  }
+
+  // Find the retried attempt's trace.
+  const auto all = TraceRecorder::global().snapshot();
+  std::uint64_t hi = 0, lo = 0;
+  for (const auto& span : all) {
+    if (span.traced() && span.phase == SpanPhase::kRun &&
+        span.outcome == SpanOutcome::kRetried) {
+      hi = span.trace_hi;
+      lo = span.trace_lo;
+      break;
+    }
+  }
+  ASSERT_TRUE((hi | lo) != 0) << "no traced retried attempt recorded";
+
+  const auto chain = TraceRecorder::global().trace(hi, lo);
+  const auto by_id = index_by_span(chain);
+  int ingests = 0, queued = 0, retried = 0, done = 0, refits = 0,
+      decisions = 0;
+  for (const auto& span : chain) {
+    switch (span.phase) {
+      case SpanPhase::kIngest:
+        ++ingests;
+        EXPECT_EQ(span.parent_span, 0u) << "ingest must be the root";
+        EXPECT_FALSE(span.attr("claim").empty());
+        break;
+      case SpanPhase::kQueued:
+        ++queued;
+        break;
+      case SpanPhase::kRun:
+        if (span.outcome == SpanOutcome::kRetried) ++retried;
+        if (span.outcome == SpanOutcome::kDone) ++done;
+        break;
+      case SpanPhase::kRefit:
+        ++refits;
+        EXPECT_EQ(span.attr("engine"), "SSTD");
+        break;
+      case SpanPhase::kDecision:
+        ++decisions;
+        break;
+      default:
+        break;
+    }
+    if (span.parent_span != 0) {
+      auto parent = by_id.find(span.parent_span);
+      ASSERT_NE(parent, by_id.end())
+          << "dangling parent for " << obs::span_phase_name(span.phase);
+      if (span.phase == SpanPhase::kQueued || span.phase == SpanPhase::kRun) {
+        EXPECT_EQ(parent->second->phase, SpanPhase::kIngest)
+            << "attempt spans parent on the ingest span";
+      } else {
+        EXPECT_EQ(parent->second->phase, SpanPhase::kRun)
+            << "engine spans parent on the attempt that ran them";
+      }
+    }
+  }
+  EXPECT_EQ(ingests, 1);
+  EXPECT_GE(queued, 2) << "each attempt leaves its own queued span";
+  EXPECT_EQ(retried, 1);
+  EXPECT_EQ(done, 1);
+  EXPECT_GE(refits, 1);
+  EXPECT_GE(decisions, 1);
+
+  // The same chain is servable over /trace.json?trace_id=….
+  obs::HttpExposition server;  // global recorder + ring by default
+  const auto response =
+      server.handle("/trace.json?trace_id=" + obs::trace_id_hex(hi, lo));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"outcome\":\"retried\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"phase\":\"decision\""), std::string::npos);
+
+  // Every flip landed in the provenance ring cross-referenced with the
+  // durable WAL frontier and (for sampled intervals) the causal chain.
+  const auto decisions_ring = DecisionProvenanceRing::global().snapshot();
+  ASSERT_GE(decisions_ring.size(), 4u);  // one flip per claim
+  bool any_in_chain = false;
+  for (const auto& record : decisions_ring) {
+    EXPECT_EQ(record.old_estimate, kNoEstimate);
+    EXPECT_GE(record.wal_lsn, 1u) << "dispatch captured no WAL frontier";
+    EXPECT_TRUE(record.traced());
+    if (record.trace_hi == hi && record.trace_lo == lo) any_in_chain = true;
+  }
+  EXPECT_TRUE(any_in_chain);
+  EXPECT_NE(server.handle("/claims.json").body.find("\"wal_lsn\":"),
+            std::string::npos);
+}
+
+TEST(SstdSystemTracing, CrashKillRecoveryReplayJoinsTheChain) {
+  TraceRecorder::global().clear();
+  DecisionProvenanceRing::global().clear();
+  TempDir dir("crashkill");
+
+  SstdSystem::Config config = traced_system();
+  config.durability.dir = dir.path;
+  config.fault_plan.crash_kill_during_refit(0, /*times=*/1);
+
+  {
+    SstdSystem system(config, 1000);
+    ingest_interval(system, 0, /*claims=*/4, /*reports_each=*/3);
+    system.end_interval(0);
+  }
+
+  const auto all = TraceRecorder::global().snapshot();
+  const TraceSpan* recovery = nullptr;
+  for (const auto& span : all) {
+    if (span.phase == SpanPhase::kRecovery && span.traced() &&
+        !span.attr("shard").empty()) {
+      recovery = &span;
+      break;
+    }
+  }
+  ASSERT_NE(recovery, nullptr) << "no traced shard-recovery span";
+
+  // The recovery replay is a child of the retry attempt inside the same
+  // trace as the kill.
+  const auto chain =
+      TraceRecorder::global().trace(recovery->trace_hi, recovery->trace_lo);
+  const auto by_id = index_by_span(chain);
+  ASSERT_NE(recovery->parent_span, 0u);
+  auto parent = by_id.find(recovery->parent_span);
+  ASSERT_NE(parent, by_id.end());
+  EXPECT_EQ(parent->second->phase, SpanPhase::kRun);
+  bool saw_retried = false, saw_ingest = false;
+  for (const auto& span : chain) {
+    saw_retried |= span.phase == SpanPhase::kRun &&
+                   span.outcome == SpanOutcome::kRetried;
+    saw_ingest |= span.phase == SpanPhase::kIngest;
+  }
+  EXPECT_TRUE(saw_retried) << "the kill never forced a retry";
+  EXPECT_TRUE(saw_ingest);
+
+  // Node restart: recover() mints its own root recovery trace.
+  TraceRecorder::global().clear();
+  SstdSystem::Config restart = traced_system();
+  restart.durability.dir = dir.path;
+  restart.fault_plan = dist::FaultPlan{};
+  SstdSystem restarted(restart, 1000);
+  const auto result = restarted.recover();
+  EXPECT_GE(result.next_interval, 1);
+  const TraceSpan* node_recovery = nullptr;
+  const auto restart_spans = TraceRecorder::global().snapshot();
+  for (const auto& span : restart_spans) {
+    if (span.phase == SpanPhase::kRecovery &&
+        span.attr("scope") == "node-restart") {
+      node_recovery = &span;
+      break;
+    }
+  }
+  ASSERT_NE(node_recovery, nullptr);
+  EXPECT_TRUE(node_recovery->traced());
+  EXPECT_EQ(node_recovery->parent_span, 0u);
+}
+
+TEST(SstdSystemTracing, ConcurrentShardsKeepParentChildIntegrity) {
+  TraceRecorder::global().clear();
+  DecisionProvenanceRing::global().clear();
+
+  SstdSystem::Config config = traced_system();
+  config.workers = 4;
+  config.num_jobs = 4;
+
+  {
+    // Scoped so shutdown joins the workers before the integrity sweep.
+    SstdSystem system(config, 1000);
+    for (IntervalIndex k = 0; k < 4; ++k) {
+      ingest_interval(system, k, /*claims=*/8, /*reports_each=*/3);
+      system.end_interval(k);
+    }
+  }
+
+  const auto all = TraceRecorder::global().snapshot();
+  ASSERT_EQ(TraceRecorder::global().dropped(), 0u)
+      << "ring too small for the integrity sweep";
+
+  // Group spans by trace id and check every parent edge resolves inside
+  // its own trace — across 4 shards refitting concurrently on 4 workers.
+  std::unordered_map<std::string, std::vector<const TraceSpan*>> traces;
+  for (const auto& span : all) {
+    if (!span.traced()) continue;
+    traces[obs::trace_id_hex(span.trace_hi, span.trace_lo)].push_back(&span);
+  }
+  EXPECT_GE(traces.size(), 16u);  // >= one sampled trace per shard-interval
+  std::size_t task_traces = 0;
+  for (const auto& [id, spans] : traces) {
+    std::unordered_set<std::uint64_t> ids;
+    for (const auto* span : spans) ids.insert(span->span_id);
+    bool has_attempts = false;
+    for (const auto* span : spans) {
+      if (span->parent_span != 0) {
+        EXPECT_TRUE(ids.count(span->parent_span))
+            << "trace " << id << " has a dangling "
+            << obs::span_phase_name(span->phase) << " span";
+      }
+      has_attempts |= span->phase == SpanPhase::kRun;
+    }
+    if (has_attempts) ++task_traces;
+  }
+  // Exactly one trace per shard-interval got promoted to task parent.
+  EXPECT_EQ(task_traces, 16u);
+}
+
+}  // namespace
+}  // namespace sstd
