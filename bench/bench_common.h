@@ -83,11 +83,35 @@ inline std::vector<SchemeScore> score_all(const Dataset& data) {
   return scores;
 }
 
+// Workload provenance (ISSUE 9 satellite): which generator produced the
+// numbers, under which seed, and how big the run was. Threaded into every
+// BENCH_*.json's meta block so two artifacts are comparable only when
+// these match — a regression against a different seed or claim count is
+// not a regression.
+struct RunProvenance {
+  std::string workload;  // scenario / workload-generator name
+  std::uint64_t seed = 0;
+  std::uint64_t num_claims = 0;
+  std::uint64_t num_reports = 0;
+};
+
+// Provenance of a generated scenario trace (Tables III–V, recovery bench).
+inline RunProvenance scenario_provenance(const trace::ScenarioConfig& config,
+                                         const Dataset& data) {
+  RunProvenance prov;
+  prov.workload = config.name;
+  prov.seed = config.seed;
+  prov.num_claims = config.num_claims;
+  prov.num_reports = data.num_reports();
+  return prov;
+}
+
 // Run provenance: git SHA and build type are baked in at configure time
 // (top-level CMakeLists), timestamp and thread count are read at run
-// time. Embedded in every BENCH_*.json so the bench trajectory stays
-// comparable across PRs and machines.
-inline std::string run_metadata_json() {
+// time, workload identity comes from the caller. Embedded in every
+// BENCH_*.json so the bench trajectory stays comparable across PRs and
+// machines.
+inline std::string run_metadata_json(const RunProvenance& prov = {}) {
   char timestamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
   if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr) {
@@ -111,7 +135,15 @@ inline std::string run_metadata_json() {
   out += std::to_string(std::thread::hardware_concurrency());
   out += ", \"build_type\": \"";
   out += build_type;
-  out += "\"}";
+  out += "\", \"workload\": \"";
+  out += prov.workload.empty() ? "unspecified" : prov.workload;
+  out += "\", \"seed\": ";
+  out += std::to_string(prov.seed);
+  out += ", \"num_claims\": ";
+  out += std::to_string(prov.num_claims);
+  out += ", \"num_reports\": ";
+  out += std::to_string(prov.num_reports);
+  out += "}";
   return out;
 }
 
@@ -119,10 +151,11 @@ inline std::string run_metadata_json() {
 // metadata plus one record per scheme (name, wall seconds, task-latency
 // p50/p95).
 inline void emit_bench_json(const std::string& bench_name,
-                            const std::vector<SchemeScore>& scores) {
+                            const std::vector<SchemeScore>& scores,
+                            const RunProvenance& prov = {}) {
   std::ofstream out(results_path("BENCH_" + bench_name + ".json"));
   out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"meta\": "
-      << run_metadata_json() << ",\n  \"schemes\": [\n";
+      << run_metadata_json(prov) << ",\n  \"schemes\": [\n";
   for (std::size_t i = 0; i < scores.size(); ++i) {
     const SchemeScore& s = scores[i];
     out << "    {\"name\": \"" << s.name << "\", \"seconds\": " << s.seconds
@@ -137,7 +170,8 @@ inline void emit_bench_json(const std::string& bench_name,
 // Emits one accuracy table (paper Tables III-V) to stdout + CSV.
 inline void emit_accuracy_table(const std::string& title,
                                 const std::string& csv_name,
-                                const std::vector<SchemeScore>& scores) {
+                                const std::vector<SchemeScore>& scores,
+                                const RunProvenance& prov = {}) {
   TextTable table(title);
   table.set_columns({"Method", "Accuracy", "Precision", "Recall", "F1-Score"});
   CsvWriter csv(results_path(csv_name));
@@ -160,7 +194,7 @@ inline void emit_accuracy_table(const std::string& title,
   if (const auto dot = stem.rfind('.'); dot != std::string::npos) {
     stem.resize(dot);
   }
-  emit_bench_json(stem, scores);
+  emit_bench_json(stem, scores, prov);
 }
 
 }  // namespace sstd::bench

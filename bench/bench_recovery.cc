@@ -140,10 +140,11 @@ RecoveryPoint measure_recovery(const Dataset& data, IntervalIndex intervals,
 }
 
 void emit_json(const WalThroughput& wal,
-               const std::vector<RecoveryPoint>& points) {
+               const std::vector<RecoveryPoint>& points,
+               const bench::RunProvenance& prov) {
   std::ofstream out(bench::results_path("BENCH_recovery.json"));
   out << "{\n  \"bench\": \"recovery\",\n  \"meta\": "
-      << bench::run_metadata_json() << ",\n  \"wal\": {"
+      << bench::run_metadata_json(prov) << ",\n  \"wal\": {"
       << "\"records\": " << wal.records
       << ", \"append_records_per_sec\": " << wal.append_records_per_sec
       << ", \"append_mb_per_sec\": " << wal.append_mb_per_sec
@@ -218,7 +219,8 @@ int run(bool smoke) {
   }
   table.print();
 
-  emit_json(wal, points);
+  emit_json(wal, points,
+            bench::scenario_provenance(generator.config(), data));
   return validate_json() ? 0 : 1;
 }
 

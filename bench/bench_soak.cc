@@ -1,0 +1,362 @@
+// Soak harness (ISSUE 9, DESIGN.md §8): streams millions of synthesized
+// reports over a 1M+ claim space through the full SstdSystem runtime for a
+// wall-time budget, sampling the process once per interval and asserting
+// the soak contract continuously:
+//
+//   bounded-rss       — idle-claim eviction must hold RSS flat once the
+//                       key space has been swept (obs/proc_stats)
+//   staleness-slo     — p95 ingest→decision staleness stays under the SLO
+//                       (stream.decision_staleness_s, obs/slo)
+//   drop-rate-growth  — trace-span / provenance-ring drops per report must
+//                       not grow monotonically (obs/soak)
+//
+// Traffic comes from workload/ReportSynthesizer: a YCSB-style load phase
+// sweeps every claim id once, then the configured popularity distribution
+// (zipfian / uniform / latest / hotspot / hotspot_shift) drives the run
+// phase. `--chaos` adds a deterministic crash-kill during a refit round,
+// with WAL+snapshot durability on, so recovery cost lands inside the same
+// staleness budget the assertions check.
+//
+// Results land in bench_results/BENCH_soak.json (self-validated). `--smoke`
+// runs a seconds-scale ~100k-claim soak — wired into ctest under the
+// bench_smoke label and green under TSan.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/proc_stats.h"
+#include "obs/soak.h"
+#include "sstd/system.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "workload/synth.h"
+
+namespace sstd {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SoakOptions {
+  bool smoke = false;
+  bool chaos = false;
+  double run_budget_s = 60.0;     // run-phase wall budget (after load)
+  std::uint64_t num_claims = 1'050'000;
+  std::string workload = "zipfian";
+  std::uint64_t seed = 20260808;
+  double slo_s = 5.0;
+  IntervalIndex min_run_intervals = 12;
+  IntervalIndex max_intervals = 100'000;
+};
+
+workload::WorkloadConfig make_workload(const SoakOptions& opts) {
+  workload::WorkloadConfig wc;
+  wc.name = opts.workload;
+  wc.seed = opts.seed;
+  wc.num_claims = opts.num_claims;
+  if (opts.workload == "uniform") {
+    wc.dist.kind = workload::KeyDistKind::kUniform;
+  } else if (opts.workload == "latest") {
+    wc.dist.kind = workload::KeyDistKind::kLatest;
+  } else if (opts.workload == "hotspot" ||
+             opts.workload == "hotspot_shift") {
+    wc.dist.kind = workload::KeyDistKind::kHotspot;
+  } else if (opts.workload != "zipfian") {
+    throw std::invalid_argument("unknown workload: " + opts.workload);
+  }
+  if (opts.smoke) {
+    wc.reports_per_interval = 10'000;
+    wc.load_reports_per_interval = 25'000;
+  } else {
+    wc.reports_per_interval = 25'000;
+    wc.load_reports_per_interval = 75'000;
+  }
+  if (opts.workload == "hotspot_shift") {
+    // Relocate the hot range a few times over a typical run.
+    wc.dist.hotspot_shift_every = wc.reports_per_interval * 10;
+  }
+  if (wc.dist.kind == workload::KeyDistKind::kLatest) {
+    // No load sweep; the frontier introduces claims continuously.
+    wc.frontier_per_interval = wc.num_claims / 40 + 1;
+  }
+  return wc;
+}
+
+SstdSystem::Config make_system_config(const SoakOptions& opts,
+                                      const workload::ReportSynthesizer& synth,
+                                      const std::string& durable_dir) {
+  SstdSystem::Config config;
+  config.workers = opts.smoke ? 2 : 4;
+  config.num_jobs = opts.smoke ? 4 : 8;
+  config.interval_deadline_s = 30.0;
+  config.sstd.refit_every = opts.smoke ? 5 : 10;
+  config.sstd.warmup_intervals = opts.smoke ? 3 : 4;
+  // The bounded-memory mechanism under test: idle claims are evicted, so
+  // the pipeline map tracks the working set, not the key space.
+  config.sstd.evict_after_idle_intervals = opts.smoke ? 4 : 6;
+  config.trace_sample_rate = 0.01;
+  if (opts.chaos) {
+    config.durability.dir = durable_dir;
+    config.durability.snapshot_every = config.sstd.refit_every;
+    // Kill the refitting shard twice at the first refit round after the
+    // load sweep; the retry budget covers both kills plus the clean pass.
+    const IntervalIndex refit = config.sstd.refit_every;
+    const IntervalIndex kill =
+        ((synth.load_intervals() + config.sstd.warmup_intervals) / refit + 1) *
+            refit - 1;
+    config.fault_plan.crash_kill_during_refit(kill, 2);
+    config.shard_task_retries = 4;
+  }
+  return config;
+}
+
+struct SoakTotals {
+  IntervalIndex intervals = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t claims_touched = 0;
+  double wall_s = 0.0;
+  double run_reports_per_sec = 0.0;  // run phase only (post-load)
+  std::size_t max_shard_backlog = 0;
+  double active_claims_final = 0.0;
+  std::uint64_t claims_evicted = 0;
+};
+
+std::string json_num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void emit_json(const SoakOptions& opts, const workload::WorkloadConfig& wc,
+               const SstdSystem::Config& config, const SoakTotals& totals,
+               const obs::SoakReport& report, const obs::SoakLimits& limits) {
+  bench::RunProvenance prov;
+  prov.workload = wc.name;
+  prov.seed = wc.seed;
+  prov.num_claims = totals.claims_touched;
+  prov.num_reports = totals.reports;
+
+  std::ofstream out(bench::results_path("BENCH_soak.json"));
+  out << "{\n  \"bench\": \"soak\",\n  \"meta\": "
+      << bench::run_metadata_json(prov) << ",\n"
+      << "  \"workload\": {\"name\": \"" << wc.name
+      << "\", \"num_claims\": " << wc.num_claims
+      << ", \"reports_per_interval\": " << wc.reports_per_interval
+      << ", \"load_reports_per_interval\": " << wc.load_reports_per_interval
+      << ", \"zipf_theta\": " << json_num(wc.dist.zipf_theta) << "},\n"
+      << "  \"system\": {\"workers\": " << config.workers
+      << ", \"num_jobs\": " << config.num_jobs
+      << ", \"refit_every\": " << config.sstd.refit_every
+      << ", \"evict_after_idle_intervals\": "
+      << config.sstd.evict_after_idle_intervals
+      << ", \"chaos\": " << (opts.chaos ? "true" : "false") << "},\n"
+      << "  \"totals\": {\"intervals\": " << totals.intervals
+      << ", \"reports\": " << totals.reports
+      << ", \"claims_touched\": " << totals.claims_touched
+      << ", \"wall_s\": " << json_num(totals.wall_s)
+      << ", \"run_reports_per_sec\": " << json_num(totals.run_reports_per_sec)
+      << ", \"max_shard_backlog\": " << totals.max_shard_backlog
+      << ", \"active_claims_final\": " << json_num(totals.active_claims_final)
+      << ", \"claims_evicted\": " << totals.claims_evicted << "},\n"
+      << "  \"staleness\": {\"p95_s\": " << json_num(report.staleness_p95)
+      << ", \"p99_s\": " << json_num(report.staleness_p99)
+      << ", \"slo_s\": " << json_num(limits.staleness_slo_s) << "},\n"
+      << "  \"rss\": {\"baseline_bytes\": " << report.baseline_rss_bytes
+      << ", \"peak_bytes\": " << report.peak_rss_bytes << "},\n"
+      << "  \"drops\": {\"trace_spans\": " << report.trace_dropped_spans
+      << ", \"provenance_records\": " << report.provenance_dropped_records
+      << "},\n  \"assertions\": [\n";
+  const char* invariants[] = {"bounded-rss", "staleness-slo",
+                              "drop-rate-growth"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::string detail;
+    for (const auto& v : report.violations) {
+      if (v.invariant == invariants[i]) detail = v.detail;
+    }
+    out << "    {\"invariant\": \"" << invariants[i]
+        << "\", \"ok\": " << (detail.empty() ? "true" : "false")
+        << ", \"detail\": \"" << detail << "\"}" << (i + 1 < 3 ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n  \"ok\": " << (report.ok() ? "true" : "false") << "\n}\n";
+}
+
+// Smoke self-validation: the artifact exists, is JSON-shaped and carries
+// every invariant verdict plus the headline throughput number.
+bool validate_json() {
+  std::ifstream in(bench::results_path("BENCH_soak.json"));
+  if (!in.good()) {
+    std::fprintf(stderr, "BENCH_soak.json missing\n");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  const bool shaped =
+      !json.empty() && json.front() == '{' &&
+      json.find("\"bench\": \"soak\"") != std::string::npos &&
+      json.find("\"run_reports_per_sec\": ") != std::string::npos &&
+      json.find("\"invariant\": \"bounded-rss\"") != std::string::npos &&
+      json.find("\"invariant\": \"staleness-slo\"") != std::string::npos &&
+      json.find("\"invariant\": \"drop-rate-growth\"") != std::string::npos &&
+      json.find("\"workload\": ") != std::string::npos &&
+      json.find("\"seed\": ") != std::string::npos &&
+      json.rfind('}') > json.find('{');
+  if (!shaped) {
+    std::fprintf(stderr, "BENCH_soak.json malformed:\n%s\n", json.c_str());
+  }
+  return shaped;
+}
+
+int run(const SoakOptions& opts) {
+  workload::WorkloadConfig wc = make_workload(opts);
+  workload::ReportSynthesizer synth(wc);
+
+  const std::string durable_dir =
+      (fs::temp_directory_path() / "sstd_bench_soak_wal").string();
+  if (opts.chaos) fs::remove_all(durable_dir);
+  const SstdSystem::Config config =
+      make_system_config(opts, synth, durable_dir);
+  SstdSystem system(config, wc.interval_ms);
+
+  obs::SoakLimits limits;
+  limits.staleness_slo_s = opts.slo_s;
+  // The load sweep grows RSS by design (one pipeline per claim until the
+  // idle GC catches up); the bounded-rss baseline starts after it.
+  limits.warmup_samples = static_cast<std::size_t>(synth.load_intervals()) + 2;
+  obs::SoakMonitor monitor(limits);
+
+  std::printf(
+      "soak: workload=%s claims=%" PRIu64 " load_intervals=%d budget=%.0fs"
+      " slo=%.1fs chaos=%d\n",
+      wc.name.c_str(), wc.num_claims, synth.load_intervals(),
+      opts.run_budget_s, opts.slo_s, opts.chaos ? 1 : 0);
+
+  const IntervalIndex load = synth.load_intervals();
+  std::vector<Report> batch;
+  Stopwatch wall;
+  Stopwatch run_watch;
+  std::uint64_t run_reports = 0;
+  IntervalIndex k = 0;
+  while (k < opts.max_intervals) {
+    const bool in_load = k < load;
+    if (!in_load && k >= load + opts.min_run_intervals &&
+        run_watch.elapsed_seconds() >= opts.run_budget_s) {
+      break;
+    }
+    if (k == load) run_watch.restart();
+    synth.generate_interval(k, &batch);
+    system.ingest_batch(batch);
+    system.end_interval(k);
+    if (!in_load) run_reports += batch.size();
+    const obs::SoakSample& s = monitor.sample();
+    if (k % 10 == 0 || k == load - 1) {
+      std::printf(
+          "  k=%-5d %-4s rss=%6.1fMiB active=%9.0f p95=%6.3fs"
+          " reports=%" PRIu64 "\n",
+          k, in_load ? "load" : "run",
+          static_cast<double>(s.rss_bytes) / (1024.0 * 1024.0),
+          s.active_claims, s.staleness_p95, s.reports_ingested);
+    }
+    ++k;
+  }
+
+  SoakTotals totals;
+  totals.intervals = k;
+  totals.reports = synth.reports_generated();
+  totals.claims_touched = synth.claims_touched();
+  totals.wall_s = wall.elapsed_seconds();
+  const double run_s = run_watch.elapsed_seconds();
+  totals.run_reports_per_sec =
+      run_s > 0.0 ? static_cast<double>(run_reports) / run_s : 0.0;
+  totals.max_shard_backlog = system.backpressure().max_shard_backlog;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  totals.claims_evicted = snap.counter_value("stream.claims_evicted");
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "stream.active_claims") totals.active_claims_final = value;
+  }
+
+  const obs::SoakReport report = monitor.evaluate();
+
+  TextTable table("Soak summary (DESIGN.md §8)");
+  table.set_columns({"Metric", "Value"});
+  table.add_row({"intervals", std::to_string(totals.intervals)});
+  table.add_row({"reports", std::to_string(totals.reports)});
+  table.add_row({"claims touched", std::to_string(totals.claims_touched)});
+  table.add_row({"run reports/s", TextTable::num(totals.run_reports_per_sec, 0)});
+  table.add_row({"p95 staleness s", TextTable::num(report.staleness_p95)});
+  table.add_row(
+      {"baseline RSS MiB",
+       TextTable::num(static_cast<double>(report.baseline_rss_bytes) /
+                      (1024.0 * 1024.0))});
+  table.add_row(
+      {"peak RSS MiB",
+       TextTable::num(static_cast<double>(report.peak_rss_bytes) /
+                      (1024.0 * 1024.0))});
+  table.add_row({"claims evicted", std::to_string(totals.claims_evicted)});
+  table.print();
+
+  for (const auto& v : report.violations) {
+    std::fprintf(stderr, "SOAK VIOLATION [%s]: %s\n", v.invariant.c_str(),
+                 v.detail.c_str());
+  }
+  // Coverage check: with a load phase (or a latest frontier that swept the
+  // space), every claim id must have been emitted at least once.
+  bool coverage_ok = true;
+  if (wc.load_reports_per_interval > 0 &&
+      totals.claims_touched < wc.num_claims) {
+    coverage_ok = false;
+    std::fprintf(stderr,
+                 "SOAK VIOLATION [claims-coverage]: touched %" PRIu64
+                 " of %" PRIu64 " claims\n",
+                 totals.claims_touched, wc.num_claims);
+  }
+
+  emit_json(opts, wc, config, totals, report, limits);
+  if (opts.chaos) fs::remove_all(durable_dir);
+  return (report.ok() && coverage_ok && validate_json()) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sstd
+
+int main(int argc, char** argv) {
+  sstd::SoakOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opts.smoke = true;
+      opts.num_claims = 100'000;
+      opts.run_budget_s = 4.0;
+      opts.slo_s = 30.0;  // TSan headroom: staleness tracks task wall time
+      opts.min_run_intervals = 8;
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      opts.chaos = true;
+    } else if (std::strncmp(arg, "--seconds=", 10) == 0) {
+      opts.run_budget_s = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--claims=", 9) == 0) {
+      opts.num_claims = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+      opts.workload = arg + 11;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--slo=", 6) == 0) {
+      opts.slo_s = std::atof(arg + 6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_soak [--smoke] [--chaos] [--seconds=N]"
+                   " [--claims=N] [--workload=zipfian|uniform|latest|"
+                   "hotspot|hotspot_shift] [--seed=N] [--slo=S]\n");
+      return 2;
+    }
+  }
+  std::filesystem::create_directories("bench_results");
+  return sstd::run(opts);
+}

@@ -16,6 +16,7 @@ int main() {
   const auto scores = bench::score_all(data);
   bench::emit_accuracy_table(
       "Table III: Truth Discovery Results - Boston Bombing",
-      "table3_boston.csv", scores);
+      "table3_boston.csv", scores,
+      bench::scenario_provenance(generator.config(), data));
   return 0;
 }

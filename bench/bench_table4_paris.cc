@@ -15,6 +15,7 @@ int main() {
   const auto scores = bench::score_all(data);
   bench::emit_accuracy_table(
       "Table IV: Truth Discovery Results - Paris Shooting",
-      "table4_paris.csv", scores);
+      "table4_paris.csv", scores,
+      bench::scenario_provenance(generator.config(), data));
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
   const auto scores = bench::score_all(data);
   bench::emit_accuracy_table(
       "Table V: Truth Discovery Results - College Football",
-      "table5_football.csv", scores);
+      "table5_football.csv", scores,
+      bench::scenario_provenance(generator.config(), data));
   return 0;
 }

@@ -85,10 +85,11 @@ ModePoint measure(const Dataset& data, double sample_rate) {
   return point;
 }
 
-void emit_json(const std::vector<ModePoint>& modes, double overhead_pct) {
+void emit_json(const std::vector<ModePoint>& modes, double overhead_pct,
+               const bench::RunProvenance& prov) {
   std::ofstream out(bench::results_path("BENCH_trace_overhead.json"));
   out << "{\n  \"bench\": \"trace_overhead\",\n  \"meta\": "
-      << bench::run_metadata_json() << ",\n  \"modes\": [\n";
+      << bench::run_metadata_json(prov) << ",\n  \"modes\": [\n";
   for (std::size_t i = 0; i < modes.size(); ++i) {
     const ModePoint& m = modes[i];
     out << "    {\"sample_rate\": " << m.sample_rate
@@ -172,7 +173,8 @@ int run(bool smoke) {
   std::printf("full-tracing refit-throughput overhead: %.2f%%\n",
               overhead_pct);
 
-  emit_json(modes, overhead_pct);
+  emit_json(modes, overhead_pct,
+            bench::scenario_provenance(generator.config(), data));
   return validate_json() ? 0 : 1;
 }
 

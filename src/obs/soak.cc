@@ -1,0 +1,171 @@
+#include "obs/soak.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/proc_stats.h"
+
+namespace sstd::obs {
+namespace {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+// Mean drops-per-report over samples [begin, end) of the series, using
+// deltas between consecutive samples so an early burst (e.g. warmup churn)
+// does not haunt every later window.
+double mean_drop_rate(const std::vector<SoakSample>& s, std::size_t begin,
+                      std::size_t end,
+                      std::uint64_t SoakSample::*drop_field) {
+  double drops = 0.0;
+  double reports = 0.0;
+  for (std::size_t i = std::max<std::size_t>(begin, 1); i < end; ++i) {
+    drops += static_cast<double>(s[i].*drop_field - s[i - 1].*drop_field);
+    reports += static_cast<double>(s[i].reports_ingested -
+                                   s[i - 1].reports_ingested);
+  }
+  return reports > 0.0 ? drops / reports : 0.0;
+}
+
+void check_drop_growth(const std::vector<SoakSample>& samples,
+                       const SoakLimits& limits, std::size_t first,
+                       std::uint64_t SoakSample::*drop_field,
+                       const char* ring_name,
+                       std::vector<SoakViolation>* out) {
+  const std::size_t n = samples.size();
+  const std::size_t span = n - first;
+  if (span < 6) return;  // too short to call a trend
+  const std::size_t third = span / 3;
+  // Compare the middle third against the newest third: a healthy run has a
+  // flat (or falling) drops-per-report curve once warm.
+  const double older = mean_drop_rate(samples, first + third,
+                                      first + 2 * third, drop_field);
+  const double newer = mean_drop_rate(samples, n - third, n, drop_field);
+  // Rates below ~1 drop per 10k reports are noise, not a trend.
+  constexpr double kEpsilon = 1e-4;
+  if (newer > kEpsilon && newer > older * limits.drop_rate_growth_factor) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s drops/report grew %.2e -> %.2e (factor limit %.1f)",
+                  ring_name, older, newer, limits.drop_rate_growth_factor);
+    out->push_back({"drop-rate-growth", buf});
+  }
+}
+
+}  // namespace
+
+SoakMonitor::SoakMonitor(SoakLimits limits, MetricsRegistry* registry)
+    : limits_(limits), registry_(registry) {}
+
+const SoakSample& SoakMonitor::sample() {
+  const ProcSelfStats proc = update_proc_gauges(*registry_);
+  const MetricsSnapshot snap = registry_->snapshot();
+
+  SoakSample s;
+  s.wall_s = watch_.elapsed_seconds();
+  s.rss_bytes = proc.rss_bytes;
+  s.reports_ingested = snap.counter_value("stream.reports_ingested");
+  s.trace_dropped_spans = snap.counter_value("obs.trace.dropped_spans");
+  s.provenance_dropped_records =
+      snap.counter_value("obs.provenance.dropped_records");
+  if (const HistogramSnapshot* h =
+          snap.histogram("stream.decision_staleness_s")) {
+    s.staleness_p50 = h->quantile(0.5);
+    s.staleness_p95 = h->quantile(0.95);
+    s.staleness_p99 = h->quantile(0.99);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "stream.active_claims") s.active_claims = value;
+  }
+  samples_.push_back(s);
+  return samples_.back();
+}
+
+SoakReport SoakMonitor::evaluate_series(const std::vector<SoakSample>& samples,
+                                        const SoakLimits& limits) {
+  SoakReport report;
+  if (samples.empty()) {
+    report.violations.push_back(
+        {"no-samples", "soak monitor collected no samples"});
+    return report;
+  }
+
+  const std::size_t first =
+      std::min(limits.warmup_samples, samples.size() - 1);
+  const SoakSample& last = samples.back();
+  report.staleness_p95 = last.staleness_p95;
+  report.staleness_p99 = last.staleness_p99;
+  report.trace_dropped_spans = last.trace_dropped_spans;
+  report.provenance_dropped_records = last.provenance_dropped_records;
+
+  // --- bounded-rss -------------------------------------------------------
+  report.baseline_rss_bytes = samples[first].rss_bytes;
+  for (std::size_t i = first; i < samples.size(); ++i) {
+    report.peak_rss_bytes = std::max(report.peak_rss_bytes,
+                                     samples[i].rss_bytes);
+  }
+  if (report.baseline_rss_bytes > 0) {
+    const auto ratio_cap = static_cast<std::uint64_t>(
+        static_cast<double>(report.baseline_rss_bytes) *
+        (1.0 + limits.max_rss_growth_ratio));
+    const std::uint64_t slack_cap =
+        report.baseline_rss_bytes + limits.rss_slack_bytes;
+    if (report.peak_rss_bytes > ratio_cap &&
+        report.peak_rss_bytes > slack_cap) {
+      report.violations.push_back(
+          {"bounded-rss",
+           "post-warmup RSS grew from " +
+               format_bytes(report.baseline_rss_bytes) + " to " +
+               format_bytes(report.peak_rss_bytes) + " (cap " +
+               format_bytes(std::max(ratio_cap, slack_cap)) + ")"});
+    }
+  }
+  if (limits.max_rss_bytes > 0 &&
+      report.peak_rss_bytes > limits.max_rss_bytes) {
+    report.violations.push_back(
+        {"bounded-rss", "peak RSS " + format_bytes(report.peak_rss_bytes) +
+                            " exceeds absolute cap " +
+                            format_bytes(limits.max_rss_bytes)});
+  }
+
+  // --- staleness-slo -----------------------------------------------------
+  // Judged on the final cumulative histogram: with millions of decisions,
+  // the end-of-run quantile is the run's quantile.
+  double q = last.staleness_p95;
+  if (limits.staleness_quantile >= 0.99) {
+    q = last.staleness_p99;
+  } else if (limits.staleness_quantile <= 0.5) {
+    q = last.staleness_p50;
+  }
+  if (std::isnan(q)) {
+    if (last.reports_ingested > 0) {
+      report.violations.push_back(
+          {"staleness-slo",
+           "no decision staleness observations despite ingested reports"});
+    }
+  } else if (q > limits.staleness_slo_s) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "p%02d staleness %.3fs exceeds SLO %.3fs",
+                  static_cast<int>(limits.staleness_quantile * 100.0), q,
+                  limits.staleness_slo_s);
+    report.violations.push_back({"staleness-slo", buf});
+  }
+
+  // --- drop-rate-growth --------------------------------------------------
+  check_drop_growth(samples, limits, first,
+                    &SoakSample::trace_dropped_spans, "trace-ring",
+                    &report.violations);
+  check_drop_growth(samples, limits, first,
+                    &SoakSample::provenance_dropped_records,
+                    "provenance-ring", &report.violations);
+
+  return report;
+}
+
+}  // namespace sstd::obs

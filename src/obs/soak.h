@@ -1,0 +1,112 @@
+// Soak-invariant monitor (ISSUE 9, DESIGN.md §8): turns the gauges the
+// runtime already exports (proc.* self-stats, stream.decision_staleness_s,
+// obs.trace/provenance drop counters) into an enforceable contract for
+// long runs:
+//
+//   bounded-rss        — post-warmup RSS must not grow past
+//                        baseline * (1 + max_rss_growth_ratio) + slack
+//                        (and an optional absolute cap); a leaky claim
+//                        map or unbounded ring shows up here
+//   staleness-slo      — the p-quantile of ingest→decision staleness must
+//                        stay under the SLO
+//   drop-rate-growth   — trace-span and provenance-ring drops per report
+//                        must not grow monotonically (a rising drop rate
+//                        means the rings are being outrun ever harder —
+//                        the observable shadow of a backlog building up)
+//
+// Usage: call sample() on a steady cadence (the soak driver samples once
+// per interval); evaluate() judges the collected series and returns every
+// violation with a human-readable detail line. The series evaluation is a
+// pure function (evaluate_series), so tests can feed synthetic series
+// without a live process behind them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace sstd::obs {
+
+struct SoakLimits {
+  // RSS bound: violation when post-warmup peak exceeds
+  // baseline * (1 + max_rss_growth_ratio) AND baseline + rss_slack_bytes.
+  // The slack term keeps small-footprint smoke runs from flagging
+  // allocator noise as growth.
+  double max_rss_growth_ratio = 0.35;
+  std::uint64_t rss_slack_bytes = 96ull << 20;
+  // Optional absolute ceiling (0 = none).
+  std::uint64_t max_rss_bytes = 0;
+
+  // Staleness SLO on the chosen quantile of stream.decision_staleness_s.
+  double staleness_slo_s = 5.0;
+  double staleness_quantile = 0.95;
+
+  // Ring-drop growth: mean drops-per-report over the newest third of the
+  // post-warmup series must not exceed growth_factor x the mean over the
+  // preceding third (and must be non-trivial in absolute terms).
+  double drop_rate_growth_factor = 2.0;
+
+  // Samples ignored while the process reaches steady state.
+  std::size_t warmup_samples = 3;
+};
+
+struct SoakSample {
+  double wall_s = 0.0;
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t reports_ingested = 0;
+  double staleness_p50 = 0.0;  // NaN while the histogram is empty
+  double staleness_p95 = 0.0;
+  double staleness_p99 = 0.0;
+  std::uint64_t trace_dropped_spans = 0;
+  std::uint64_t provenance_dropped_records = 0;
+  double active_claims = 0.0;
+};
+
+struct SoakViolation {
+  std::string invariant;  // "bounded-rss" | "staleness-slo" | ...
+  std::string detail;
+};
+
+struct SoakReport {
+  std::vector<SoakViolation> violations;
+  std::uint64_t baseline_rss_bytes = 0;  // post-warmup baseline
+  std::uint64_t peak_rss_bytes = 0;      // post-warmup peak
+  double staleness_p95 = 0.0;            // final cumulative quantiles
+  double staleness_p99 = 0.0;
+  std::uint64_t trace_dropped_spans = 0;
+  std::uint64_t provenance_dropped_records = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+class SoakMonitor {
+ public:
+  explicit SoakMonitor(SoakLimits limits,
+                       MetricsRegistry* registry = &MetricsRegistry::global());
+
+  // Reads the current process + registry state into a new sample and
+  // returns it. Also refreshes the proc.* gauges (obs/proc_stats.h).
+  const SoakSample& sample();
+
+  // Judges the collected series against the limits.
+  SoakReport evaluate() const { return evaluate_series(samples_, limits_); }
+
+  const std::vector<SoakSample>& samples() const { return samples_; }
+  const SoakLimits& limits() const { return limits_; }
+
+  // Pure evaluation over an arbitrary series — unit-testable without a
+  // live process.
+  static SoakReport evaluate_series(const std::vector<SoakSample>& samples,
+                                    const SoakLimits& limits);
+
+ private:
+  SoakLimits limits_;
+  MetricsRegistry* registry_;
+  std::vector<SoakSample> samples_;
+  Stopwatch watch_;
+};
+
+}  // namespace sstd::obs

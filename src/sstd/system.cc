@@ -101,24 +101,93 @@ void SstdSystem::ingest(const Report& report) {
     }
   }
   if (promoted) {
-    obs::TraceSpan span;
-    span.phase = obs::SpanPhase::kIngest;
-    span.outcome = obs::SpanOutcome::kDone;
-    span.job = static_cast<std::uint32_t>(shard_index);
-    const double now_s = queue_.now();
-    span.begin_s = now_s;
-    span.end_s = now_s;
-    span.trace_hi = minted.trace_hi;
-    span.trace_lo = minted.trace_lo;
-    span.span_id = minted.span_id;
-    span.parent_span = 0;
-    span.attrs.reserve(2);
-    span.attrs.emplace_back("claim", std::to_string(report.claim.value));
-    span.attrs.emplace_back("shard", std::to_string(shard_index));
-    obs::TraceRecorder::global().record(std::move(span));
+    record_ingest_span(minted, shard_index, report.claim.value);
   }
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ++metrics_.reports_ingested;
+}
+
+void SstdSystem::record_ingest_span(const obs::TraceContext& minted,
+                                    std::size_t shard_index,
+                                    std::uint64_t claim) {
+  obs::TraceSpan span;
+  span.phase = obs::SpanPhase::kIngest;
+  span.outcome = obs::SpanOutcome::kDone;
+  span.job = static_cast<std::uint32_t>(shard_index);
+  const double now_s = queue_.now();
+  span.begin_s = now_s;
+  span.end_s = now_s;
+  span.trace_hi = minted.trace_hi;
+  span.trace_lo = minted.trace_lo;
+  span.span_id = minted.span_id;
+  span.parent_span = 0;
+  span.attrs.reserve(2);
+  span.attrs.emplace_back("claim", std::to_string(claim));
+  span.attrs.emplace_back("shard", std::to_string(shard_index));
+  obs::TraceRecorder::global().record(std::move(span));
+}
+
+void SstdSystem::ingest_batch(const Report* reports, std::size_t count) {
+  if (count == 0) return;
+  if (wal_.is_open()) {
+    std::lock_guard<std::mutex> wal_lock(wal_mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      wal_.append(durable::WalRecordType::kReport,
+                  durable::encode_report_payload(reports[i]));
+    }
+  }
+
+  // A minted trace root per shard batch at most, as in ingest(); spans are
+  // recorded after the shard mutexes drop.
+  struct Promotion {
+    obs::TraceContext ctx;
+    std::size_t shard;
+    std::uint64_t claim;
+  };
+  std::vector<Promotion> promotions;
+
+  {
+    std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+    if (batch_scratch_.size() != config_.num_jobs) {
+      batch_scratch_.resize(config_.num_jobs);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      batch_scratch_[reports[i].claim.value % config_.num_jobs].push_back(
+          reports[i]);
+    }
+    for (std::size_t s = 0; s < config_.num_jobs; ++s) {
+      std::vector<Report>& bucket = batch_scratch_[s];
+      if (bucket.empty()) continue;
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const Report& report : bucket) {
+        shard.buffer.push_back(report);
+        // Same deterministic stride sampling as the single-report path:
+        // the counter only advances while the shard's batch is
+        // unrepresented.
+        if (config_.trace_sample_rate > 0.0 && !shard.pending_trace.valid()) {
+          const auto stride = static_cast<std::uint64_t>(
+              std::max(1.0, std::ceil(1.0 / config_.trace_sample_rate)));
+          if (trace_sample_seq_.fetch_add(1, std::memory_order_relaxed) %
+                  stride ==
+              0) {
+            const obs::TraceContext minted =
+                obs::mint_trace(/*sampled=*/true);
+            shard.pending_trace = minted;
+            shard.pending_trace_claim = report.claim.value;
+            promotions.push_back({minted, s, report.claim.value});
+          }
+        }
+      }
+      bucket.clear();
+    }
+  }
+
+  for (const Promotion& promotion : promotions) {
+    record_ingest_span(promotion.ctx, promotion.shard, promotion.claim);
+  }
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.reports_ingested += count;
 }
 
 void SstdSystem::install_crash_hook(std::size_t shard_index) {
@@ -345,6 +414,8 @@ void SstdSystem::end_interval(IntervalIndex k) {
 
   // Dispatch one task per shard; shards with no data still need their
   // engines ticked so ACS windows expire and decoders advance.
+  std::uint64_t dispatched_reports = 0;
+  std::size_t max_shard_backlog = 0;
   for (std::size_t i = 0; i < config_.num_jobs; ++i) {
     Shard* shard = shards_[i].get();
     const auto job = static_cast<dist::JobId>(i);
@@ -356,6 +427,8 @@ void SstdSystem::end_interval(IntervalIndex k) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
       task.data_size = static_cast<double>(shard->buffer.size());
+      dispatched_reports += shard->buffer.size();
+      max_shard_backlog = std::max(max_shard_backlog, shard->buffer.size());
       shard->annotation_lsn = wal_frontier;
       shard->annotation_traced_claim =
           shard->pending_trace.valid()
@@ -374,6 +447,28 @@ void SstdSystem::end_interval(IntervalIndex k) {
 
   queue_.wait_all();
   const double interval_seconds = interval_watch.elapsed_seconds();
+
+  // Backpressure accounting (ISSUE 9): what this interval dispatched and
+  // how fast it drained, for the soak monitor and /timeseries.csv.
+  {
+    BackpressureStats bp;
+    bp.last_interval_reports = dispatched_reports;
+    bp.max_shard_backlog = max_shard_backlog;
+    bp.last_interval_s = interval_seconds;
+    bp.last_interval_reports_per_s =
+        interval_seconds > 0.0
+            ? static_cast<double>(dispatched_reports) / interval_seconds
+            : 0.0;
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("sys.interval_reports")
+        ->set(static_cast<double>(bp.last_interval_reports));
+    registry.gauge("sys.max_shard_backlog")
+        ->set(static_cast<double>(bp.max_shard_backlog));
+    registry.gauge("sys.interval_s")->set(bp.last_interval_s);
+    registry.gauge("sys.reports_per_s")->set(bp.last_interval_reports_per_s);
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    backpressure_ = bp;
+  }
 
   // Durability boundary: the interval is fully processed, so its marker
   // goes to the log (replay re-closes intervals in this order), the fsync
@@ -449,6 +544,11 @@ std::int8_t SstdSystem::estimate(ClaimId claim) const {
   const Shard& shard = *shards_[claim.value % config_.num_jobs];
   std::lock_guard<std::mutex> lock(shard.mutex);
   return shard.engine->current_estimate(claim);
+}
+
+SstdSystem::BackpressureStats SstdSystem::backpressure() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return backpressure_;
 }
 
 SstdSystem::Metrics SstdSystem::metrics() const {

@@ -99,6 +99,31 @@ class SstdSystem {
   // arrive in non-decreasing time order (per the streaming contract).
   void ingest(const Report& report);
 
+  // Bulk crawler push (ISSUE 9): same semantics as calling ingest() once
+  // per report, but the WAL appends happen under one lock, each shard's
+  // buffer is extended under a single mutex acquisition, and the ingest
+  // counter is bumped once — the soak driver's hot path at millions of
+  // reports. Thread-safe; concurrent batches serialize on an internal
+  // scratch mutex.
+  void ingest_batch(const Report* reports, std::size_t count);
+  void ingest_batch(const std::vector<Report>& reports) {
+    ingest_batch(reports.data(), reports.size());
+  }
+
+  // Per-interval backpressure stats (ISSUE 9): how much buffered work the
+  // last end_interval() dispatched, the largest single-shard batch, and
+  // how long the interval took. Mirrored to sys.* gauges
+  // (sys.interval_reports, sys.max_shard_backlog, sys.interval_s,
+  // sys.reports_per_s) so the timeseries sampler and the soak monitor see
+  // ingest pressure next to the runtime's own metrics.
+  struct BackpressureStats {
+    std::uint64_t last_interval_reports = 0;
+    std::size_t max_shard_backlog = 0;
+    double last_interval_s = 0.0;
+    double last_interval_reports_per_s = 0.0;
+  };
+  BackpressureStats backpressure() const;
+
   // Closes interval `k`: dispatches one TD task per shard with buffered
   // data, waits for all of them (measuring against the soft deadline) and
   // lets the DTM retune priorities and the pool for the next interval.
@@ -165,6 +190,11 @@ class SstdSystem {
   // engine; no-op when the fault plan is empty.
   void install_crash_hook(std::size_t shard_index);
 
+  // Records the kIngest root span of a freshly minted shard trace (shared
+  // by the single and batched ingest paths).
+  void record_ingest_span(const obs::TraceContext& minted,
+                          std::size_t shard_index, std::uint64_t claim);
+
   Config config_;
   TimestampMs interval_ms_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -175,7 +205,13 @@ class SstdSystem {
   // Deterministic ingest-sampling counter (every ⌈1/rate⌉-th report).
   std::atomic<std::uint64_t> trace_sample_seq_{0};
   Metrics metrics_;
+  BackpressureStats backpressure_;  // guarded by metrics_mutex_
   mutable std::mutex metrics_mutex_;
+
+  // Bulk-ingest scratch: per-shard buckets reused across batches so a
+  // steady-state batch allocates nothing. Guarded by batch_mutex_.
+  std::mutex batch_mutex_;
+  std::vector<std::vector<Report>> batch_scratch_;
 
   // Durability plumbing (all no-ops when config_.durability is disabled).
   // The WAL writer is driver-thread-only in normal operation, but guarded

@@ -21,28 +21,37 @@ TraceGenerator::TraceGenerator(ScenarioConfig config)
   }
 }
 
-void TraceGenerator::sample_population(Rng& rng) {
-  source_accuracy_.resize(config_.num_sources);
-  source_activity_.resize(config_.num_sources);
+SourcePopulation sample_source_population(const ScenarioConfig& config,
+                                          Rng& rng) {
+  SourcePopulation population;
+  population.accuracy.resize(config.num_sources);
+  population.activity.resize(config.num_sources);
 
   std::vector<double> class_weights;
-  class_weights.reserve(config_.source_classes.size());
-  for (const auto& cls : config_.source_classes) {
+  class_weights.reserve(config.source_classes.size());
+  for (const auto& cls : config.source_classes) {
     class_weights.push_back(cls.fraction);
   }
 
-  for (std::uint32_t s = 0; s < config_.num_sources; ++s) {
-    const auto& cls = config_.source_classes[rng.weighted_index(class_weights)];
+  for (std::uint32_t s = 0; s < config.num_sources; ++s) {
+    const auto& cls = config.source_classes[rng.weighted_index(class_weights)];
     // Beta(mean*kappa, (1-mean)*kappa): mean `accuracy_mean`, tightness
     // controlled by the class concentration.
-    source_accuracy_[s] = rng.beta(cls.accuracy_mean * cls.accuracy_kappa,
-                                   (1.0 - cls.accuracy_mean) *
-                                       cls.accuracy_kappa);
+    population.accuracy[s] = rng.beta(cls.accuracy_mean * cls.accuracy_kappa,
+                                      (1.0 - cls.accuracy_mean) *
+                                          cls.accuracy_kappa);
     // Heavy-tailed activity: Zipf over the source index (sources are
     // exchangeable, so assigning by index is equivalent to shuffling).
-    source_activity_[s] =
-        std::pow(static_cast<double>(s) + 1.0, -config_.activity_zipf_s);
+    population.activity[s] =
+        std::pow(static_cast<double>(s) + 1.0, -config.activity_zipf_s);
   }
+  return population;
+}
+
+void TraceGenerator::sample_population(Rng& rng) {
+  SourcePopulation population = sample_source_population(config_, rng);
+  source_accuracy_ = std::move(population.accuracy);
+  source_activity_ = std::move(population.activity);
 }
 
 void TraceGenerator::sample_claims(Rng& rng) {

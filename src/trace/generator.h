@@ -16,6 +16,21 @@
 
 namespace sstd::trace {
 
+// A sampled source population: per-source reliability and heavy-tailed
+// activity weights. Factored out of TraceGenerator so the soak workload
+// layer (src/workload) draws its per-claim source mixtures from the same
+// calibrated strata the paper-scale traces use.
+struct SourcePopulation {
+  std::vector<double> accuracy;  // P(report states the current truth)
+  std::vector<double> activity;  // Zipf activity weight per source
+};
+
+// Samples `config.num_sources` sources from the scenario's source classes
+// (Beta-distributed accuracy per class, Zipf activity over the index).
+// Deterministic for a fixed Rng state.
+SourcePopulation sample_source_population(const ScenarioConfig& config,
+                                          Rng& rng);
+
 // Summary statistics in the shape of the paper's Table II.
 struct TraceStats {
   std::string name;

@@ -1,0 +1,140 @@
+#include "workload/keydist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sstd::workload {
+
+const char* key_dist_kind_name(KeyDistKind kind) {
+  switch (kind) {
+    case KeyDistKind::kUniform:
+      return "uniform";
+    case KeyDistKind::kZipfian:
+      return "zipfian";
+    case KeyDistKind::kLatest:
+      return "latest";
+    case KeyDistKind::kHotspot:
+      return "hotspot";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(std::uint64_t value) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffULL;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+UniformDist::UniformDist(std::uint64_t num_keys) : n_(num_keys) {
+  if (n_ == 0) throw std::invalid_argument("UniformDist: empty key space");
+}
+
+std::uint64_t UniformDist::next(Rng& rng) { return rng.below(n_); }
+
+ZipfianDist::ZipfianDist(std::uint64_t num_keys, double theta, bool scramble)
+    : n_(0), theta_(theta), scramble_(scramble) {
+  if (num_keys == 0) {
+    throw std::invalid_argument("ZipfianDist: empty key space");
+  }
+  if (!(theta > 0.0) || theta >= 1.0) {
+    throw std::invalid_argument("ZipfianDist: theta must be in (0, 1)");
+  }
+  zeta_two_ = 1.0 + std::pow(2.0, -theta_);
+  grow(num_keys);
+}
+
+void ZipfianDist::grow(std::uint64_t num_keys) {
+  if (num_keys <= n_) return;
+  for (std::uint64_t i = n_ + 1; i <= num_keys; ++i) {
+    zeta_n_ += std::pow(static_cast<double>(i), -theta_);
+  }
+  n_ = num_keys;
+  refresh_constants();
+}
+
+void ZipfianDist::refresh_constants() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta_two_ / zeta_n_);
+}
+
+std::uint64_t ZipfianDist::next_rank(Rng& rng) {
+  // Gray et al. inverse-transform: O(1) given the precomputed zeta sum.
+  const double u = rng.uniform();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (n_ > 1 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::uint64_t ZipfianDist::next(Rng& rng) {
+  const std::uint64_t rank = next_rank(rng);
+  return scramble_ ? fnv1a64(rank) % n_ : rank;
+}
+
+LatestDist::LatestDist(std::uint64_t frontier, double theta)
+    : frontier_(frontier), ranks_(frontier + 1, theta, /*scramble=*/false) {}
+
+void LatestDist::set_frontier(std::uint64_t frontier) {
+  if (frontier < frontier_) return;  // keys never un-publish
+  frontier_ = frontier;
+  ranks_.grow(frontier + 1);
+}
+
+std::uint64_t LatestDist::next(Rng& rng) {
+  const std::uint64_t rank = ranks_.next_rank(rng);
+  return frontier_ - rank;
+}
+
+HotspotDist::HotspotDist(std::uint64_t num_keys, double hot_key_fraction,
+                         double hot_op_fraction, std::uint64_t shift_every)
+    : n_(num_keys),
+      hot_op_fraction_(hot_op_fraction),
+      shift_every_(shift_every) {
+  if (n_ == 0) throw std::invalid_argument("HotspotDist: empty key space");
+  hot_width_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(n_) *
+                                    hot_key_fraction));
+}
+
+std::uint64_t HotspotDist::next(Rng& rng) {
+  if (shift_every_ > 0 && draws_ > 0 && draws_ % shift_every_ == 0) {
+    // Attention moved on: the hot range rotates by its own width, so a
+    // soak sees cold claims become hot (and the old hot set go idle —
+    // exactly what the eviction GC and bounded-memory invariant must
+    // absorb).
+    hot_start_ = (hot_start_ + hot_width_) % n_;
+  }
+  ++draws_;
+  if (rng.uniform() < hot_op_fraction_) {
+    return (hot_start_ + rng.below(hot_width_)) % n_;
+  }
+  return rng.below(n_);
+}
+
+std::unique_ptr<KeyDist> make_key_dist(const KeyDistConfig& config) {
+  switch (config.kind) {
+    case KeyDistKind::kUniform:
+      return std::make_unique<UniformDist>(config.num_keys);
+    case KeyDistKind::kZipfian:
+      return std::make_unique<ZipfianDist>(config.num_keys,
+                                           config.zipf_theta,
+                                           config.scramble);
+    case KeyDistKind::kLatest:
+      // Frontier starts at key 0; the synthesizer advances it as claims
+      // are introduced.
+      return std::make_unique<LatestDist>(0, config.zipf_theta);
+    case KeyDistKind::kHotspot:
+      return std::make_unique<HotspotDist>(
+          config.num_keys, config.hotspot_key_fraction,
+          config.hotspot_op_fraction, config.hotspot_shift_every);
+  }
+  throw std::invalid_argument("make_key_dist: unknown kind");
+}
+
+}  // namespace sstd::workload

@@ -1,0 +1,149 @@
+// Key-popularity generators for the soak workload layer (ISSUE 9,
+// DESIGN.md §8): YCSB-style distributions over a claim-id key space,
+// after the `util::Trace` generators in TurboHash and the YCSB core
+// workload package. Every generator is a pure function of (config, Rng
+// stream), so a fixed seed reproduces a byte-identical draw sequence —
+// that determinism is what makes the soak invariants assertable.
+//
+//   uniform  — every key equally likely (the no-skew control)
+//   zipfian  — constant-time Zipf(theta) via the Gray et al. transform
+//              used by YCSB's ZipfianGenerator; optional FNV scramble so
+//              the hot keys scatter across the id space instead of
+//              clustering at 0
+//   latest   — Zipf over recency: mass hugs an advancing frontier (the
+//              "newest claims are hottest" pattern of live events)
+//   hotspot  — a small key range absorbs most operations; the range can
+//              relocate every `shift_every` draws, modeling the paper's
+//              attention shift when a new sub-event erupts mid-trace
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace sstd::workload {
+
+enum class KeyDistKind { kUniform, kZipfian, kLatest, kHotspot };
+
+const char* key_dist_kind_name(KeyDistKind kind);
+
+struct KeyDistConfig {
+  KeyDistKind kind = KeyDistKind::kZipfian;
+  std::uint64_t num_keys = 1;
+  // Zipfian / latest skew exponent (YCSB's default 0.99).
+  double zipf_theta = 0.99;
+  // Scatter zipfian ranks over the key space (YCSB ScrambledZipfian).
+  // Off for rank-frequency shape tests, on for realistic shard spread.
+  bool scramble = true;
+  // Hotspot: `hotspot_key_fraction` of the key space receives
+  // `hotspot_op_fraction` of the draws; every `hotspot_shift_every` draws
+  // the hot range rotates forward by its own width (0 = never shifts).
+  double hotspot_key_fraction = 0.1;
+  double hotspot_op_fraction = 0.9;
+  std::uint64_t hotspot_shift_every = 0;
+};
+
+// Popularity distribution over keys [0, num_keys). Implementations draw
+// all randomness from the caller's Rng, never from hidden state.
+class KeyDist {
+ public:
+  virtual ~KeyDist() = default;
+  virtual std::uint64_t next(Rng& rng) = 0;
+  virtual std::string name() const = 0;
+  // Latest-style distributions track an advancing newest key; others
+  // ignore this.
+  virtual void set_frontier(std::uint64_t /*frontier*/) {}
+};
+
+class UniformDist final : public KeyDist {
+ public:
+  explicit UniformDist(std::uint64_t num_keys);
+  std::uint64_t next(Rng& rng) override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::uint64_t n_;
+};
+
+// Constant-time Zipfian sampler (Gray et al., "Quickly generating
+// billion-record synthetic databases"; the algorithm behind YCSB's
+// ZipfianGenerator). Precomputes zeta(n, theta) once — O(n) at
+// construction, O(1) per draw — and supports growing the key space
+// incrementally, which the latest distribution uses as its frontier
+// advances.
+class ZipfianDist final : public KeyDist {
+ public:
+  ZipfianDist(std::uint64_t num_keys, double theta = 0.99,
+              bool scramble = true);
+  std::uint64_t next(Rng& rng) override;
+  std::string name() const override {
+    return scramble_ ? "zipfian" : "zipfian_ranked";
+  }
+
+  // Extends the key space to `num_keys` (no-op when not larger), reusing
+  // the accumulated zeta prefix so growth is O(delta), not O(n).
+  void grow(std::uint64_t num_keys);
+  std::uint64_t num_keys() const { return n_; }
+
+  // Rank draw before scrambling: 0 is always the hottest key.
+  std::uint64_t next_rank(Rng& rng);
+
+ private:
+  void refresh_constants();
+
+  std::uint64_t n_;
+  double theta_;
+  bool scramble_;
+  double zeta_n_ = 0.0;   // sum_{i=1..n} i^-theta, extended incrementally
+  double zeta_two_ = 0.0; // zeta(2, theta), for the rank-1 shortcut
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// YCSB SkewedLatest: draw a zipfian rank r and return frontier - r, so
+// recently introduced keys dominate. set_frontier(f) admits keys [0, f].
+class LatestDist final : public KeyDist {
+ public:
+  explicit LatestDist(std::uint64_t frontier, double theta = 0.99);
+  std::uint64_t next(Rng& rng) override;
+  std::string name() const override { return "latest"; }
+  void set_frontier(std::uint64_t frontier) override;
+  std::uint64_t frontier() const { return frontier_; }
+
+ private:
+  std::uint64_t frontier_;
+  ZipfianDist ranks_;
+};
+
+// Hotspot with optional mid-run shift. Deterministic: the hot range is a
+// pure function of how many draws have been made.
+class HotspotDist final : public KeyDist {
+ public:
+  HotspotDist(std::uint64_t num_keys, double hot_key_fraction,
+              double hot_op_fraction, std::uint64_t shift_every = 0);
+  std::uint64_t next(Rng& rng) override;
+  std::string name() const override {
+    return shift_every_ > 0 ? "hotspot_shift" : "hotspot";
+  }
+
+  std::uint64_t hot_start() const { return hot_start_; }
+  std::uint64_t hot_width() const { return hot_width_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t hot_width_;
+  double hot_op_fraction_;
+  std::uint64_t shift_every_;
+  std::uint64_t hot_start_ = 0;
+  std::uint64_t draws_ = 0;
+};
+
+std::unique_ptr<KeyDist> make_key_dist(const KeyDistConfig& config);
+
+// FNV-1a 64-bit — the YCSB key scrambler. Exposed for tests and for the
+// synthesizer's per-claim source mixtures.
+std::uint64_t fnv1a64(std::uint64_t value);
+
+}  // namespace sstd::workload

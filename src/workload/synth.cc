@@ -1,0 +1,199 @@
+#include "workload/synth.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sstd::workload {
+
+namespace {
+
+constexpr IntervalIndex kUntouched = std::numeric_limits<IntervalIndex>::min();
+
+// Domain-separation salts for the pure-hash truth process.
+constexpr std::uint64_t kInitialTruthSalt = 0x7472757468303031ULL;
+constexpr std::uint64_t kFlipSalt = 0x666c697073616c74ULL;
+constexpr std::uint64_t kRegularSourceSalt = 0x7265677372637273ULL;
+
+// Stateless mix of (salt, a, b) to a uniform double in [0, 1).
+double hash_u01(std::uint64_t salt, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = salt ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                        (b * 0xc2b2ae3d27d4eb4fULL);
+  (void)splitmix64(state);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ReportSynthesizer::ReportSynthesizer(WorkloadConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.num_claims == 0) {
+    throw std::invalid_argument("ReportSynthesizer: empty claim space");
+  }
+  if (config_.num_claims >
+      static_cast<std::uint64_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument("ReportSynthesizer: claim ids are 32-bit");
+  }
+  config_.dist.num_keys = config_.num_claims;
+  dist_ = make_key_dist(config_.dist);
+
+  if (config_.dist.kind != KeyDistKind::kLatest &&
+      config_.load_reports_per_interval > 0) {
+    load_intervals_ = static_cast<IntervalIndex>(
+        (config_.num_claims + config_.load_reports_per_interval - 1) /
+        config_.load_reports_per_interval);
+  }
+  if (config_.frontier_per_interval == 0) {
+    config_.frontier_per_interval = config_.reports_per_interval;
+  }
+
+  // Background population: the scenario's calibrated strata, resized to
+  // the workload's source count (sources are exchangeable).
+  trace::ScenarioConfig profile = config_.source_profile;
+  profile.num_sources = config_.num_sources;
+  Rng population_rng(config_.seed ^ 0x736f75726365ULL);
+  trace::SourcePopulation population =
+      trace::sample_source_population(profile, population_rng);
+  source_accuracy_ = std::move(population.accuracy);
+  background_sources_.reset(population.activity);
+
+  truth_state_.assign(config_.num_claims, 0);
+  truth_k_.assign(config_.num_claims, kUntouched);
+  last_attitude_.assign(config_.num_claims, 0);
+  touched_bits_.assign((config_.num_claims + 63) / 64, 0);
+}
+
+bool ReportSynthesizer::truth_at(std::uint64_t claim, IntervalIndex k) {
+  IntervalIndex from = truth_k_[claim];
+  std::uint8_t state = truth_state_[claim];
+  if (from == kUntouched) {
+    state = hash_u01(kInitialTruthSalt, config_.seed, claim) < 0.5 ? 0 : 1;
+    from = 0;
+  }
+  // Flip coins are per-(claim, interval) hashes, so the walk lands on the
+  // same state no matter how many touches it took to get here.
+  for (IntervalIndex i = from + 1; i <= k; ++i) {
+    if (hash_u01(kFlipSalt ^ config_.seed, claim,
+                 static_cast<std::uint64_t>(i)) < config_.flip_probability) {
+      state = static_cast<std::uint8_t>(1 - state);
+    }
+  }
+  truth_state_[claim] = state;
+  truth_k_[claim] = std::max(from, k);
+  return state != 0;
+}
+
+void ReportSynthesizer::touch(std::uint64_t claim) {
+  std::uint64_t& word = touched_bits_[claim / 64];
+  const std::uint64_t bit = 1ULL << (claim % 64);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++claims_touched_;
+  }
+}
+
+SourceId ReportSynthesizer::pick_source(std::uint64_t claim) {
+  if (config_.regular_sources_per_claim > 0 &&
+      rng_.bernoulli(config_.regular_fraction)) {
+    const auto idx = rng_.below(
+        static_cast<std::uint64_t>(config_.regular_sources_per_claim));
+    const std::uint64_t regular =
+        fnv1a64(kRegularSourceSalt ^ (claim * 0x9e3779b97f4a7c15ULL) ^ idx) %
+        config_.num_sources;
+    return SourceId{static_cast<std::uint32_t>(regular)};
+  }
+  return SourceId{
+      static_cast<std::uint32_t>(background_sources_.sample(rng_))};
+}
+
+Report ReportSynthesizer::make_report(std::uint64_t claim, IntervalIndex k,
+                                      TimestampMs t) {
+  touch(claim);
+  ++reports_generated_;
+
+  Report r;
+  r.claim = ClaimId{static_cast<std::uint32_t>(claim)};
+  r.source = pick_source(claim);
+  r.time_ms = t;
+
+  if (rng_.bernoulli(config_.neutral_probability)) {
+    r.attitude = 0;  // no extractable stance; CS = 0
+    r.uncertainty = rng_.uniform(0.0, 0.5);
+    r.independence = rng_.uniform(0.85, 1.0);
+    return r;
+  }
+
+  const bool hedged = rng_.bernoulli(config_.hedge_probability);
+  r.uncertainty = hedged ? rng_.uniform(0.45, 0.9) : rng_.uniform(0.0, 0.25);
+
+  const bool echoed = last_attitude_[claim] != 0 &&
+                      rng_.bernoulli(config_.retweet_probability);
+  if (echoed) {
+    r.attitude = last_attitude_[claim];
+    r.independence = rng_.uniform(0.1, 0.35);
+  } else {
+    const bool truth_now = truth_at(claim, k);
+    double accuracy = source_accuracy_[r.source.value];
+    if (hedged) {
+      accuracy =
+          std::max(accuracy - config_.hedge_accuracy_penalty, 0.05);
+    }
+    const bool correct = rng_.bernoulli(accuracy);
+    r.attitude = (correct == truth_now) ? 1 : -1;
+    r.independence = rng_.uniform(0.85, 1.0);
+    last_attitude_[claim] = r.attitude;
+  }
+  return r;
+}
+
+void ReportSynthesizer::generate_interval(IntervalIndex k,
+                                          std::vector<Report>* out) {
+  if (k != next_interval_) {
+    throw std::logic_error(
+        "ReportSynthesizer: intervals must be generated sequentially");
+  }
+  ++next_interval_;
+  out->clear();
+
+  const TimestampMs start = static_cast<TimestampMs>(k) * config_.interval_ms;
+
+  if (k < load_intervals_) {
+    // Load phase: sweep the id space, one seeding report per claim.
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(k) * config_.load_reports_per_interval;
+    const std::uint64_t last = std::min(
+        config_.num_claims, first + config_.load_reports_per_interval);
+    const std::uint64_t count = last - first;
+    out->reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const TimestampMs t =
+          start + static_cast<TimestampMs>(
+                      (static_cast<std::uint64_t>(config_.interval_ms) * i) /
+                      std::max<std::uint64_t>(1, count));
+      out->push_back(make_report(first + i, k, t));
+    }
+    return;
+  }
+
+  if (config_.dist.kind == KeyDistKind::kLatest) {
+    // Claims publish continuously; popularity hugs the frontier.
+    const std::uint64_t frontier = std::min<std::uint64_t>(
+        config_.num_claims - 1,
+        static_cast<std::uint64_t>(k - load_intervals_ + 1) *
+                config_.frontier_per_interval -
+            1);
+    dist_->set_frontier(frontier);
+  }
+
+  const std::uint64_t count = config_.reports_per_interval;
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const TimestampMs t =
+        start + static_cast<TimestampMs>(
+                    (static_cast<std::uint64_t>(config_.interval_ms) * i) /
+                    std::max<std::uint64_t>(1, count));
+    out->push_back(make_report(dist_->next(rng_), k, t));
+  }
+}
+
+}  // namespace sstd::workload

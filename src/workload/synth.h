@@ -1,0 +1,133 @@
+// Report-stream synthesizer for the soak harness (ISSUE 9, DESIGN.md §8):
+// maps key-popularity draws (workload/keydist.h) onto a 1M+ claim-id space
+// and renders each draw as a full scored Report — per-claim source
+// mixtures, hash-evolved latent truth, hedging/retweet semantics matching
+// the paper-scale trace generator (src/trace).
+//
+// Unlike TraceGenerator, which materializes a whole Dataset up front, the
+// synthesizer streams: generate_interval(k) produces interval k's reports
+// on demand with O(active) memory, so a soak can push tens of millions of
+// reports over millions of claims without holding them. Determinism
+// contract: a fixed WorkloadConfig (seed included) yields a byte-identical
+// report stream, and the latent truth of (claim, interval) is a pure hash
+// — independent of draw order — so crash/recovery replays see the same
+// world.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "trace/generator.h"
+#include "trace/scenario.h"
+#include "util/discrete_distribution.h"
+#include "util/rng.h"
+#include "workload/keydist.h"
+
+namespace sstd::workload {
+
+struct WorkloadConfig {
+  // Workload label threaded into BENCH_*.json provenance.
+  std::string name = "zipfian";
+  std::uint64_t seed = 20260808;
+
+  // Claim-id key space. The load phase (below) sweeps all of it once, so
+  // "claims touched" covers the space even under heavy skew.
+  std::uint64_t num_claims = 1'000'000;
+
+  // Popularity of run-phase draws. `dist.num_keys` is overridden with
+  // `num_claims`.
+  KeyDistConfig dist;
+
+  // Traffic cadence. Keep reports_per_interval < interval_ms so report
+  // timestamps stay strictly increasing within an interval.
+  std::uint64_t reports_per_interval = 20'000;
+  TimestampMs interval_ms = 60'000;
+
+  // YCSB-style load phase: the first ceil(num_claims / this) intervals
+  // seed every claim id with one report, in id order. 0 disables the load
+  // phase. Ignored (forced 0) for the latest distribution, whose frontier
+  // introduces claims continuously instead.
+  std::uint64_t load_reports_per_interval = 0;
+
+  // Latest distribution: claims enter the world at this rate; popularity
+  // hugs the advancing frontier. Defaults to reports_per_interval when 0.
+  std::uint64_t frontier_per_interval = 0;
+
+  // Latent truth dynamics: per-(claim, interval) flip coin, evaluated by
+  // hash so truth is a pure function of (seed, claim, interval).
+  double flip_probability = 0.02;
+
+  // Report semantics, matching trace::ScenarioConfig's knobs.
+  double hedge_probability = 0.25;
+  double neutral_probability = 0.03;
+  double retweet_probability = 0.35;
+  double hedge_accuracy_penalty = 0.18;
+
+  // Per-claim source mixture: each claim has `regular_sources_per_claim`
+  // dedicated regulars (derived from the claim id by hash); a report comes
+  // from one of them with probability `regular_fraction`, otherwise from
+  // the heavy-tailed background population.
+  int regular_sources_per_claim = 4;
+  double regular_fraction = 0.5;
+
+  // Background source population, sampled through the shared
+  // trace::sample_source_population strata (generator reuse).
+  std::uint32_t num_sources = 200'000;
+  trace::ScenarioConfig source_profile = trace::boston_bombing();
+};
+
+class ReportSynthesizer {
+ public:
+  explicit ReportSynthesizer(WorkloadConfig config);
+
+  const WorkloadConfig& config() const { return config_; }
+
+  // Fills `out` with interval k's reports, timestamps ascending within
+  // [k*interval_ms, (k+1)*interval_ms). Intervals must be requested
+  // strictly sequentially from 0 (the generator consumes one Rng stream);
+  // out-of-order requests throw.
+  void generate_interval(IntervalIndex k, std::vector<Report>* out);
+
+  // Load-phase length in intervals (0 when no load phase).
+  IntervalIndex load_intervals() const { return load_intervals_; }
+
+  // Distinct claim ids emitted so far.
+  std::uint64_t claims_touched() const { return claims_touched_; }
+  std::uint64_t reports_generated() const { return reports_generated_; }
+
+  // Latent truth of (claim, k) — pure hash evolution, exposed for tests.
+  bool truth_at(std::uint64_t claim, IntervalIndex k);
+
+ private:
+  Report make_report(std::uint64_t claim, IntervalIndex k, TimestampMs t);
+  SourceId pick_source(std::uint64_t claim);
+  void touch(std::uint64_t claim);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::unique_ptr<KeyDist> dist_;
+  IntervalIndex load_intervals_ = 0;
+  IntervalIndex next_interval_ = 0;
+
+  // Background source population (shared strata with TraceGenerator).
+  std::vector<double> source_accuracy_;
+  DiscreteDistribution background_sources_;
+
+  // Lazy per-claim truth cache: state at interval truth_k_[claim]
+  // (INT32_MIN = untouched). Advancing is O(elapsed intervals) per touch.
+  std::vector<std::uint8_t> truth_state_;
+  std::vector<IntervalIndex> truth_k_;
+
+  // Retweet cascades echo the claim's last organic attitude.
+  std::vector<std::int8_t> last_attitude_;
+
+  // Distinct-claims bitmap (num_claims bits).
+  std::vector<std::uint64_t> touched_bits_;
+  std::uint64_t claims_touched_ = 0;
+  std::uint64_t reports_generated_ = 0;
+};
+
+}  // namespace sstd::workload

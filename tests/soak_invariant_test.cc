@@ -1,0 +1,341 @@
+// Soak invariants (ISSUE 9, DESIGN.md §8), deterministically and in
+// seconds: the same synthesized workload pushed through the full
+// SstdSystem runtime must render identical final claim decisions across
+// (a) two identical runs, (b) a bulk-ingest vs per-report ingest run,
+// (c) a crash-kill + WAL/snapshot recovery run, and (d) a node restart
+// (kill + recover()) mid-soak. Plus unit coverage of the SoakMonitor's
+// pure series evaluation — the assertion engine behind bench_soak.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/soak.h"
+#include "sstd/system.h"
+#include "workload/synth.h"
+
+namespace sstd {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr IntervalIndex kIntervals = 12;
+
+workload::WorkloadConfig soak_workload() {
+  workload::WorkloadConfig wc;
+  wc.seed = 77;
+  wc.num_claims = 2'000;
+  wc.reports_per_interval = 600;
+  wc.load_reports_per_interval = 1'000;  // 2 load intervals
+  wc.num_sources = 500;
+  return wc;
+}
+
+SstdSystem::Config soak_system(const std::string& durable_dir = "") {
+  SstdSystem::Config config;
+  config.workers = 2;
+  config.num_jobs = 3;
+  config.interval_deadline_s = 30.0;
+  config.sstd.refit_every = 4;
+  config.sstd.warmup_intervals = 2;
+  config.sstd.evict_after_idle_intervals = 4;
+  if (!durable_dir.empty()) {
+    config.durability.dir = durable_dir;
+    config.durability.snapshot_every = 3;
+  }
+  return config;
+}
+
+std::string scratch_dir(const std::string& tag) {
+  return (fs::temp_directory_path() / ("sstd_soak_invariant_" + tag))
+      .string();
+}
+
+std::vector<std::int8_t> final_estimates(const SstdSystem& system,
+                                         std::uint64_t num_claims) {
+  std::vector<std::int8_t> out(num_claims);
+  for (std::uint64_t c = 0; c < num_claims; ++c) {
+    out[c] = system.estimate(ClaimId{static_cast<std::uint32_t>(c)});
+  }
+  return out;
+}
+
+// Drives `system` through the whole soak via ingest_batch.
+std::vector<std::int8_t> run_soak(SstdSystem& system,
+                                  const workload::WorkloadConfig& wc) {
+  workload::ReportSynthesizer synth(wc);
+  std::vector<Report> batch;
+  for (IntervalIndex k = 0; k < kIntervals; ++k) {
+    synth.generate_interval(k, &batch);
+    system.ingest_batch(batch);
+    system.end_interval(k);
+  }
+  return final_estimates(system, wc.num_claims);
+}
+
+TEST(SoakInvariant, IdenticalRunsRenderIdenticalDecisions) {
+  const workload::WorkloadConfig wc = soak_workload();
+  SstdSystem a(soak_system(), wc.interval_ms);
+  SstdSystem b(soak_system(), wc.interval_ms);
+  const auto ea = run_soak(a, wc);
+  const auto eb = run_soak(b, wc);
+  ASSERT_EQ(ea, eb);
+  // The soak actually decided things: some claims hold non-trivial
+  // estimates, and the idle GC evicted others back to kNoEstimate.
+  int decided = 0, undecided = 0;
+  for (const std::int8_t e : ea) {
+    (e == kNoEstimate ? undecided : decided)++;
+  }
+  EXPECT_GT(decided, 0);
+  EXPECT_GT(undecided, 0);
+}
+
+TEST(SoakInvariant, BatchIngestMatchesPerReportIngest) {
+  const workload::WorkloadConfig wc = soak_workload();
+  SstdSystem batched(soak_system(), wc.interval_ms);
+  SstdSystem single(soak_system(), wc.interval_ms);
+
+  workload::ReportSynthesizer synth_a(wc);
+  workload::ReportSynthesizer synth_b(wc);
+  std::vector<Report> batch;
+  for (IntervalIndex k = 0; k < kIntervals; ++k) {
+    synth_a.generate_interval(k, &batch);
+    batched.ingest_batch(batch);
+    batched.end_interval(k);
+
+    synth_b.generate_interval(k, &batch);
+    for (const Report& r : batch) single.ingest(r);
+    single.end_interval(k);
+  }
+  EXPECT_EQ(batched.metrics().reports_ingested,
+            single.metrics().reports_ingested);
+  EXPECT_EQ(final_estimates(batched, wc.num_claims),
+            final_estimates(single, wc.num_claims));
+}
+
+TEST(SoakInvariant, BackpressureStatsTrackTheLastInterval) {
+  const workload::WorkloadConfig wc = soak_workload();
+  SstdSystem system(soak_system(), wc.interval_ms);
+  workload::ReportSynthesizer synth(wc);
+  std::vector<Report> batch;
+  synth.generate_interval(0, &batch);
+  const std::uint64_t count = batch.size();
+  system.ingest_batch(batch);
+  system.end_interval(0);
+
+  const SstdSystem::BackpressureStats bp = system.backpressure();
+  EXPECT_EQ(bp.last_interval_reports, count);
+  EXPECT_GT(bp.max_shard_backlog, 0u);
+  EXPECT_LE(bp.max_shard_backlog, count);
+  EXPECT_GT(bp.last_interval_s, 0.0);
+  EXPECT_GT(bp.last_interval_reports_per_s, 0.0);
+}
+
+TEST(SoakInvariant, CrashKillRecoveryMatchesFaultFreeRun) {
+  const workload::WorkloadConfig wc = soak_workload();
+
+  SstdSystem fault_free(soak_system(), wc.interval_ms);
+  const auto expected = run_soak(fault_free, wc);
+
+  const std::string dir = scratch_dir("chaos");
+  fs::remove_all(dir);
+  SstdSystem::Config chaos_config = soak_system(dir);
+  // Kill the refitting shard twice at the second refit round (k=7); the
+  // retry budget covers both kills plus the clean pass, and the shard
+  // rebuilds from snapshot + WAL suffix.
+  chaos_config.fault_plan.crash_kill_during_refit(7, 2);
+  chaos_config.shard_task_retries = 4;
+  SstdSystem chaos(chaos_config, wc.interval_ms);
+  const auto recovered = run_soak(chaos, wc);
+  fs::remove_all(dir);
+
+  EXPECT_EQ(recovered, expected);
+  // The kills really happened: the master retried the crash-killed tasks.
+  EXPECT_GT(chaos.queue().stats().retries, 0u);
+}
+
+TEST(SoakInvariant, NodeRestartMidSoakMatchesContinuousRun) {
+  const workload::WorkloadConfig wc = soak_workload();
+
+  const std::string dir_a = scratch_dir("continuous");
+  fs::remove_all(dir_a);
+  SstdSystem continuous(soak_system(dir_a), wc.interval_ms);
+  const auto expected = run_soak(continuous, wc);
+
+  // Same soak, but the node dies after interval 5 and a fresh process
+  // recovers from the durable directory before resuming.
+  const std::string dir_b = scratch_dir("restart");
+  fs::remove_all(dir_b);
+  constexpr IntervalIndex kRestartAt = 6;
+  workload::ReportSynthesizer synth(wc);
+  std::vector<Report> batch;
+  {
+    SstdSystem before(soak_system(dir_b), wc.interval_ms);
+    for (IntervalIndex k = 0; k < kRestartAt; ++k) {
+      synth.generate_interval(k, &batch);
+      before.ingest_batch(batch);
+      before.end_interval(k);
+    }
+  }
+  SstdSystem after(soak_system(dir_b), wc.interval_ms);
+  const auto result = after.recover();
+  EXPECT_EQ(result.next_interval, kRestartAt);
+  for (IntervalIndex k = kRestartAt; k < kIntervals; ++k) {
+    synth.generate_interval(k, &batch);
+    after.ingest_batch(batch);
+    after.end_interval(k);
+  }
+  const auto resumed = final_estimates(after, wc.num_claims);
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+
+  EXPECT_EQ(resumed, expected);
+}
+
+// --- SoakMonitor series evaluation (the bench's assertion engine) -------
+
+obs::SoakSample sample_at(std::size_t i, std::uint64_t rss,
+                          double p95 = 0.05, std::uint64_t trace_drops = 0,
+                          std::uint64_t prov_drops = 0) {
+  obs::SoakSample s;
+  s.wall_s = static_cast<double>(i);
+  s.rss_bytes = rss;
+  s.reports_ingested = (i + 1) * 10'000;
+  s.staleness_p50 = p95 / 2;
+  s.staleness_p95 = p95;
+  s.staleness_p99 = p95 * 1.5;
+  s.trace_dropped_spans = trace_drops;
+  s.provenance_dropped_records = prov_drops;
+  return s;
+}
+
+obs::SoakLimits tight_limits() {
+  obs::SoakLimits limits;
+  limits.max_rss_growth_ratio = 0.35;
+  limits.rss_slack_bytes = 16ull << 20;
+  limits.staleness_slo_s = 1.0;
+  limits.warmup_samples = 2;
+  return limits;
+}
+
+TEST(SoakMonitorSeries, FlatHealthySeriesPasses) {
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 20; ++i) {
+    series.push_back(sample_at(i, (100 + i % 3) << 20, 0.05, i * 100,
+                               i * 50));
+  }
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, tight_limits());
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front().detail);
+  EXPECT_EQ(report.baseline_rss_bytes, 102ull << 20);
+  EXPECT_GE(report.peak_rss_bytes, report.baseline_rss_bytes);
+}
+
+TEST(SoakMonitorSeries, UnboundedRssGrowthFlagged) {
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 20; ++i) {
+    // 100 MiB baseline, +8 MiB per sample: a leak, not noise.
+    series.push_back(sample_at(i, (100ull + 8 * i) << 20));
+  }
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, tight_limits());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "bounded-rss");
+}
+
+TEST(SoakMonitorSeries, WarmupGrowthIsForgiven) {
+  std::vector<obs::SoakSample> series;
+  // The load sweep triples RSS before warmup_samples ends; steady after.
+  series.push_back(sample_at(0, 50ull << 20));
+  series.push_back(sample_at(1, 150ull << 20));
+  for (std::size_t i = 2; i < 15; ++i) {
+    series.push_back(sample_at(i, 152ull << 20));
+  }
+  EXPECT_TRUE(
+      obs::SoakMonitor::evaluate_series(series, tight_limits()).ok());
+}
+
+TEST(SoakMonitorSeries, AbsoluteRssCapFlagged) {
+  obs::SoakLimits limits = tight_limits();
+  limits.max_rss_bytes = 120ull << 20;
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 10; ++i) {
+    series.push_back(sample_at(i, 110ull << 20));
+  }
+  EXPECT_TRUE(obs::SoakMonitor::evaluate_series(series, limits).ok());
+  series.push_back(sample_at(10, 130ull << 20));
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, limits);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "bounded-rss");
+}
+
+TEST(SoakMonitorSeries, StalenessSloBreachFlagged) {
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 10; ++i) {
+    series.push_back(sample_at(i, 100ull << 20, /*p95=*/2.5));
+  }
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, tight_limits());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "staleness-slo");
+}
+
+TEST(SoakMonitorSeries, EmptyHistogramWithTrafficFlagged) {
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 10; ++i) {
+    obs::SoakSample s = sample_at(i, 100ull << 20);
+    s.staleness_p50 = s.staleness_p95 = s.staleness_p99 =
+        std::numeric_limits<double>::quiet_NaN();
+    series.push_back(s);
+  }
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, tight_limits());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "staleness-slo");
+
+  // But an idle soak (no reports at all) has nothing to measure.
+  for (auto& s : series) s.reports_ingested = 0;
+  EXPECT_TRUE(
+      obs::SoakMonitor::evaluate_series(series, tight_limits()).ok());
+}
+
+TEST(SoakMonitorSeries, GrowingDropRateFlagged) {
+  std::vector<obs::SoakSample> series;
+  std::uint64_t drops = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    // Drops per report accelerate: i^2 growth while reports grow linearly.
+    drops += i * i * 10;
+    series.push_back(sample_at(i, 100ull << 20, 0.05, drops));
+  }
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series(series, tight_limits());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "drop-rate-growth");
+}
+
+TEST(SoakMonitorSeries, ConstantDropRatePasses) {
+  std::vector<obs::SoakSample> series;
+  for (std::size_t i = 0; i < 24; ++i) {
+    // A full ring drops at a steady clip — bounded, not growing.
+    series.push_back(
+        sample_at(i, 100ull << 20, 0.05, i * 5'000, i * 2'000));
+  }
+  EXPECT_TRUE(
+      obs::SoakMonitor::evaluate_series(series, tight_limits()).ok());
+}
+
+TEST(SoakMonitorSeries, EmptySeriesIsItsOwnViolation) {
+  const obs::SoakReport report =
+      obs::SoakMonitor::evaluate_series({}, tight_limits());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().invariant, "no-samples");
+}
+
+}  // namespace
+}  // namespace sstd
