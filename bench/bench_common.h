@@ -10,9 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "baselines/baselines.h"
 #include "core/metrics.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sstd/batch.h"
 #include "trace/generator.h"
 #include "util/csv.h"
@@ -145,6 +150,59 @@ inline std::string run_metadata_json(const RunProvenance& prov = {}) {
   out += std::to_string(prov.num_reports);
   out += "}";
   return out;
+}
+
+// --profile support (ISSUE 10): the top-k cost centers by self wall time
+// from the global phase cost tree, with percentages of total attributed
+// self time, as a JSON object for embedding into BENCH_*.json artifacts.
+// Includes the profiler's sample/drop counters when it ran.
+inline std::string cost_profile_json(std::size_t top_k = 8) {
+  const obs::CostTreeSnapshot snap = obs::CostRegistry::global().snapshot();
+  std::vector<obs::CostNodeSnapshot> nodes = snap.nodes;
+  std::sort(nodes.begin(), nodes.end(),
+            [](const obs::CostNodeSnapshot& a, const obs::CostNodeSnapshot& b) {
+              return a.self_wall_s > b.self_wall_s;
+            });
+  if (nodes.size() > top_k) nodes.resize(top_k);
+  const double total_self = snap.total_self_wall_s();
+  char buffer[256];
+  std::string out = "{";
+  std::snprintf(buffer, sizeof(buffer), "\"total_self_wall_s\": %.6f", total_self);
+  out += buffer;
+  const obs::CpuProfiler& prof = obs::CpuProfiler::global();
+  std::snprintf(buffer, sizeof(buffer),
+                ", \"prof_supported\": %s, \"prof_samples\": %llu, "
+                "\"prof_dropped_samples\": %llu",
+                obs::CpuProfiler::supported() ? "true" : "false",
+                static_cast<unsigned long long>(prof.samples_captured()),
+                static_cast<unsigned long long>(prof.samples_dropped()));
+  out += buffer;
+  out += ", \"top_cost_centers\": [";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const obs::CostNodeSnapshot& n = nodes[i];
+    const double pct = total_self > 0.0 ? 100.0 * n.self_wall_s / total_self : 0.0;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"path\": \"%s\", \"self_wall_s\": %.6f, "
+                  "\"total_wall_s\": %.6f, \"count\": %llu, "
+                  "\"pct_self\": %.2f}",
+                  i > 0 ? ", " : "", n.path.c_str(), n.self_wall_s,
+                  n.total_wall_s, static_cast<unsigned long long>(n.count),
+                  pct);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+// Writes folded stacks next to the JSON artifacts; returns the path (or
+// "" when there was nothing to write).
+inline std::string write_folded_stacks(const std::string& bench_name,
+                                       const std::string& folded) {
+  if (folded.empty()) return "";
+  const std::string path = results_path("PROFILE_" + bench_name + ".folded");
+  std::ofstream out(path);
+  out << folded;
+  return path;
 }
 
 // Machine-readable run summary: bench_results/BENCH_<name>.json with run

@@ -107,7 +107,7 @@ EngineThroughput measure_engine(HmmEngine engine, double budget_s) {
 }
 
 void emit_engine_json(const std::vector<EngineThroughput>& engines,
-                      double speedup) {
+                      double speedup, const std::string& profile_json) {
   // Kernel bench over one synthetic 100-symbol claim series (seed 1 in
   // random_symbols above) — provenance names that shape, not a trace.
   bench::RunProvenance prov;
@@ -127,8 +127,11 @@ void emit_engine_json(const std::vector<EngineThroughput>& engines,
         << ", \"decodes_per_sec\": " << e.decodes_per_sec << "}"
         << (i + 1 < engines.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"speedup_refits_scaled_vs_logspace\": " << speedup
-      << "\n}\n";
+  out << "  ],\n  \"speedup_refits_scaled_vs_logspace\": " << speedup;
+  if (!profile_json.empty()) {
+    out << ",\n  \"profile\": " << profile_json;
+  }
+  out << "\n}\n";
 }
 
 // Smoke self-validation: the emitted file must exist, look like a JSON
@@ -159,17 +162,39 @@ bool validate_engine_json() {
 
 // Runs the dual-engine comparison, emits + validates the JSON. Returns
 // false only on a malformed artifact (throughput itself is reported, not
-// gated: CI machines vary).
-bool run_engine_comparison(bool smoke) {
+// gated: CI machines vary). With `profile`, the sampling profiler runs
+// across the measurement, folded stacks land in
+// bench_results/PROFILE_micro_hmm.folded, and the top-k cost centers are
+// embedded into the JSON (ISSUE 10).
+bool run_engine_comparison(bool smoke, bool profile) {
   const double budget_s = smoke ? 0.4 : 2.0;
+  if (profile) {
+    obs::CostRegistry::global().reset();
+    obs::CpuProfiler::register_current_thread();
+    std::string prof_error;
+    if (!obs::CpuProfiler::global().start({}, &prof_error)) {
+      std::fprintf(stderr, "profiler not armed: %s\n", prof_error.c_str());
+    }
+  }
   std::vector<EngineThroughput> engines;
   engines.push_back(measure_engine(HmmEngine::kScaled, budget_s));
   engines.push_back(measure_engine(HmmEngine::kLogSpace, budget_s));
+  std::string profile_json;
+  if (profile) {
+    obs::CpuProfiler& prof = obs::CpuProfiler::global();
+    if (prof.running()) {
+      prof.stop();
+      const std::string path =
+          bench::write_folded_stacks("micro_hmm", prof.collect_folded());
+      if (!path.empty()) std::printf("folded stacks: %s\n", path.c_str());
+    }
+    profile_json = bench::cost_profile_json();
+  }
   const double speedup =
       engines[1].refits_per_sec > 0.0
           ? engines[0].refits_per_sec / engines[1].refits_per_sec
           : 0.0;
-  emit_engine_json(engines, speedup);
+  emit_engine_json(engines, speedup, profile_json);
 
   for (const auto& e : engines) {
     std::printf("engine=%-8s refits/sec=%10.1f decodes/sec=%10.1f\n",
@@ -319,17 +344,20 @@ BENCHMARK(BM_QuantizeSeries);
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool profile = false;
   std::vector<char*> bench_args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
       bench_args.push_back(argv[i]);
     }
   }
 
   std::filesystem::create_directories("bench_results");
-  const bool ok = sstd::run_engine_comparison(smoke);
+  const bool ok = sstd::run_engine_comparison(smoke, profile);
   if (smoke) return ok ? 0 : 1;
 
   int bench_argc = static_cast<int>(bench_args.size());

@@ -1,0 +1,241 @@
+// Profiler-overhead bench (ISSUE 10, DESIGN.md §5e): what does the
+// sampling CPU profiler cost the streaming runtime while armed? Drives
+// the same SstdSystem workload with the profiler off and armed at the
+// default rate (97 Hz) and compares report/refit throughput. The
+// acceptance bar is <=3% throughput overhead with sampling on.
+//
+// Results land in bench_results/BENCH_prof_overhead.json with
+// build-provenance metadata. `--smoke` runs a scaled-down sweep (< 5 s)
+// and self-validates the emitted JSON — wired into ctest under the
+// bench_smoke label. Under sanitizer builds the profiler refuses to arm
+// (SSTD_PROF_DISABLED); the bench still runs both modes and reports
+// prof_supported=false with ~0 overhead, keeping the ctest wiring green.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sstd/system.h"
+#include "trace/generator.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace sstd {
+namespace {
+
+struct ModePoint {
+  bool profiled = false;
+  double wall_s = 0.0;
+  std::uint64_t reports = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+
+  double reports_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(reports) / wall_s : 0.0;
+  }
+  double refits_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(refits) / wall_s : 0.0;
+  }
+};
+
+// One full streaming run of `data`, optionally with the sampling
+// profiler armed for the duration. Throughput is the metric sampling
+// must not tax.
+ModePoint measure(const Dataset& data, bool profiled,
+                  const obs::CpuProfilerConfig& prof_config) {
+  SstdSystem::Config config;
+  config.workers = 4;
+  config.num_jobs = 8;
+  config.interval_deadline_s = 10.0;
+  config.sstd.refit_every = 1;  // refit-dominated: samples land in hot code
+  config.sstd.warmup_intervals = 1;
+  SstdSystem system(config, data.interval_ms());
+
+  obs::Counter* refit_counter =
+      obs::MetricsRegistry::global().counter("stream.refits");
+  const std::uint64_t refits_before = refit_counter->value();
+
+  ModePoint point;
+  point.profiled = profiled;
+  bool armed = false;
+  if (profiled && obs::CpuProfiler::supported()) {
+    obs::CpuProfiler::register_current_thread();
+    std::string error;
+    armed = obs::CpuProfiler::global().start(prof_config, &error);
+    if (!armed) {
+      std::fprintf(stderr, "prof_overhead: profiler unavailable: %s\n",
+                   error.c_str());
+    }
+  }
+  const std::uint64_t samples_before =
+      obs::CpuProfiler::global().samples_captured();
+  const std::uint64_t dropped_before =
+      obs::CpuProfiler::global().samples_dropped();
+
+  const auto& reports = data.reports();
+  std::size_t next = 0;
+  Stopwatch watch;
+  for (IntervalIndex k = 0; k < data.intervals(); ++k) {
+    const TimestampMs end =
+        static_cast<TimestampMs>(k + 1) * data.interval_ms();
+    while (next < reports.size() && reports[next].time_ms < end) {
+      system.ingest(reports[next]);
+      ++next;
+    }
+    system.end_interval(k);
+  }
+  point.wall_s = watch.elapsed_seconds();
+
+  if (armed) {
+    obs::CpuProfiler::global().stop();
+    // Drain the window's rings so per-rep sample counts are attributed
+    // (and the folded output at the end covers every rep).
+    (void)obs::CpuProfiler::global().collect_folded();
+  }
+  point.reports = system.metrics().reports_ingested;
+  point.refits = refit_counter->value() - refits_before;
+  point.samples =
+      obs::CpuProfiler::global().samples_captured() - samples_before;
+  point.dropped =
+      obs::CpuProfiler::global().samples_dropped() - dropped_before;
+  return point;
+}
+
+void emit_json(const std::vector<ModePoint>& modes, double overhead_pct,
+               bool measurable, int hz, const bench::RunProvenance& prov) {
+  std::ofstream out(bench::results_path("BENCH_prof_overhead.json"));
+  out << "{\n  \"bench\": \"prof_overhead\",\n  \"meta\": "
+      << bench::run_metadata_json(prov) << ",\n  \"prof_supported\": "
+      << (obs::CpuProfiler::supported() ? "true" : "false")
+      << ",\n  \"prof_hz\": " << hz << ",\n  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModePoint& m = modes[i];
+    out << "    {\"profiled\": " << (m.profiled ? "true" : "false")
+        << ", \"wall_s\": " << m.wall_s << ", \"reports\": " << m.reports
+        << ", \"reports_per_sec\": " << m.reports_per_sec()
+        << ", \"refits\": " << m.refits
+        << ", \"refits_per_sec\": " << m.refits_per_sec()
+        << ", \"samples\": " << m.samples << ", \"dropped\": " << m.dropped
+        << "}" << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overhead_measurable\": " << (measurable ? "true" : "false")
+      << ",\n  \"profiler_overhead_pct\": " << overhead_pct << "\n}\n";
+}
+
+// Smoke self-validation: the artifact exists, is JSON-shaped, covers the
+// off/armed modes and carries the headline overhead number.
+bool validate_json() {
+  std::ifstream in(bench::results_path("BENCH_prof_overhead.json"));
+  if (!in.good()) {
+    std::fprintf(stderr, "BENCH_prof_overhead.json missing\n");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  const bool shaped =
+      !json.empty() && json.front() == '{' &&
+      json.find("\"profiled\": false") != std::string::npos &&
+      json.find("\"profiled\": true") != std::string::npos &&
+      json.find("\"reports_per_sec\": ") != std::string::npos &&
+      json.find("\"prof_hz\": ") != std::string::npos &&
+      json.find("\"overhead_measurable\": ") != std::string::npos &&
+      json.find("\"profiler_overhead_pct\": ") != std::string::npos &&
+      json.rfind('}') > json.find('{');
+  if (!shaped) {
+    std::fprintf(stderr, "BENCH_prof_overhead.json malformed:\n%s\n",
+                 json.c_str());
+  }
+  return shaped;
+}
+
+int run(bool smoke) {
+  trace::TraceGenerator generator(trace::tiny(
+      trace::boston_bombing(), smoke ? 8'000 : 240'000, smoke ? 10 : 200));
+  const Dataset data = generator.generate();
+
+  const obs::CpuProfilerConfig prof_config;  // default 97 Hz
+
+  // Interleaved reps (off, armed, off, …) accumulated into one total per
+  // mode: interleaving spreads clock drift and thermal state evenly, and
+  // totalling beats best-of because a single lucky rep can no longer
+  // swing a mode's headline number.
+  const int reps = smoke ? 1 : 9;
+  std::vector<ModePoint> modes(2);
+  std::vector<std::vector<double>> rep_rps(2);
+  for (int r = 0; r < reps; ++r) {
+    for (int profiled = 0; profiled < 2; ++profiled) {
+      ModePoint point = measure(data, profiled != 0, prof_config);
+      rep_rps[static_cast<std::size_t>(profiled)].push_back(
+          point.reports_per_sec());
+      ModePoint& total = modes[static_cast<std::size_t>(profiled)];
+      total.profiled = point.profiled;
+      total.wall_s += point.wall_s;
+      total.reports += point.reports;
+      total.refits += point.refits;
+      total.samples += point.samples;
+      total.dropped += point.dropped;
+    }
+  }
+
+  // Median of PAIRED per-round deltas: each round runs off and armed
+  // back-to-back, so slow box drift (thermal, background load) hits both
+  // sides of a pair equally and cancels in the ratio; the median then
+  // shrugs off any single round hit by a burst of unrelated noise. A
+  // totals- or per-mode-median estimate swings several percent on a
+  // small box; the paired median is stable to well under 1%.
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n == 0 ? 0.0
+                  : (n % 2 != 0 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0);
+  };
+  std::vector<double> round_overhead_pct;
+  for (int r = 0; r < reps; ++r) {
+    const double off = rep_rps[0][static_cast<std::size_t>(r)];
+    const double armed_rps = rep_rps[1][static_cast<std::size_t>(r)];
+    if (off > 0.0) round_overhead_pct.push_back((off - armed_rps) / off * 100.0);
+  }
+  const double overhead_pct = median(round_overhead_pct);
+  // Sub-half-second accumulated wall per mode means the delta is within
+  // scheduler noise on a shared box — the number is reported but flagged
+  // so the regression gate only enforces the cap on real (full) runs.
+  const bool measurable =
+      modes.front().wall_s >= 0.5 && modes.back().wall_s >= 0.5;
+
+  TextTable table("Sampling-profiler overhead (DESIGN.md §5e)");
+  table.set_columns(
+      {"Profiler", "Wall s", "Reports/s", "Refits/s", "Samples", "Dropped"});
+  for (const ModePoint& m : modes) {
+    table.add_row({m.profiled ? "armed" : "off", TextTable::num(m.wall_s),
+                   TextTable::num(m.reports_per_sec(), 0),
+                   TextTable::num(m.refits_per_sec(), 0),
+                   std::to_string(m.samples), std::to_string(m.dropped)});
+  }
+  table.print();
+  std::printf("profiler throughput overhead at %d Hz: %.2f%%%s\n",
+              prof_config.hz, overhead_pct,
+              measurable ? "" : " (below noise floor: not gated)");
+
+  emit_json(modes, overhead_pct, measurable, prof_config.hz,
+            bench::scenario_provenance(generator.config(), data));
+  return validate_json() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sstd
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::filesystem::create_directories("bench_results");
+  return sstd::run(smoke);
+}

@@ -46,6 +46,7 @@ namespace fs = std::filesystem;
 struct SoakOptions {
   bool smoke = false;
   bool chaos = false;
+  bool profile = false;  // arm the sampling profiler + embed cost centers
   double run_budget_s = 60.0;     // run-phase wall budget (after load)
   std::uint64_t num_claims = 1'050'000;
   std::string workload = "zipfian";
@@ -136,7 +137,8 @@ std::string json_num(double v) {
 
 void emit_json(const SoakOptions& opts, const workload::WorkloadConfig& wc,
                const SstdSystem::Config& config, const SoakTotals& totals,
-               const obs::SoakReport& report, const obs::SoakLimits& limits) {
+               const obs::SoakReport& report, const obs::SoakLimits& limits,
+               const std::string& profile_json) {
   bench::RunProvenance prov;
   prov.workload = wc.name;
   prov.seed = wc.seed;
@@ -185,7 +187,11 @@ void emit_json(const SoakOptions& opts, const workload::WorkloadConfig& wc,
         << ", \"detail\": \"" << detail << "\"}" << (i + 1 < 3 ? "," : "")
         << "\n";
   }
-  out << "  ],\n  \"ok\": " << (report.ok() ? "true" : "false") << "\n}\n";
+  out << "  ],\n";
+  if (!profile_json.empty()) {
+    out << "  \"profile\": " << profile_json << ",\n";
+  }
+  out << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n}\n";
 }
 
 // Smoke self-validation: the artifact exists, is JSON-shaped and carries
@@ -239,6 +245,20 @@ int run(const SoakOptions& opts) {
       wc.name.c_str(), wc.num_claims, synth.load_intervals(),
       opts.run_budget_s, opts.slo_s, opts.chaos ? 1 : 0);
 
+  // --profile: reset the cost tree so this run's attribution is clean,
+  // then arm the sampling profiler across the whole load+run window.
+  bool profiling = false;
+  if (opts.profile) {
+    obs::CostRegistry::global().reset();
+    obs::CpuProfiler::register_current_thread();
+    std::string prof_error;
+    profiling = obs::CpuProfiler::global().start({}, &prof_error);
+    if (!profiling) {
+      std::fprintf(stderr, "soak: profiler unavailable: %s\n",
+                   prof_error.c_str());
+    }
+  }
+
   const IntervalIndex load = synth.load_intervals();
   std::vector<Report> batch;
   Stopwatch wall;
@@ -266,6 +286,17 @@ int run(const SoakOptions& opts) {
           s.active_claims, s.staleness_p95, s.reports_ingested);
     }
     ++k;
+  }
+
+  std::string profile_json;
+  if (opts.profile) {
+    if (profiling) {
+      obs::CpuProfiler::global().stop();
+      const std::string path = bench::write_folded_stacks(
+          "soak", obs::CpuProfiler::global().collect_folded());
+      if (!path.empty()) std::printf("soak: folded stacks -> %s\n", path.c_str());
+    }
+    profile_json = bench::cost_profile_json();
   }
 
   SoakTotals totals;
@@ -319,7 +350,7 @@ int run(const SoakOptions& opts) {
                  totals.claims_touched, wc.num_claims);
   }
 
-  emit_json(opts, wc, config, totals, report, limits);
+  emit_json(opts, wc, config, totals, report, limits, profile_json);
   if (opts.chaos) fs::remove_all(durable_dir);
   return (report.ok() && coverage_ok && validate_json()) ? 0 : 1;
 }
@@ -339,6 +370,8 @@ int main(int argc, char** argv) {
       opts.min_run_intervals = 8;
     } else if (std::strcmp(arg, "--chaos") == 0) {
       opts.chaos = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opts.profile = true;
     } else if (std::strncmp(arg, "--seconds=", 10) == 0) {
       opts.run_budget_s = std::atof(arg + 10);
     } else if (std::strncmp(arg, "--claims=", 9) == 0) {
@@ -351,9 +384,9 @@ int main(int argc, char** argv) {
       opts.slo_s = std::atof(arg + 6);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_soak [--smoke] [--chaos] [--seconds=N]"
-                   " [--claims=N] [--workload=zipfian|uniform|latest|"
-                   "hotspot|hotspot_shift] [--seed=N] [--slo=S]\n");
+                   "usage: bench_soak [--smoke] [--chaos] [--profile]"
+                   " [--seconds=N] [--claims=N] [--workload=zipfian|uniform|"
+                   "latest|hotspot|hotspot_shift] [--seed=N] [--slo=S]\n");
       return 2;
     }
   }

@@ -22,14 +22,26 @@
 // --pace-ms throttles the simulated crawler to one interval per that many
 // milliseconds, so the run is long enough to crash by hand (the unpaced
 // trace finishes in well under a second).
+//
+// Continuous profiling (DESIGN.md §5e): /profile/cpu?seconds=N serves
+// on-demand folded stacks and /cost.json the phase cost tree; with
+// --profile-hz N the sampling profiler additionally stays armed for the
+// whole run and the folded stacks land in live_system_profile.folded.
+//
+//   $ ./live_system --profile-hz 97 --reports 1000000 --claims 2000 9114 30 &
+//   $ curl 'localhost:9114/profile/cpu?seconds=1'   # flamegraph.pl-ready
+//   $ curl localhost:9114/cost.json                 # self/total per phase
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 
 #include "core/metrics.h"
+#include "obs/cost.h"
 #include "obs/http_exposition.h"
+#include "obs/profiler.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "sstd/system.h"
@@ -41,6 +53,9 @@ int main(int argc, char** argv) {
   int port = 0;
   int linger_s = 0;
   int pace_ms = 0;
+  int profile_hz = 0;
+  int feed_reports = 80'000;
+  int feed_claims = 32;
   std::string durable_dir;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -48,6 +63,12 @@ int main(int argc, char** argv) {
       durable_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--pace-ms") == 0 && i + 1 < argc) {
       pace_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reports") == 0 && i + 1 < argc) {
+      feed_reports = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--claims") == 0 && i + 1 < argc) {
+      feed_claims = std::atoi(argv[++i]);
     } else if (positional == 0) {
       port = std::atoi(argv[i]);
       ++positional;
@@ -57,7 +78,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto config = trace::tiny(trace::boston_bombing(), 80'000, 32);
+  // --reports/--claims scale the simulated feed: the stock 80k-report /
+  // 32-claim run burns ~0.15 s of CPU; profiling a genuinely busy node
+  // wants a few seconds of sustained HMM load (claims drive refit/decode
+  // cost), e.g. --reports 1000000 --claims 2000.
+  auto config = trace::tiny(trace::boston_bombing(), feed_reports, feed_claims);
   trace::TraceGenerator generator(config);
   const Dataset data = generator.generate();
   std::printf("crawler feed ready: %zu reports over %d intervals\n",
@@ -126,6 +151,7 @@ int main(int argc, char** argv) {
   sampler_config.interval_s = 0.025;
   sampler_config.capacity = 4096;
   sampler_config.sample_proc_stats = true;  // proc.* gauges in every sample
+  sampler_config.sample_cost_tree = true;   // cost.* gauges beside them
   obs::TimeSeriesSampler sampler(&obs::MetricsRegistry::global(),
                                  sampler_config);
   server.set_sampler(&sampler);
@@ -138,8 +164,28 @@ int main(int argc, char** argv) {
   sampler.start();
   std::printf("telemetry live: curl localhost:%d/metrics   (also /healthz "
               "/readyz /varz /snapshot.json /trace.json /claims.json "
-              "/timeseries.csv)\n\n",
+              "/timeseries.csv)\n",
               server.port());
+  std::printf("profiling live: curl 'localhost:%d/profile/cpu?seconds=1' "
+              "| curl localhost:%d/cost.json\n\n",
+              server.port(), server.port());
+
+  // --profile-hz: keep the sampling profiler armed across the whole run
+  // (the /profile/cpu endpoint piggybacks on it for its windows).
+  bool profiling = false;
+  if (profile_hz > 0) {
+    obs::CpuProfiler::register_current_thread();
+    obs::CpuProfilerConfig prof_config;
+    prof_config.hz = profile_hz;
+    std::string prof_error;
+    profiling = obs::CpuProfiler::global().start(prof_config, &prof_error);
+    if (profiling) {
+      std::printf("continuous profiler armed at %d Hz\n\n", profile_hz);
+    } else {
+      std::fprintf(stderr, "profiler unavailable: %s\n\n",
+                   prof_error.c_str());
+    }
+  }
 
   EstimateMatrix estimates(
       data.num_claims(),
@@ -253,6 +299,19 @@ int main(int argc, char** argv) {
     std::printf("\nserving for another %d s — curl localhost:%d/metrics\n",
                 linger_s, server.port());
     std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+  }
+  if (profiling) {
+    obs::CpuProfiler::global().stop();
+    const std::string folded = obs::CpuProfiler::global().collect_folded();
+    const char* folded_path = "live_system_profile.folded";
+    std::ofstream(folded_path) << folded;
+    std::printf("profiler: %llu samples (%llu dropped) -> %s "
+                "(feed to flamegraph.pl)\n",
+                static_cast<unsigned long long>(
+                    obs::CpuProfiler::global().samples_captured()),
+                static_cast<unsigned long long>(
+                    obs::CpuProfiler::global().samples_dropped()),
+                folded_path);
   }
   sampler.stop();
   server.stop();

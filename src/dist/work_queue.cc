@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/cost.h"
+#include "obs/profiler.h"
 #include "obs/trace_context.h"
 #include "util/log.h"
 
@@ -228,6 +230,10 @@ void WorkQueue::handle_abort_locked(const QueuedTask& item) {
 }
 
 void WorkQueue::worker_loop(std::uint32_t worker_index) {
+  // Profiler registration (ISSUE 10): workers execute the shard tasks, so
+  // their samples are the interesting ones; unregistered threads would be
+  // counted as drops instead of profiled.
+  obs::CpuProfiler::register_current_thread();
   QueuedTask popped;
   while (true) {
     // Elastic scale-down: surplus workers retire between tasks.
@@ -320,6 +326,12 @@ void WorkQueue::worker_loop(std::uint32_t worker_index) {
         aborted = !interruptible_delay(extra, token, worker_index);
       }
       if (!aborted) {
+        // "wq/exec" wraps every task payload: engine phases (refit,
+        // decode, …) nest inside it, so its self time is the queue's own
+        // dispatch overhead around the real work.
+        static obs::CostCenter* const cost_exec =
+            obs::CostRegistry::global().center("wq/exec");
+        const obs::CostScope exec_scope(cost_exec);
         try {
           if (item->task.cancellable_work) {
             aborted = !item->task.cancellable_work(token);

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/serialize.h"
 #include "hmm/logspace.h"
 #include "hmm/scaled_kernel.h"
+#include "obs/cost.h"
 
 namespace sstd {
 
@@ -97,7 +99,20 @@ TrainStats DiscreteHmm::fit_from_current(
   };
 
   const std::size_t emission_cells = static_cast<std::size_t>(X) * Y;
+
+  // Phase cost attribution (ISSUE 10): three steady_clock reads per EM
+  // iteration accumulate E-step vs M-step wall time locally, flushed to
+  // the cost tree once per fit — cheap enough for the ~64 µs hot fit.
+  // Wall-only: the thread CPU clock is a syscall and this runs per refit.
+  static obs::CostCenter* const cost_forward =
+      obs::CostRegistry::global().center("refit/forward");
+  static obs::CostCenter* const cost_mstep =
+      obs::CostRegistry::global().center("refit/mstep");
+  double forward_wall_s = 0.0;
+  double mstep_wall_s = 0.0;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const auto iter_begin = std::chrono::steady_clock::now();
     if (engine == HmmEngine::kScaled) {
       // Linear parameters for this iteration's sweeps; the discrete
       // emission table lets the scaled path fill ws.emit by lookup with
@@ -152,6 +167,10 @@ TrainStats DiscreteHmm::fit_from_current(
       }
     }
 
+    const auto estep_end = std::chrono::steady_clock::now();
+    forward_wall_s +=
+        std::chrono::duration<double>(estep_end - iter_begin).count();
+
     // M-step with Dirichlet smoothing so no probability hits exactly zero
     // (a zero emission makes unseen symbols impossible at decode time).
     const double eps = options.smoothing;
@@ -179,6 +198,11 @@ TrainStats DiscreteHmm::fit_from_current(
       }
     }
 
+    mstep_wall_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      estep_end)
+            .count();
+
     stats.iterations = iter + 1;
     stats.log_likelihood = total_ll;
     if (prev_ll != kLogZero &&
@@ -188,6 +212,12 @@ TrainStats DiscreteHmm::fit_from_current(
       break;
     }
     prev_ll = total_ll;
+  }
+  if (stats.iterations > 0) {
+    obs::cost_add(cost_forward, forward_wall_s, 0.0,
+                  static_cast<std::uint64_t>(stats.iterations));
+    obs::cost_add(cost_mstep, mstep_wall_s, 0.0,
+                  static_cast<std::uint64_t>(stats.iterations));
   }
   return stats;
 }

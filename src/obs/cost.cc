@@ -1,0 +1,211 @@
+#include "obs/cost.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+std::uint64_t to_ns(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  return static_cast<std::uint64_t>(seconds * kNsPerSec + 0.5);
+}
+
+thread_local CostScope* g_current_scope = nullptr;
+
+}  // namespace
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / kNsPerSec;
+#else
+  return 0.0;
+#endif
+}
+
+void CostCenter::add(double wall_s, double cpu_s, std::uint64_t count) {
+  count_.fetch_add(count, std::memory_order_relaxed);
+  wall_ns_.fetch_add(to_ns(wall_s), std::memory_order_relaxed);
+  cpu_ns_.fetch_add(to_ns(cpu_s), std::memory_order_relaxed);
+}
+
+void CostCenter::add_child_time(double wall_s, double cpu_s) {
+  child_wall_ns_.fetch_add(to_ns(wall_s), std::memory_order_relaxed);
+  child_cpu_ns_.fetch_add(to_ns(cpu_s), std::memory_order_relaxed);
+}
+
+void CostCenter::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  wall_ns_.store(0, std::memory_order_relaxed);
+  cpu_ns_.store(0, std::memory_order_relaxed);
+  child_wall_ns_.store(0, std::memory_order_relaxed);
+  child_cpu_ns_.store(0, std::memory_order_relaxed);
+}
+
+const CostNodeSnapshot* CostTreeSnapshot::node(const std::string& path) const {
+  for (const CostNodeSnapshot& n : nodes) {
+    if (n.path == path) return &n;
+  }
+  return nullptr;
+}
+
+double CostTreeSnapshot::subtree_wall_s(const std::string& prefix) const {
+  // nodes are sorted by path, so a matched node covers every node that
+  // follows with its path + '/' as prefix; summing only uncovered matches
+  // avoids double-counting path children inside their parent's total.
+  double sum = 0.0;
+  std::string covered;  // empty = nothing covered yet
+  for (const CostNodeSnapshot& n : nodes) {
+    const bool in_subtree =
+        n.path == prefix ||
+        (n.path.size() > prefix.size() && n.path.compare(0, prefix.size(), prefix) == 0 &&
+         n.path[prefix.size()] == '/');
+    if (!in_subtree) continue;
+    if (!covered.empty() && n.path.size() > covered.size() &&
+        n.path.compare(0, covered.size(), covered) == 0 &&
+        n.path[covered.size()] == '/') {
+      continue;  // already inside a counted ancestor's total
+    }
+    sum += n.total_wall_s;
+    covered = n.path;
+  }
+  return sum;
+}
+
+double CostTreeSnapshot::total_self_wall_s() const {
+  double sum = 0.0;
+  for (const CostNodeSnapshot& n : nodes) sum += n.self_wall_s;
+  return sum;
+}
+
+std::string CostTreeSnapshot::to_json() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\"nodes\":[";
+  bool first = true;
+  for (const CostNodeSnapshot& n : nodes) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"path\":\"" << json_escape(n.path) << "\",\"count\":" << n.count
+        << ",\"total_wall_s\":" << n.total_wall_s
+        << ",\"self_wall_s\":" << n.self_wall_s
+        << ",\"total_cpu_s\":" << n.total_cpu_s
+        << ",\"self_cpu_s\":" << n.self_cpu_s << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+CostCenter* CostRegistry::center(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = centers_.find(path);
+  if (it == centers_.end()) {
+    it = centers_.emplace(path, std::make_unique<CostCenter>(path)).first;
+  }
+  return it->second.get();
+}
+
+CostTreeSnapshot CostRegistry::snapshot() const {
+  CostTreeSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.nodes.reserve(centers_.size());
+  for (const auto& [path, center] : centers_) {
+    CostNodeSnapshot n;
+    n.path = path;
+    n.count = center->count();
+    n.total_wall_s = static_cast<double>(center->wall_ns()) / kNsPerSec;
+    n.total_cpu_s = static_cast<double>(center->cpu_ns()) / kNsPerSec;
+    const double child_wall =
+        static_cast<double>(center->child_wall_ns()) / kNsPerSec;
+    const double child_cpu =
+        static_cast<double>(center->child_cpu_ns()) / kNsPerSec;
+    n.self_wall_s = std::max(0.0, n.total_wall_s - child_wall);
+    n.self_cpu_s = std::max(0.0, n.total_cpu_s - child_cpu);
+    snap.nodes.push_back(std::move(n));
+  }
+  // std::map iteration is already path-sorted; keep the invariant explicit.
+  std::sort(snap.nodes.begin(), snap.nodes.end(),
+            [](const CostNodeSnapshot& a, const CostNodeSnapshot& b) {
+              return a.path < b.path;
+            });
+  return snap;
+}
+
+void CostRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, center] : centers_) center->reset();
+}
+
+void CostRegistry::publish_gauges(MetricsRegistry& registry) const {
+  const CostTreeSnapshot snap = snapshot();
+  for (const CostNodeSnapshot& n : snap.nodes) {
+    std::string dotted = n.path;
+    std::replace(dotted.begin(), dotted.end(), '/', '.');
+    const std::string base = "cost." + dotted;
+    registry.gauge(base + ".total_s")->set(n.total_wall_s);
+    registry.gauge(base + ".self_s")->set(n.self_wall_s);
+    registry.gauge(base + ".count")->set(static_cast<double>(n.count));
+  }
+}
+
+CostRegistry& CostRegistry::global() {
+  static CostRegistry* instance = new CostRegistry();
+  return *instance;
+}
+
+void cost_add(CostCenter* center, double wall_s, double cpu_s,
+              std::uint64_t count) {
+  if (center != nullptr) center->add(wall_s, cpu_s, count);
+  if (g_current_scope != nullptr) {
+    g_current_scope->child_wall_s_ += wall_s;
+    g_current_scope->child_cpu_s_ += cpu_s;
+  }
+}
+
+CostScope::CostScope(CostCenter* center, Mode mode)
+    : center_(center),
+      parent_(g_current_scope),
+      mode_(mode),
+      wall_begin_(std::chrono::steady_clock::now()) {
+  if (mode_ == kWallAndCpu) cpu_begin_s_ = thread_cpu_seconds();
+  g_current_scope = this;
+}
+
+CostScope::~CostScope() {
+  // The CPU clock is read before the wall end so the wall bracket stays
+  // outermost: clock_gettime(CLOCK_THREAD_CPUTIME_ID) is a real syscall,
+  // and syscall exit is where the kernel acts on pending preemption — on
+  // a contended core most involuntary descheduling lands exactly there.
+  // Reading wall first would systematically exclude that delay from this
+  // scope while any enclosing timer still sees it.
+  const double cpu_s =
+      mode_ == kWallAndCpu ? thread_cpu_seconds() - cpu_begin_s_ : 0.0;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin_)
+          .count();
+  g_current_scope = parent_;
+  if (center_ != nullptr) {
+    center_->add(wall_s, cpu_s);
+    center_->add_child_time(child_wall_s_, child_cpu_s_);
+  }
+  if (parent_ != nullptr) {
+    parent_->child_wall_s_ += wall_s;
+    parent_->child_cpu_s_ += cpu_s;
+  }
+}
+
+CostScope* CostScope::current() { return g_current_scope; }
+
+}  // namespace sstd::obs

@@ -1,0 +1,185 @@
+// Hierarchical phase cost attribution (ISSUE 10, DESIGN.md §5e): where do
+// the cycles actually go inside refit/decode/ingest/WAL paths?
+//
+// The runtime is annotated with RAII `CostScope` timers under stable,
+// '/'-separated phase paths (`ingest/quantize`, `refit/forward`,
+// `refit/mstep`, `decode/viterbi`, `wal/append`, `snapshot/write`,
+// `serve/scrape`, ...). Each scope measures wall time (steady_clock) and —
+// unless opened wall-only — thread CPU time (CLOCK_THREAD_CPUTIME_ID).
+// Scopes nest: a scope that closes inside another scope on the same thread
+// credits its elapsed time to the enclosing scope's *child* accumulators,
+// so a snapshot can split every node into
+//
+//   total time  — time with the node open (children included), and
+//   self  time  — total minus dynamically nested children: the node's own
+//                 work, the number a perf PR should attack.
+//
+// Accumulation is a handful of relaxed atomic adds on a pre-resolved
+// `CostCenter*` — no locks, no allocation, safe from any thread — so
+// concurrent shard tasks merge into one tree for free and a snapshot is a
+// consistent point-in-time read. The tree shape itself comes from the path
+// strings at snapshot time, which keeps the hot path free of any parent
+// bookkeeping beyond one thread-local pointer.
+//
+// Consumption surfaces: `/cost.json` on the HTTP exposition server,
+// `cost.*` gauges published into a MetricsRegistry (ridden by the
+// timeseries sampler), and top-k cost-center embedding in the bench JSON
+// artifacts (`bench_soak --profile`, `bench_micro_hmm --profile`).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sstd::obs {
+
+class MetricsRegistry;
+
+// Thread CPU clock (CLOCK_THREAD_CPUTIME_ID) in seconds; 0.0 where the
+// platform lacks it. A syscall on most kernels (~100 ns) — which is why
+// kernel-inner scopes run wall-only.
+double thread_cpu_seconds();
+
+// One named node of the cost tree. All accumulators are relaxed atomics
+// in nanoseconds; pointers stay valid for the registry's lifetime.
+class CostCenter {
+ public:
+  explicit CostCenter(std::string path) : path_(std::move(path)) {}
+  CostCenter(const CostCenter&) = delete;
+  CostCenter& operator=(const CostCenter&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Raw reads (tests, snapshot).
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t wall_ns() const {
+    return wall_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cpu_ns() const {
+    return cpu_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t child_wall_ns() const {
+    return child_wall_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t child_cpu_ns() const {
+    return child_cpu_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Direct accumulation for pre-measured spans (the kernel EM loop batches
+  // its per-iteration clock reads and flushes once per fit). Does NOT
+  // credit the enclosing scope — use cost_add() for that.
+  void add(double wall_s, double cpu_s, std::uint64_t count = 1);
+  // Credits time spent in dynamically nested children (CostScope and
+  // cost_add do this automatically).
+  void add_child_time(double wall_s, double cpu_s);
+
+  void reset();
+
+ private:
+  std::string path_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> wall_ns_{0};
+  std::atomic<std::uint64_t> cpu_ns_{0};
+  std::atomic<std::uint64_t> child_wall_ns_{0};
+  std::atomic<std::uint64_t> child_cpu_ns_{0};
+};
+
+// Point-in-time view of one node with the self/total split computed.
+struct CostNodeSnapshot {
+  std::string path;
+  std::uint64_t count = 0;
+  double total_wall_s = 0.0;
+  double self_wall_s = 0.0;  // total − dynamically nested children, >= 0
+  double total_cpu_s = 0.0;
+  double self_cpu_s = 0.0;
+};
+
+struct CostTreeSnapshot {
+  std::vector<CostNodeSnapshot> nodes;  // sorted by path (preorder walk)
+
+  // Lookup by exact path; nullptr when absent.
+  const CostNodeSnapshot* node(const std::string& path) const;
+  // Sum of total_wall_s over `prefix` itself plus every node under
+  // "prefix/..." that is NOT nested (by path) below another matched node —
+  // i.e. the subtree's wall total without double-counting path children.
+  double subtree_wall_s(const std::string& prefix) const;
+  // Sum of self_wall_s over every node (the 100% a profile divides).
+  double total_self_wall_s() const;
+
+  // /cost.json body: {"nodes": [{path, count, total_wall_s, self_wall_s,
+  // total_cpu_s, self_cpu_s}, ...]} sorted by path.
+  std::string to_json() const;
+};
+
+class CostRegistry {
+ public:
+  CostRegistry() = default;
+  CostRegistry(const CostRegistry&) = delete;
+  CostRegistry& operator=(const CostRegistry&) = delete;
+
+  // Get-or-create by path. Pointers remain valid for the registry's
+  // lifetime; meant to be resolved once at component construction.
+  CostCenter* center(const std::string& path);
+
+  CostTreeSnapshot snapshot() const;
+
+  // Zeroes every node, keeping registrations (and pointers) intact.
+  void reset();
+
+  // Mirrors the tree into `registry` as gauges — cost.<path>.total_s,
+  // cost.<path>.self_s, cost.<path>.count with '/' rendered as '.' — so
+  // the timeseries sampler retains cost history beside the runtime
+  // metrics.
+  void publish_gauges(MetricsRegistry& registry) const;
+
+  // Process-wide tree the runtime instruments against.
+  static CostRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CostCenter>> centers_;
+};
+
+// Adds a pre-measured span to `center` as if a CostScope had wrapped it:
+// bumps the node and credits the calling thread's innermost open scope
+// with child time.
+void cost_add(CostCenter* center, double wall_s, double cpu_s,
+              std::uint64_t count = 1);
+
+// RAII phase timer. Construction reads the clocks and pushes itself as the
+// thread's innermost scope; destruction pops, accumulates into the node
+// and credits the parent scope's child time. kWallOnly skips the thread
+// CPU clock (a syscall) for scopes inside hot kernels; their cpu
+// contribution reads as 0 and the parent's cpu self-time is unaffected.
+class CostScope {
+ public:
+  enum Mode { kWallAndCpu, kWallOnly };
+
+  explicit CostScope(CostCenter* center, Mode mode = kWallAndCpu);
+  ~CostScope();
+  CostScope(const CostScope&) = delete;
+  CostScope& operator=(const CostScope&) = delete;
+
+  // The calling thread's innermost open scope (nullptr outside any).
+  static CostScope* current();
+
+ private:
+  friend void cost_add(CostCenter*, double, double, std::uint64_t);
+
+  CostCenter* center_;
+  CostScope* parent_;
+  Mode mode_;
+  std::chrono::steady_clock::time_point wall_begin_;
+  double cpu_begin_s_ = 0.0;
+  // Child time accrued while this scope was open (same thread, no atomics
+  // needed until the flush in the destructor).
+  double child_wall_s_ = 0.0;
+  double child_cpu_s_ = 0.0;
+};
+
+}  // namespace sstd::obs

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -207,6 +208,12 @@ HttpExposition::Response HttpExposition::handle(
   std::map<std::string, std::string> params;
   const std::string path = split_target(target, &params);
 
+  // Scrape handling is itself a phase in the cost tree: serving cost
+  // shows up beside the work it measures.
+  CostScope scrape_scope(config_.cost != nullptr
+                             ? config_.cost->center("serve/scrape")
+                             : nullptr);
+
   if (path == "/metrics") {
     response.body = to_prometheus(config_.metrics->snapshot());
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -320,6 +327,44 @@ HttpExposition::Response HttpExposition::handle(
     response.content_type = "application/json";
     return response;
   }
+  if (path == "/cost.json") {
+    if (config_.cost == nullptr) {
+      response.status = 404;
+      response.body = "no cost registry attached\n";
+      return response;
+    }
+    response.body = config_.cost->snapshot().to_json() + "\n";
+    response.content_type = "application/json";
+    return response;
+  }
+  if (path == "/profile/cpu") {
+    if (config_.profiler == nullptr) {
+      response.status = 404;
+      response.body = "no profiler attached\n";
+      return response;
+    }
+    double seconds = 1.0;
+    if (const auto it = params.find("seconds"); it != params.end()) {
+      seconds = std::atof(it->second.c_str());
+    }
+    seconds = std::min(std::max(seconds, 0.05), 30.0);
+    CpuProfilerConfig prof_config;
+    if (const auto it = params.find("hz"); it != params.end()) {
+      prof_config.hz = std::atoi(it->second.c_str());
+    }
+    std::string error;
+    const std::string folded =
+        config_.profiler->profile_for(seconds, prof_config, &error);
+    if (folded.empty() && !error.empty()) {
+      response.status = 503;
+      response.body = error + "\n";
+      return response;
+    }
+    // Flamegraph collapsed format: "frame;frame;leaf count" per line,
+    // ready for flamegraph.pl / speedscope / inferno.
+    response.body = folded;
+    return response;
+  }
   if (path == "/timeseries.csv") {
     TimeSeriesSampler* sampler;
     {
@@ -339,11 +384,16 @@ HttpExposition::Response HttpExposition::handle(
   response.status = 404;
   response.body = "not found: " + path + "\n" +
                   "try /metrics /snapshot.json /trace.json /claims.json "
-                  "/healthz /readyz /varz /timeseries.csv\n";
+                  "/healthz /readyz /varz /timeseries.csv /cost.json "
+                  "/profile/cpu\n";
   return response;
 }
 
 void HttpExposition::serve_loop() {
+  // The serving thread is sampleable: /profile/cpu windows should see
+  // serve/scrape time too, and a window armed elsewhere must not drop
+  // this thread's samples as unregistered.
+  CpuProfiler::register_current_thread();
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);

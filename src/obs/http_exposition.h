@@ -20,6 +20,16 @@
 //                        hardware threads, proc.* self-stats, caller-set
 //                        key/values)
 //   GET /timeseries.csv  retained sampler window (when a sampler is set)
+//   GET /cost.json       hierarchical phase cost tree (obs/cost.h): per
+//                        phase path, call count and wall/CPU totals with
+//                        the self-time/total-time split (ISSUE 10)
+//   GET /profile/cpu     on-demand CPU profile window: arms the sampling
+//                        profiler for ?seconds=N (default 1, cap 30) at
+//                        ?hz=H (default 97) and returns flamegraph-ready
+//                        collapsed/folded stacks; 503 when the profiler
+//                        is compiled out (sanitizer builds). Blocks the
+//                        serving thread for the window — by design, this
+//                        is a one-operator diagnostic endpoint
 //
 // Binding port 0 picks a free ephemeral port (`port()` reports it), which
 // is how tests run against a real socket without colliding. stop() is
@@ -37,7 +47,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -53,6 +65,8 @@ struct HttpExpositionConfig {
   MetricsRegistry* metrics = &MetricsRegistry::global();
   TraceRecorder* tracer = &TraceRecorder::global();
   DecisionProvenanceRing* provenance = &DecisionProvenanceRing::global();
+  CostRegistry* cost = &CostRegistry::global();
+  CpuProfiler* profiler = &CpuProfiler::global();
 };
 
 class HttpExposition {

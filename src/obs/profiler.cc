@@ -1,0 +1,411 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <errno.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace sstd::obs {
+
+namespace prof_internal {
+
+void SampleRing::allocate(std::size_t slots) {
+  if (buf.load(std::memory_order_relaxed) != nullptr) return;
+  if (slots == 0) slots = 1;
+  storage = std::make_unique<RawSample[]>(slots);
+  capacity.store(slots, std::memory_order_relaxed);
+  buf.store(storage.get(), std::memory_order_release);
+}
+
+bool SampleRing::try_push(void* const* frames, int depth) {
+  RawSample* b = buf.load(std::memory_order_acquire);
+  const std::size_t cap = capacity.load(std::memory_order_relaxed);
+  if (b == nullptr || cap == 0) {
+    dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t h = head.load(std::memory_order_relaxed);
+  const std::uint64_t t = tail.load(std::memory_order_acquire);
+  if (h - t >= cap) {
+    dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  RawSample& s = b[h % cap];
+  const int d = std::min(depth, kMaxDepthCap);
+  s.depth = d > 0 ? static_cast<std::uint32_t>(d) : 0;
+  for (int i = 0; i < d; ++i) s.pc[i] = frames[i];
+  head.store(h + 1, std::memory_order_release);
+  return true;
+}
+
+void SampleRing::drain(std::vector<RawSample>& out) {
+  RawSample* b = buf.load(std::memory_order_acquire);
+  if (b == nullptr) return;
+  const std::size_t cap = capacity.load(std::memory_order_relaxed);
+  const std::uint64_t h = head.load(std::memory_order_acquire);
+  std::uint64_t t = tail.load(std::memory_order_relaxed);
+  for (; t != h; ++t) out.push_back(b[t % cap]);
+  tail.store(t, std::memory_order_release);
+}
+
+}  // namespace prof_internal
+
+namespace {
+
+using prof_internal::RawSample;
+using prof_internal::SampleRing;
+
+struct ThreadState {
+  SampleRing ring;
+  std::atomic<bool> dead{false};
+};
+
+std::mutex& thread_registry_mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadState>>& thread_registry() {
+  static auto* v = new std::vector<std::shared_ptr<ThreadState>>();
+  return *v;
+}
+
+// Raw per-thread pointer the signal handler reads; set during
+// register_current_thread(), cleared (same thread) before the state is
+// marked dead at thread exit.
+thread_local ThreadState* g_tls_state = nullptr;
+
+struct TlsRegistration {
+  std::shared_ptr<ThreadState> state;
+  ~TlsRegistration() {
+    if (state) {
+      g_tls_state = nullptr;
+      state->dead.store(true, std::memory_order_release);
+    }
+  }
+};
+thread_local TlsRegistration g_tls_registration;
+
+std::atomic<int> g_capture_depth{prof_internal::kMaxDepthCap};
+std::atomic<std::size_t> g_ring_slots{1024};
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_captured{0};
+std::atomic<std::uint64_t> g_dropped{0};
+
+}  // namespace
+
+// Async-signal handler: thread-local pointer read, backtrace(), ring push.
+// extern "C" + external linkage so dladdr can resolve it at fold time and
+// strip it (with the signal trampoline) from captured stacks.
+extern "C" void sstd_prof_signal_handler(int /*signum*/) {
+  const int saved_errno = errno;
+  ThreadState* st = g_tls_state;
+  if (st == nullptr) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+  void* frames[prof_internal::kMaxDepthCap];
+  const int depth =
+      ::backtrace(frames, g_capture_depth.load(std::memory_order_relaxed));
+  if (st->ring.try_push(frames, depth)) {
+    g_captured.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  errno = saved_errno;
+}
+
+struct CpuProfiler::Accumulation {
+  // Raw stack (innermost frame first) -> sample count.
+  std::map<std::vector<void*>, std::uint64_t> stacks;
+};
+
+bool CpuProfiler::supported() {
+#if defined(SSTD_PROF_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+void CpuProfiler::register_current_thread() {
+  if (!g_tls_registration.state) {
+    auto state = std::make_shared<ThreadState>();
+    {
+      const std::lock_guard<std::mutex> lock(thread_registry_mu());
+      thread_registry().push_back(state);
+    }
+    g_tls_registration.state = std::move(state);
+  }
+  ThreadState* st = g_tls_registration.state.get();
+  if (g_armed.load(std::memory_order_acquire) &&
+      st->ring.buf.load(std::memory_order_relaxed) == nullptr) {
+    st->ring.allocate(g_ring_slots.load(std::memory_order_relaxed));
+  }
+  g_tls_state = st;
+}
+
+bool CpuProfiler::start(const CpuProfilerConfig& config, std::string* error) {
+  if (!supported()) {
+    if (error != nullptr) {
+      *error = "cpu profiler disabled in this build (sanitizers)";
+    }
+    return false;
+  }
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    if (error != nullptr) *error = "cpu profiler already running";
+    return false;
+  }
+  config_ = config;
+  config_.hz = std::clamp(config_.hz, 1, 1000);
+  config_.max_depth = std::clamp(config_.max_depth, 2, prof_internal::kMaxDepthCap);
+  config_.ring_slots = std::max<std::size_t>(config_.ring_slots, 64);
+  g_capture_depth.store(config_.max_depth, std::memory_order_relaxed);
+  g_ring_slots.store(config_.ring_slots, std::memory_order_relaxed);
+
+  // Prime backtrace() in normal context: its first call may dlopen/
+  // allocate inside libgcc, which must never happen inside the handler.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  register_current_thread();
+  {
+    // Allocate rings for every registered thread BEFORE the timer is
+    // armed, so no handler can observe a ring mid-construction.
+    const std::lock_guard<std::mutex> lock(thread_registry_mu());
+    for (const auto& st : thread_registry()) {
+      if (!st->dead.load(std::memory_order_acquire)) {
+        st->ring.allocate(config_.ring_slots);
+      }
+    }
+  }
+  g_armed.store(true, std::memory_order_release);
+
+  struct sigaction sa;
+  ::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &sstd_prof_signal_handler;
+  sa.sa_flags = SA_RESTART;
+  ::sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGPROF, &sa, nullptr) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+    if (error != nullptr) *error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+
+  itimerval timer{};
+  const long interval_us = std::max(1000000L / config_.hz, 1L);
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::signal(SIGPROF, SIG_IGN);
+    g_armed.store(false, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+    if (error != nullptr) *error = "setitimer(ITIMER_PROF) failed";
+    return false;
+  }
+  return true;
+}
+
+void CpuProfiler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  itimerval off{};
+  ::setitimer(ITIMER_PROF, &off, nullptr);
+  // The handler stays installed: a signal already in flight when the
+  // timer was disarmed must still land somewhere safe.
+  g_armed.store(false, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void CpuProfiler::drain_all_into(Accumulation& acc) {
+  std::vector<RawSample> raw;
+  const std::lock_guard<std::mutex> lock(thread_registry_mu());
+  auto& threads = thread_registry();
+  for (auto it = threads.begin(); it != threads.end();) {
+    raw.clear();
+    (*it)->ring.drain(raw);
+    for (const RawSample& s : raw) {
+      std::vector<void*> key(s.pc, s.pc + s.depth);
+      acc.stacks[std::move(key)] += 1;
+    }
+    // Exited threads are dropped from the registry once their last
+    // samples are collected; drop accounting survives in g_dropped.
+    if ((*it)->dead.load(std::memory_order_acquire)) {
+      g_dropped.fetch_add((*it)->ring.dropped.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      (*it)->ring.dropped.store(0, std::memory_order_relaxed);
+      it = threads.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string CpuProfiler::symbolize(void* pc) {
+  Dl_info info;
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    ::free(demangled);
+    // Folded format reserves ';' (frame separator) and ' ' (count field).
+    std::replace(name.begin(), name.end(), ';', ':');
+    std::replace(name.begin(), name.end(), ' ', '_');
+    return name;
+  }
+  char buf[64];
+  if (::dladdr(pc, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = ::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                  reinterpret_cast<std::size_t>(pc) -
+                      reinterpret_cast<std::size_t>(info.dli_fbase));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<std::size_t>(pc));
+  return buf;
+}
+
+std::string CpuProfiler::collect_folded() {
+  const std::lock_guard<std::mutex> lock(collect_mu_);
+  Accumulation acc;
+  if (pending_) {
+    acc.stacks.swap(pending_->stacks);
+    pending_.reset();
+  }
+  drain_all_into(acc);
+
+  // Lazy symbolization: each unique pc resolved once per collection.
+  std::map<void*, std::string> symbols;
+  auto symbol_of = [&symbols](void* pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) it = symbols.emplace(pc, symbolize(pc)).first;
+    return it->second;
+  };
+
+  std::map<std::string, std::uint64_t> folded;
+  for (const auto& [stack, count] : acc.stacks) {
+    // Strip the handler and signal trampoline: scan the shallowest frames
+    // for our handler / restore_rt markers and cut past the deepest match.
+    std::size_t start = 0;
+    bool cut_at_handler = false;
+    const std::size_t scan = std::min<std::size_t>(stack.size(), 4);
+    for (std::size_t i = 0; i < scan; ++i) {
+      const std::string& sym = symbol_of(stack[i]);
+      if (sym.find("sstd_prof_signal_handler") != std::string::npos) {
+        start = i + 1;
+        cut_at_handler = true;
+      } else if (sym.find("restore_rt") != std::string::npos ||
+                 sym.find("sigreturn") != std::string::npos ||
+                 sym == "backtrace") {
+        start = i + 1;
+        cut_at_handler = false;
+      }
+    }
+    // The kernel always interposes the sigreturn trampoline between the
+    // handler and the interrupted frame; when the cut landed on the
+    // handler itself the trampoline didn't symbolize (stripped libc) —
+    // skip it too so it doesn't show up as a bogus libc leaf.
+    if (cut_at_handler) ++start;
+    if (start >= stack.size()) continue;
+    std::string line;
+    // Root-first order; frames above the interrupted pc are return
+    // addresses, so step them back one byte for symbol attribution.
+    for (std::size_t i = stack.size(); i-- > start;) {
+      void* pc = stack[i];
+      if (i != start) pc = static_cast<char*>(pc) - 1;
+      if (!line.empty()) line += ';';
+      line += symbol_of(pc);
+    }
+    folded[line] += count;
+  }
+
+  std::vector<std::pair<std::string, std::uint64_t>> lines(folded.begin(),
+                                                           folded.end());
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::ostringstream out;
+  for (const auto& [line, count] : lines) out << line << ' ' << count << '\n';
+  return out.str();
+}
+
+std::string CpuProfiler::profile_for(double seconds,
+                                     const CpuProfilerConfig& config,
+                                     std::string* error) {
+  if (!supported()) {
+    if (error != nullptr) {
+      *error = "cpu profiler disabled in this build (sanitizers)";
+    }
+    return "";
+  }
+  bool started_here = false;
+  if (!running()) {
+    if (!start(config, error)) return "";
+    started_here = true;
+  } else {
+    // Piggyback on an already-armed profiler: discard samples captured
+    // before this window so the fold covers only the requested seconds.
+    const std::lock_guard<std::mutex> lock(collect_mu_);
+    Accumulation discard;
+    drain_all_into(discard);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(std::max(seconds, 0.0));
+  // Drain every ~250 ms so per-thread rings never need to hold more than
+  // a burst, even at high Hz over long windows.
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::chrono::duration<double> remaining =
+        deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min(remaining, std::chrono::duration<double>(0.25)));
+    const std::lock_guard<std::mutex> lock(collect_mu_);
+    if (!pending_) pending_ = std::make_unique<Accumulation>();
+    drain_all_into(*pending_);
+  }
+  if (started_here) stop();
+  return collect_folded();
+}
+
+std::uint64_t CpuProfiler::samples_captured() const {
+  return g_captured.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CpuProfiler::samples_dropped() const {
+  std::uint64_t total = g_dropped.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(thread_registry_mu());
+  for (const auto& st : thread_registry()) {
+    total += st->ring.dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void CpuProfiler::publish_metrics(MetricsRegistry& registry) const {
+  registry.gauge("obs.prof.samples")
+      ->set(static_cast<double>(samples_captured()));
+  registry.gauge("obs.prof.dropped_samples")
+      ->set(static_cast<double>(samples_dropped()));
+}
+
+CpuProfiler& CpuProfiler::global() {
+  static CpuProfiler* instance = new CpuProfiler();
+  return *instance;
+}
+
+}  // namespace sstd::obs

@@ -1,0 +1,145 @@
+// Dependency-free in-process sampling CPU profiler (ISSUE 10, DESIGN.md
+// §5e). A POSIX interval timer (`setitimer(ITIMER_PROF)`) delivers SIGPROF
+// to whichever thread is burning CPU; the async-signal handler captures a
+// `backtrace()` into the interrupted thread's lock-free single-producer
+// sample ring and returns. Everything expensive — draining rings,
+// `dladdr` symbolization, demangling, aggregation — happens later in
+// normal execution context at export time, producing flamegraph-
+// compatible collapsed/folded stacks ("root;frame;leaf count" lines).
+//
+// Signal-safety rules (see DESIGN.md §5e for the full argument):
+//   - The handler touches only the thread-local ring pointer, plain
+//     atomics, and `backtrace()`. No locks, no allocation, no stdio.
+//   - `backtrace()` is primed once in `start()` (its first call may
+//     dlopen/allocate inside libgcc); afterwards the glibc ≥2.35 unwind
+//     path resolves frames via the lock-free `_dl_find_object`.
+//   - Rings are allocated in normal context only: by `start()` for
+//     already-registered threads (before the timer is armed) and by
+//     `register_current_thread()` for threads that appear while running.
+//   - Samples on threads that never registered are counted, not taken
+//     (`obs.prof.dropped_samples` covers both unregistered-thread and
+//     ring-full drops).
+//
+// Under sanitizer builds (SSTD_SANITIZE != "" ⇒ -DSSTD_PROF_DISABLED) the
+// profiler still compiles but `supported()` is false and `start()`
+// refuses: tsan/asan intercept signal delivery and unwinding in ways that
+// make in-handler backtraces unsafe, and the labeled test suites assert
+// the disabled behavior instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sstd::obs {
+
+class MetricsRegistry;
+
+struct CpuProfilerConfig {
+  // Sampling frequency. Prime by default so the timer does not phase-lock
+  // with periodic work (intervals, scrape loops).
+  int hz = 97;
+  // Frames captured per sample (deeper frames are truncated).
+  int max_depth = 40;
+  // Per-thread ring capacity in samples. The collector drains every ~250
+  // ms while a window is open, so this only needs to cover a short burst.
+  std::size_t ring_slots = 1024;
+};
+
+namespace prof_internal {
+
+constexpr int kMaxDepthCap = 40;
+
+struct RawSample {
+  std::uint32_t depth = 0;
+  void* pc[kMaxDepthCap] = {};
+};
+
+// Single-producer (the owning thread's signal handler) / single-consumer
+// (the collector holding the registry lock) ring. head is written by the
+// producer, tail by the consumer; both only ever advance. The slot buffer
+// is published through an acquire/release atomic so `allocate()` (normal
+// context, possibly another thread) can never race the handler mid-resize:
+// the handler either sees nullptr (drop) or a fully constructed buffer.
+struct SampleRing {
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<RawSample*> buf{nullptr};
+  std::atomic<std::size_t> capacity{0};
+  std::unique_ptr<RawSample[]> storage;  // owns *buf; set exactly once
+
+  // Normal context only; idempotent (a ring never shrinks or moves).
+  void allocate(std::size_t slots);
+  // Producer side; async-signal-safe. Returns false (and bumps dropped)
+  // when full or unallocated.
+  bool try_push(void* const* frames, int depth);
+  // Consumer side: appends all pending samples to `out`.
+  void drain(std::vector<RawSample>& out);
+};
+
+}  // namespace prof_internal
+
+class CpuProfiler {
+ public:
+  // False when compiled with SSTD_PROF_DISABLED (sanitizer builds) or on
+  // platforms without setitimer/backtrace.
+  static bool supported();
+
+  // Makes the calling thread sampleable. Idempotent and cheap after the
+  // first call; safe (and useful) to call before or after start(). Worker
+  // loops call this at entry.
+  static void register_current_thread();
+
+  // Arms SIGPROF sampling process-wide. Returns false (with *error set
+  // when non-null) if unsupported or already running.
+  bool start(const CpuProfilerConfig& config = {}, std::string* error = nullptr);
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Drains every ring, symbolizes, and returns folded stacks sorted by
+  // descending count: "frame;frame;leaf N\n" per line, root first.
+  // Consumed samples are gone; call once per window.
+  std::string collect_folded();
+
+  // One-shot window used by /profile/cpu and --profile smoke paths:
+  // start (or piggyback on an already-armed profiler), sample for
+  // `seconds` while draining every ~250 ms, then fold. On failure returns
+  // "" with *error set.
+  std::string profile_for(double seconds, const CpuProfilerConfig& config,
+                          std::string* error = nullptr);
+
+  std::uint64_t samples_captured() const;
+  // Ring-full drops + samples that landed on never-registered threads.
+  std::uint64_t samples_dropped() const;
+
+  // Publishes obs.prof.samples / obs.prof.dropped_samples counters-as-
+  // gauges into `registry` (gauges: the profiler may be reset per window).
+  void publish_metrics(MetricsRegistry& registry) const;
+
+  // Process-wide instance; SIGPROF has process-global delivery so there
+  // is exactly one.
+  static CpuProfiler& global();
+
+  CpuProfiler() = default;
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+ private:
+  struct Accumulation;
+
+  void drain_all_into(Accumulation& acc);
+  static std::string symbolize(void* pc);
+
+  std::atomic<bool> running_{false};
+  CpuProfilerConfig config_;
+  mutable std::mutex collect_mu_;
+  std::unique_ptr<Accumulation> pending_;  // drained-but-unfolded samples
+};
+
+}  // namespace sstd::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/cost.h"
 #include "obs/export.h"
 #include "obs/proc_stats.h"
 
@@ -85,6 +86,9 @@ void TimeSeriesSampler::sample_now() { sample_at(clock_.elapsed_seconds()); }
 
 void TimeSeriesSampler::sample_at(double t_s) {
   if (config_.sample_proc_stats) update_proc_gauges(*registry_);
+  if (config_.sample_cost_tree) {
+    CostRegistry::global().publish_gauges(*registry_);
+  }
   TimeSeriesPoint point;
   point.t_s = t_s;
   point.metrics = registry_->snapshot();  // taken outside our own lock

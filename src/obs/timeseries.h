@@ -35,6 +35,10 @@ struct TimeSeriesConfig {
   // obs/proc_stats.h) in the registry before each sample, so resource
   // history rides the same retained window as the runtime metrics.
   bool sample_proc_stats = false;
+  // Mirror the global phase cost tree (obs/cost.h) into cost.* gauges
+  // before each sample, so per-phase wall/self time history rides the
+  // retained window too (ISSUE 10).
+  bool sample_cost_tree = false;
 };
 
 // One retained sample: registry contents at sampler-relative time `t_s`

@@ -54,6 +54,11 @@ SstdStreaming::SstdStreaming(SstdConfig config, TimestampMs interval_ms)
   ins_.refit_s = registry.histogram("stream.refit_s");
   ins_.decision_staleness_s =
       registry.histogram("stream.decision_staleness_s");
+  obs::CostRegistry& costs = obs::CostRegistry::global();
+  ins_.cost_refit = costs.center("refit");
+  ins_.cost_quantize = costs.center("ingest/quantize");
+  ins_.cost_replay = costs.center("refit/replay");
+  ins_.cost_decode = costs.center("decode/viterbi");
 }
 
 SstdStreaming::ClaimPipeline& SstdStreaming::pipeline_for(
@@ -93,25 +98,37 @@ void SstdStreaming::refit(std::uint32_t claim, ClaimPipeline& pipeline,
   const double refit_begin_s =
       span_traced ? wall_clock_.elapsed_seconds() : 0.0;
   const Stopwatch watch;
-  std::vector<int>& symbols = refit_batch_[0];
-  quantizer_.quantize_series_into(pipeline.history, symbols);
-  pipeline.model.fit(refit_batch_, config_.train, &workspace_);
-  pipeline.model.canonicalize_truth_states();
-  ++refits_;
-  ins_.refits->inc();
-
-  // Restart the online decoder and filter (keeping their buffers) and
-  // replay the (short) symbol history through the refit model.
-  pipeline.decoder->reset(pipeline.model.core());
-  pipeline.filter->reset(pipeline.model.core());
-  const int X = pipeline.model.num_states();
-  log_emit_scratch_.resize(X);
-  for (int symbol : symbols) {
-    for (int i = 0; i < X; ++i) {
-      log_emit_scratch_[i] = pipeline.model.log_b(i, symbol);
+  {
+    // Cost attribution (ISSUE 10): the "refit" scope covers exactly the
+    // stream.refit_s-timed region; the fit itself flushes refit/forward
+    // and refit/mstep from inside the EM loop.
+    const obs::CostScope refit_scope(ins_.cost_refit);
+    std::vector<int>& symbols = refit_batch_[0];
+    {
+      const obs::CostScope quantize_scope(ins_.cost_quantize,
+                                          obs::CostScope::kWallOnly);
+      quantizer_.quantize_series_into(pipeline.history, symbols);
     }
-    pipeline.decoder->step(log_emit_scratch_);
-    pipeline.filter->step(log_emit_scratch_);
+    pipeline.model.fit(refit_batch_, config_.train, &workspace_);
+    pipeline.model.canonicalize_truth_states();
+    ++refits_;
+    ins_.refits->inc();
+
+    // Restart the online decoder and filter (keeping their buffers) and
+    // replay the (short) symbol history through the refit model.
+    const obs::CostScope replay_scope(ins_.cost_replay,
+                                      obs::CostScope::kWallOnly);
+    pipeline.decoder->reset(pipeline.model.core());
+    pipeline.filter->reset(pipeline.model.core());
+    const int X = pipeline.model.num_states();
+    log_emit_scratch_.resize(X);
+    for (int symbol : symbols) {
+      for (int i = 0; i < X; ++i) {
+        log_emit_scratch_[i] = pipeline.model.log_b(i, symbol);
+      }
+      pipeline.decoder->step(log_emit_scratch_);
+      pipeline.filter->step(log_emit_scratch_);
+    }
   }
   ins_.refit_s->observe(watch.elapsed_seconds());
   if (span_traced) {
@@ -157,6 +174,11 @@ void SstdStreaming::end_interval(IntervalIndex k) {
 
   const obs::TraceContext& ctx = obs::current_trace_context();
   const bool traced = ctx.sampled && ctx.valid();
+  // One scope for the whole per-claim stepping loop (per-claim scopes
+  // would cost more than the ~300 ns decode step they time). Refits nest
+  // inside and subtract out as children, so decode/viterbi *self* time is
+  // the pure quantize-and-step work.
+  const obs::CostScope decode_scope(ins_.cost_decode);
   for (auto& [claim_id, pipeline] : pipelines_) {
     const double value = pipeline.acs.value_at(interval_end);
     pipeline.history.push_back(value);

@@ -19,6 +19,7 @@
 #include "hmm/online_viterbi.h"
 #include "hmm/quantizer.h"
 #include "hmm/scaled_kernel.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "sstd/config.h"
 #include "util/stopwatch.h"
@@ -123,6 +124,13 @@ class SstdStreaming final : public StreamingTruthDiscovery {
     obs::Gauge* active_claims = nullptr;
     obs::Histogram* refit_s = nullptr;
     obs::Histogram* decision_staleness_s = nullptr;
+    // Pre-resolved phase cost centers (obs/cost.h, ISSUE 10). cost_refit
+    // covers exactly the stream.refit_s-timed region, so /cost.json
+    // "refit" totals and the histogram sum agree.
+    obs::CostCenter* cost_refit = nullptr;     // "refit"
+    obs::CostCenter* cost_quantize = nullptr;  // "ingest/quantize"
+    obs::CostCenter* cost_replay = nullptr;    // "refit/replay"
+    obs::CostCenter* cost_decode = nullptr;    // "decode/viterbi"
   };
 
   ClaimPipeline& pipeline_for(std::uint32_t claim);

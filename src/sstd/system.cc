@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/cost.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 
@@ -63,6 +64,9 @@ void SstdSystem::ingest(const Report& report) {
   // Write-ahead: the report reaches the log before any in-memory state,
   // so an acknowledged report survives a crash.
   if (wal_.is_open()) {
+    static obs::CostCenter* const cost_wal_append =
+        obs::CostRegistry::global().center("wal/append");
+    const obs::CostScope wal_scope(cost_wal_append, obs::CostScope::kWallOnly);
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
     wal_.append(durable::WalRecordType::kReport,
                 durable::encode_report_payload(report));
@@ -129,7 +133,16 @@ void SstdSystem::record_ingest_span(const obs::TraceContext& minted,
 
 void SstdSystem::ingest_batch(const Report* reports, std::size_t count) {
   if (count == 0) return;
+  // Cost attribution: the batch path is the soak/throughput front door;
+  // WAL appends inside it subtract out as a child, so "ingest" self time
+  // is the bucketing + shard-buffer work.
+  static obs::CostCenter* const cost_ingest =
+      obs::CostRegistry::global().center("ingest");
+  static obs::CostCenter* const cost_wal_append =
+      obs::CostRegistry::global().center("wal/append");
+  const obs::CostScope ingest_scope(cost_ingest);
   if (wal_.is_open()) {
+    const obs::CostScope wal_scope(cost_wal_append, obs::CostScope::kWallOnly);
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
     for (std::size_t i = 0; i < count; ++i) {
       wal_.append(durable::WalRecordType::kReport,
@@ -475,13 +488,23 @@ void SstdSystem::end_interval(IntervalIndex k) {
   // policy's interval boundary fires, and — on the snapshot cadence —
   // every shard's state is checkpointed against the marker's LSN.
   if (wal_.is_open()) {
+    static obs::CostCenter* const cost_wal_sync =
+        obs::CostRegistry::global().center("wal/sync");
+    static obs::CostCenter* const cost_snapshot =
+        obs::CostRegistry::global().center("snapshot/write");
     std::lock_guard<std::mutex> wal_lock(wal_mutex_);
-    const std::uint64_t lsn =
-        wal_.append(durable::WalRecordType::kIntervalEnd,
-                    durable::encode_interval_end_payload(k));
-    wal_.sync();
+    std::uint64_t lsn = 0;
+    {
+      // The marker append plus the interval-boundary fsync: the policy's
+      // durability cost lives here, not in the per-report appends.
+      const obs::CostScope sync_scope(cost_wal_sync);
+      lsn = wal_.append(durable::WalRecordType::kIntervalEnd,
+                        durable::encode_interval_end_payload(k));
+      wal_.sync();
+    }
     const IntervalIndex every = config_.durability.snapshot_every;
     if (every > 0 && (k + 1) % every == 0) {
+      const obs::CostScope snapshot_scope(cost_snapshot);
       std::vector<std::string> blobs;
       blobs.reserve(shards_.size());
       for (auto& shard : shards_) {

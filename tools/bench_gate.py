@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench regression gate (ISSUE 10 satellite): compares freshly produced
+BENCH_*.json artifacts against the committed baselines with per-metric
+tolerances, so a perf regression fails ctest instead of silently landing
+in the repo.
+
+Stdlib-only by design (json + argparse); wired as a bench_smoke-labeled
+ctest that DEPENDS on the producing smoke benches.
+
+Comparison rules per bench:
+
+  structural    — required JSON keys must exist in the fresh artifact
+  bool          — named flags must be true (e.g. soak "ok")
+  abs ceiling   — overhead percentages must stay under a generous cap
+                  (smoke runs are noisy; the cap catches order-of-
+                  magnitude regressions, not single-digit drift)
+  ratio floor   — throughput must stay above `min_ratio` x baseline,
+                  compared ONLY when the meta provenance (workload,
+                  seed, build_type) matches: a smoke run against a
+                  full-scale committed baseline is not comparable, and
+                  neither is a Debug build against a Release baseline.
+
+A missing baseline is a warning, not a failure (first run of a new
+bench); a missing or malformed fresh artifact always fails.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def walk(doc, dotted):
+    """Fetch "a.b.c" from nested dicts; returns None when absent."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def provenance_matches(fresh, base):
+    fm, bm = fresh.get("meta", {}), base.get("meta", {})
+    keys = ("workload", "seed", "build_type", "num_claims")
+    return all(fm.get(k) is not None and fm.get(k) == bm.get(k) for k in keys)
+
+
+# Per-bench gate spec. `ratio` entries are (dotted_metric, min_ratio)
+# and only apply when provenance matches; `ceiling` entries are
+# (dotted_metric, max_value[, guard_flag]) absolute checks on the fresh
+# artifact — when a guard flag is named and not true in the artifact,
+# the bench itself declared the number below its noise floor (e.g. a
+# sub-second smoke run) and the ceiling is skipped with a warning.
+SPECS = {
+    "BENCH_micro_hmm.json": {
+        "required": ["meta", "engines", "speedup_refits_scaled_vs_logspace"],
+        "ratio": [("speedup_refits_scaled_vs_logspace", 0.4)],
+    },
+    "BENCH_soak.json": {
+        "required": ["meta", "totals", "staleness", "assertions", "ok"],
+        "true": ["ok"],
+        "ratio": [("totals.run_reports_per_sec", 0.4)],
+    },
+    "BENCH_trace_overhead.json": {
+        "required": ["meta", "modes", "full_tracing_overhead_pct"],
+        "ceiling": [("full_tracing_overhead_pct", 30.0)],
+    },
+    "BENCH_recovery.json": {
+        "required": ["meta"],
+    },
+    "BENCH_prof_overhead.json": {
+        "required": ["meta", "modes", "prof_hz", "profiler_overhead_pct"],
+        "ceiling": [("profiler_overhead_pct", 10.0, "overhead_measurable")],
+    },
+}
+
+
+def gate_one(name, fresh_dir, baseline_dir, failures, warnings):
+    spec = SPECS[name]
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(fresh_path):
+        failures.append(f"{name}: fresh artifact missing at {fresh_path}")
+        return
+    try:
+        fresh = load(fresh_path)
+    except (json.JSONDecodeError, OSError) as err:
+        failures.append(f"{name}: fresh artifact unreadable: {err}")
+        return
+
+    for key in spec.get("required", []):
+        if walk(fresh, key) is None:
+            failures.append(f"{name}: missing required key '{key}'")
+    for key in spec.get("true", []):
+        if walk(fresh, key) is not True:
+            failures.append(f"{name}: flag '{key}' is not true")
+    for entry in spec.get("ceiling", []):
+        key, cap = entry[0], entry[1]
+        guard = entry[2] if len(entry) > 2 else None
+        if guard is not None and walk(fresh, guard) is not True:
+            warnings.append(f"{name}: '{guard}' not true — {key} below "
+                            "noise floor, ceiling skipped")
+            continue
+        value = walk(fresh, key)
+        if isinstance(value, (int, float)) and value > cap:
+            failures.append(f"{name}: {key} = {value:.3f} exceeds cap {cap}")
+
+    base_path = os.path.join(baseline_dir, name)
+    if not os.path.exists(base_path):
+        warnings.append(f"{name}: no committed baseline (new bench?) — "
+                        "ratio checks skipped")
+        return
+    try:
+        base = load(base_path)
+    except (json.JSONDecodeError, OSError) as err:
+        failures.append(f"{name}: committed baseline unreadable: {err}")
+        return
+
+    if not provenance_matches(fresh, base):
+        warnings.append(f"{name}: provenance differs from baseline "
+                        "(workload/seed/build) — ratio checks skipped")
+        return
+    for key, min_ratio in spec.get("ratio", []):
+        fresh_v, base_v = walk(fresh, key), walk(base, key)
+        if not isinstance(fresh_v, (int, float)) or \
+           not isinstance(base_v, (int, float)) or base_v <= 0:
+            warnings.append(f"{name}: {key} not comparable — skipped")
+            continue
+        ratio = fresh_v / base_v
+        if ratio < min_ratio:
+            failures.append(
+                f"{name}: {key} regressed to {ratio:.2f}x baseline "
+                f"({fresh_v:.3g} vs {base_v:.3g}, floor {min_ratio}x)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh-dir", default="bench_results",
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory with committed baseline BENCH_*.json")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="artifact filename to gate (repeatable); "
+                             "default: every known BENCH_*.json present "
+                             "in the fresh dir")
+    args = parser.parse_args()
+
+    names = args.bench
+    if not names:
+        names = [n for n in sorted(SPECS)
+                 if os.path.exists(os.path.join(args.fresh_dir, n))]
+        if not names:
+            print(f"bench_gate: no known BENCH_*.json under "
+                  f"{args.fresh_dir}", file=sys.stderr)
+            return 1
+    failures, warnings = [], []
+    for name in names:
+        if name not in SPECS:
+            failures.append(f"{name}: no gate spec for this artifact")
+            continue
+        gate_one(name, args.fresh_dir, args.baseline_dir, failures, warnings)
+
+    for w in warnings:
+        print(f"bench_gate: WARN {w}")
+    for f in failures:
+        print(f"bench_gate: FAIL {f}", file=sys.stderr)
+    print(f"bench_gate: {len(names)} artifact(s), {len(failures)} failure(s),"
+          f" {len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
